@@ -1,0 +1,102 @@
+//! Criterion benches for the blocking substrate: retrieval cost vs `K`,
+//! token/q-gram baselines, and the blocker hyperparameter ablation
+//! (DESIGN.md §6: how the recall floor drives candidate-set hardness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlb_blocking::{Blocker, EmbeddingNnBlocker, IndexSide, QGramBlocker, TokenBlocker};
+use rlb_synth::{generate_raw_pair, Domain, RawPairProfile};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn reference_pair() -> rlb_synth::RawDatasetPair {
+    generate_raw_pair(&RawPairProfile {
+        id: "bench",
+        left_name: "L",
+        right_name: "R",
+        domain: Domain::Product,
+        left_size: 150,
+        right_size: 220,
+        n_matches: 110,
+        match_noise: 0.4,
+        anchor_attrs: 1,
+        style_noise: 0.03,
+        missing_boost: 0.0,
+        match_scramble: 0.0,
+        seed: 0xB10C,
+    })
+}
+
+fn bench_embedding_retrieval(c: &mut Criterion) {
+    let raw = reference_pair();
+    let mut group = c.benchmark_group("embedding_nn_retrieval");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for k in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            let blocker = EmbeddingNnBlocker::default();
+            b.iter(|| {
+                black_box(blocker.retrieve(&raw.left, &raw.right, IndexSide::Right, k))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_classical_blockers(c: &mut Criterion) {
+    let raw = reference_pair();
+    let mut group = c.benchmark_group("classical_blockers");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    group.bench_function("token", |b| {
+        let blocker = TokenBlocker::new();
+        b.iter(|| black_box(blocker.candidates(&raw.left, &raw.right)))
+    });
+    group.bench_function("token_cleaned", |b| {
+        let mut blocker = TokenBlocker::new();
+        blocker.clean = true;
+        b.iter(|| black_box(blocker.candidates(&raw.left, &raw.right)))
+    });
+    group.bench_function("qgram3", |b| {
+        let blocker = QGramBlocker::new(3);
+        b.iter(|| black_box(blocker.candidates(&raw.left, &raw.right)))
+    });
+    group.finish();
+}
+
+fn bench_tuner_recall_floor(c: &mut Criterion) {
+    // Ablation: the recall floor controls the grid search's effort and the
+    // resulting benchmark hardness (Section VI step 2).
+    let raw = reference_pair();
+    let mut group = c.benchmark_group("tuner_recall_floor");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for floor in [0.8f64, 0.9] {
+        let cfg = rlb_blocking::TunerConfig {
+            min_recall: floor,
+            k_max: 8,
+            reps: 1,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{floor:.1}")),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    black_box(rlb_blocking::tune(&raw.left, &raw.right, &raw.matches, cfg))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_embedding_retrieval,
+    bench_classical_blockers,
+    bench_tuner_recall_floor
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benches for the difficulty measures: the degree of linearity
+//! (Figure 1/4 computation) and the 17 complexity measures (Figure 2/5
+//! computation), plus an ablation of the complexity subsample cap — the
+//! main runtime lever DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlb_complexity::ComplexityConfig;
+use rlb_core::degree_of_linearity;
+use rlb_matchers::features::TaskViews;
+use rlb_synth::{BenchmarkProfile, DifficultyKnobs, Domain};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn reference_task(pairs: usize) -> rlb_data::MatchingTask {
+    rlb_synth::generate_task(&BenchmarkProfile {
+        id: "bench",
+        stands_for: "criterion",
+        domain: Domain::Product,
+        left_size: 400,
+        right_size: 500,
+        n_matches: 250,
+        labeled_pairs: pairs,
+        positive_fraction: 0.15,
+        knobs: DifficultyKnobs::moderate(),
+        seed: 0xBE7C,
+    })
+}
+
+fn bench_linearity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("degree_of_linearity");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for pairs in [500usize, 1000, 2000] {
+        let task = reference_task(pairs);
+        group.bench_with_input(BenchmarkId::from_parameter(pairs), &task, |b, t| {
+            b.iter(|| black_box(degree_of_linearity(t)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_complexity(c: &mut Criterion) {
+    let task = reference_task(1500);
+    let views = TaskViews::build(&task);
+    let feats: Vec<Vec<f64>> = task
+        .all_pairs()
+        .map(|lp| {
+            let [cs, js] = views.cs_js(lp.pair);
+            vec![cs, js]
+        })
+        .collect();
+    let labels: Vec<bool> = task.all_pairs().map(|lp| lp.is_match).collect();
+
+    let mut group = c.benchmark_group("complexity_measures");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    // Ablation: the O(n²) subsample cap trades fidelity for runtime.
+    for cap in [250usize, 500, 1000] {
+        let cfg = ComplexityConfig { max_points: cap, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("cap", cap), &cfg, |b, cfg| {
+            b.iter(|| black_box(rlb_complexity::compute(&feats, &labels, cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pair_featurization(c: &mut Criterion) {
+    let task = reference_task(2000);
+    let views = TaskViews::build(&task);
+    let pairs: Vec<_> = task.all_pairs().map(|lp| lp.pair).collect();
+    c.bench_function("cs_js_featurization_2000_pairs", |b| {
+        b.iter(|| {
+            for &p in &pairs {
+                black_box(views.cs_js(p));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_linearity, bench_complexity, bench_pair_featurization);
+criterion_main!(benches);

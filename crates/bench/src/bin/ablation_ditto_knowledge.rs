@@ -1,0 +1,46 @@
+//! Ablation: DITTO's external-knowledge module.
+//!
+//! The paper could not run DITTO with its domain-knowledge injection
+//! ("DITTO did not employ any external knowledge") and attributes the 25%
+//! average gap between its DITTO runs and the published numbers largely to
+//! that. The simulation makes the module switchable, so the gap can be
+//! measured directly: the same matcher with and without the knowledge
+//! features, on an easy and a hard benchmark.
+
+use rlb_bench::fmt::{f1_cell, render_table};
+use rlb_core::evaluate;
+use rlb_matchers::deep::{DeepConfig, DittoSim};
+
+fn main() {
+    let profiles = rlb_core::established_profiles();
+    let ids = ["Ds1", "Ds4", "Ds6", "Dt1"];
+    let header: Vec<String> = {
+        let mut h = vec!["configuration".to_string()];
+        h.extend(ids.iter().map(|s| s.to_string()));
+        h
+    };
+    let mut rows = vec![
+        vec!["DITTO (15), no knowledge (paper's setup)".to_string()],
+        vec!["DITTO (15), with knowledge module".to_string()],
+    ];
+    for id in ids {
+        let profile = profiles.iter().find(|p| p.id == id).expect("known id");
+        let task = rlb_core::generate_task(profile);
+        let mut plain = DittoSim::new(DeepConfig::with_epochs(15));
+        let f1_plain = evaluate(&mut plain, &task).expect("ditto").f1;
+        let mut informed = DittoSim::new(DeepConfig::with_epochs(15));
+        informed.use_knowledge = true;
+        let f1_informed = evaluate(&mut informed, &task).expect("ditto").f1;
+        rows[0].push(f1_cell(Some(f1_plain)));
+        rows[1].push(f1_cell(Some(f1_informed)));
+        eprintln!("[ablation] {id}: {f1_plain:.3} -> {f1_informed:.3}");
+    }
+    println!("DITTO knowledge-module ablation\n");
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "The knowledge features (recognized numeric / identifier tokens) matter\n\
+         most on the hard product benchmarks, where model codes are the only\n\
+         surviving pair-specific evidence — consistent with the paper blaming\n\
+         the missing module for its DITTO reproduction gap."
+    );
+}

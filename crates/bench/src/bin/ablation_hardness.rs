@@ -1,0 +1,108 @@
+//! Ablation: how the generator's class-overlap knobs drive the four
+//! difficulty measures (DESIGN.md §6) — the synthetic-substrate
+//! counterpart of the paper's central claim that benchmark difficulty is a
+//! property of the candidate-pair distribution, not of the domain.
+//!
+//! Sweeps (a) the hard-negative share and (b) the match corruption level
+//! on a fixed product benchmark and reports linearity, complexity, and the
+//! practical margins of a compact matcher roster.
+
+use rlb_bench::fmt::{percent, ratio, render_table};
+use rlb_complexity::ComplexityConfig;
+use rlb_core::{degree_of_linearity, evaluate, MatcherFamily, MatcherRun};
+use rlb_matchers::deep::{DeepConfig, EmTransformerSim};
+use rlb_matchers::features::TaskViews;
+use rlb_matchers::{Esde, EsdeVariant, Magellan, MagellanModel};
+use rlb_synth::{BenchmarkProfile, DifficultyKnobs, Domain};
+
+fn measure(noise: f64, hard: f64) -> Vec<String> {
+    let task = rlb_synth::generate_task(&BenchmarkProfile {
+        id: "ablate",
+        stands_for: "hardness ablation",
+        domain: Domain::Product,
+        left_size: 500,
+        right_size: 650,
+        n_matches: 300,
+        labeled_pairs: 1500,
+        positive_fraction: 0.12,
+        knobs: DifficultyKnobs {
+            match_noise: noise,
+            hard_negative_fraction: hard,
+            anchor_attrs: 1,
+            dirty: false,
+            style_noise: 0.03,
+            right_terse: false,
+            base_missing: 0.3 * noise,
+        },
+        seed: 0xAB1A,
+    });
+    let lin = degree_of_linearity(&task);
+    let views = TaskViews::build(&task);
+    let mut feats = Vec::new();
+    let mut labels = Vec::new();
+    for lp in task.all_pairs() {
+        let [c, j] = views.cs_js(lp.pair);
+        feats.push(vec![c, j]);
+        labels.push(lp.is_match);
+    }
+    let cx = rlb_complexity::compute(&feats, &labels, &ComplexityConfig::default())
+        .expect("valid task");
+
+    // Compact roster: best linear candidate vs two non-linear ones.
+    let mut runs = Vec::new();
+    for (name, family, f1) in [
+        ("SA-ESDE", MatcherFamily::Linear, {
+            evaluate(&mut Esde::new(EsdeVariant::SA), &task).expect("esde").f1
+        }),
+        ("SAS-ESDE", MatcherFamily::Linear, {
+            evaluate(&mut Esde::new(EsdeVariant::SAS), &task).expect("esde").f1
+        }),
+        ("Magellan-RF", MatcherFamily::NonLinearMl, {
+            evaluate(&mut Magellan::new(MagellanModel::RandomForest, 7), &task)
+                .expect("magellan")
+                .f1
+        }),
+        ("EMTransformer-R (15)", MatcherFamily::DeepLearning, {
+            evaluate(
+                &mut EmTransformerSim::new(
+                    rlb_embed::contextual::Variant::Roberta,
+                    DeepConfig::with_epochs(15),
+                ),
+                &task,
+            )
+            .expect("emt")
+            .f1
+        }),
+    ] {
+        runs.push(MatcherRun { name: name.into(), family, f1: Some(f1) });
+    }
+    let p = rlb_core::practical_measures(&runs);
+    vec![
+        format!("{noise:.2}"),
+        format!("{hard:.2}"),
+        ratio(lin.max_f1()),
+        ratio(cx.mean()),
+        percent(p.nlb),
+        percent(p.lbm),
+    ]
+}
+
+fn main() {
+    let header: Vec<String> =
+        ["match noise", "hard negatives", "linearity", "complexity", "NLB", "LBM"]
+            .map(String::from)
+            .to_vec();
+    let mut rows = Vec::new();
+    println!("Hardness ablation — class overlap drives all four measures\n");
+    for (noise, hard) in [(0.1, 0.1), (0.1, 0.6), (0.4, 0.4), (0.6, 0.1), (0.6, 0.6)] {
+        rows.push(measure(noise, hard));
+    }
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "Both knobs matter: corruption without near-duplicate negatives (0.6/0.1)\n\
+         and near-duplicates without corruption (0.1/0.6) stay partly separable;\n\
+         only their combination (0.6/0.6) produces a benchmark that is hard by\n\
+         every measure — matching the paper's diagnosis of what the established\n\
+         benchmarks lack."
+    );
+}

@@ -1,0 +1,26 @@
+//! Runs every table and figure in order (Tables II–VII, Figures 1–6) by
+//! delegating to the per-artifact binaries' logic. Use this to regenerate
+//! the data recorded in EXPERIMENTS.md:
+//!
+//! ```text
+//! cargo run --release -p rlb-bench --bin all_experiments | tee experiments_output.txt
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table2", "table3", "fig1", "fig2", "table4", "fig3", "table5", "table7", "fig4",
+        "fig5", "table6", "fig6",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n================================================================");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nAll experiments completed.");
+}

@@ -1,0 +1,26 @@
+//! Figure 1: degree of linearity (F1max_CS, F1max_JS + thresholds) per
+//! established dataset.
+
+use rlb_bench::fmt::{ratio, render_table};
+use rlb_bench::runner::established_tasks;
+use rlb_core::degree_of_linearity;
+
+fn main() {
+    let header: Vec<String> =
+        ["D", "F1max_CS", "t_CS", "F1max_JS", "t_JS", "max"].map(String::from).to_vec();
+    let mut rows = Vec::new();
+    for task in established_tasks() {
+        let r = degree_of_linearity(&task);
+        rows.push(vec![
+            task.name.clone(),
+            ratio(r.f1_cosine),
+            format!("{:.2}", r.t_cosine),
+            ratio(r.f1_jaccard),
+            format!("{:.2}", r.t_jaccard),
+            ratio(r.max_f1()),
+        ]);
+    }
+    println!("Figure 1 — Degree of linearity per established dataset\n");
+    println!("{}", render_table(&header, &rows));
+    println!("(values ≥ 0.800 mark the benchmark easy by the linearity measure)");
+}

@@ -1,0 +1,45 @@
+//! Figure 2: the 17 complexity measures per established dataset.
+
+use rlb_bench::fmt::render_table;
+use rlb_bench::runner::established_tasks;
+use rlb_complexity::ComplexityConfig;
+use rlb_matchers::features::TaskViews;
+
+fn main() {
+    let mut header: Vec<String> = vec!["measure".into()];
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    let mut names: Vec<&'static str> = Vec::new();
+    for task in established_tasks() {
+        header.push(task.name.clone());
+        let views = TaskViews::build(&task);
+        let mut feats = Vec::with_capacity(task.total_pairs());
+        let mut labels = Vec::with_capacity(task.total_pairs());
+        for lp in task.all_pairs() {
+            let [c, j] = views.cs_js(lp.pair);
+            feats.push(vec![c, j]);
+            labels.push(lp.is_match);
+        }
+        let report = rlb_complexity::compute(&feats, &labels, &ComplexityConfig::default())
+            .expect("valid task");
+        let values = report.values();
+        if names.is_empty() {
+            names = values.iter().map(|(n, _)| *n).collect();
+        }
+        columns.push(values.iter().map(|(_, v)| *v).collect());
+        eprintln!("[fig2] {} mean = {:.3}", task.name, report.mean());
+    }
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let mut row = vec![name.to_string()];
+        row.extend(columns.iter().map(|c| format!("{:.3}", c[i])));
+        rows.push(row);
+    }
+    let mut mean_row = vec!["mean".to_string()];
+    mean_row.extend(
+        columns.iter().map(|c| format!("{:.3}", c.iter().sum::<f64>() / c.len() as f64)),
+    );
+    rows.push(mean_row);
+    println!("Figure 2 — Complexity measures per established dataset\n");
+    println!("{}", render_table(&header, &rows));
+    println!("(a mean below 0.400 marks the benchmark easy by the complexity measures)");
+}

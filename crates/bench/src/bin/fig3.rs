@@ -1,0 +1,56 @@
+//! Figure 3: non-linear boost (NLB) and learning-based margin (LBM) per
+//! established dataset, plus the paper's conclusion verdict.
+
+use rlb_bench::fmt::{percent, render_table};
+use rlb_bench::runner::{established_tasks, roster_for};
+use rlb_core::{assess, practical_measures};
+
+fn main() {
+    let header: Vec<String> = [
+        "D", "best linear", "best non-linear", "NLB", "LBM", "challenging?",
+    ]
+    .map(String::from)
+    .to_vec();
+    let mut rows = Vec::new();
+    let mut challenging = Vec::new();
+    for task in established_tasks() {
+        let runs = roster_for("established", &task);
+        let p = practical_measures(&runs);
+        let a = assess(&task, &runs).expect("assessable task");
+        if a.challenging() {
+            challenging.push(task.name.clone());
+        }
+        rows.push(vec![
+            task.name.clone(),
+            percent(p.best_linear),
+            percent(p.best_nonlinear),
+            percent(p.nlb),
+            percent(p.lbm),
+            if a.challenging() { "YES".into() } else { format!("no {}", easy_reason(&a)) },
+        ]);
+    }
+    println!("Figure 3 — NLB and LBM per established dataset\n");
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "Challenging benchmarks (easy by none of the four measures): {}",
+        challenging.join(", ")
+    );
+    println!("(paper: Ds4, Ds6, Dd4, Dt1)");
+}
+
+fn easy_reason(a: &rlb_core::Assessment) -> String {
+    let mut reasons = Vec::new();
+    if a.flags.by_linearity {
+        reasons.push("linearity");
+    }
+    if a.flags.by_complexity {
+        reasons.push("complexity");
+    }
+    if a.flags.by_nlb {
+        reasons.push("NLB");
+    }
+    if a.flags.by_lbm {
+        reasons.push("LBM");
+    }
+    format!("(easy by {})", reasons.join("+"))
+}

@@ -1,0 +1,25 @@
+//! Figure 4: degree of linearity per new dataset (Dn1–Dn8).
+
+use rlb_bench::fmt::{ratio, render_table};
+use rlb_bench::runner::new_tasks;
+use rlb_core::degree_of_linearity;
+
+fn main() {
+    let header: Vec<String> =
+        ["D", "F1max_CS", "t_CS", "F1max_JS", "t_JS", "max"].map(String::from).to_vec();
+    let mut rows = Vec::new();
+    for task in new_tasks() {
+        let r = degree_of_linearity(&task);
+        rows.push(vec![
+            task.name.clone(),
+            ratio(r.f1_cosine),
+            format!("{:.2}", r.t_cosine),
+            ratio(r.f1_jaccard),
+            format!("{:.2}", r.t_jaccard),
+            ratio(r.max_f1()),
+        ]);
+    }
+    println!("Figure 4 — Degree of linearity per new dataset\n");
+    println!("{}", render_table(&header, &rows));
+    println!("(paper: high for Dn3, Dn4, Dn8; low for the rest)");
+}

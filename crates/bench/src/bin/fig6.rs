@@ -1,0 +1,38 @@
+//! Figure 6: NLB and LBM per new dataset, plus the final verdicts.
+
+use rlb_bench::fmt::{percent, render_table};
+use rlb_bench::runner::{new_tasks, roster_for};
+use rlb_core::{assess, practical_measures};
+
+fn main() {
+    let header: Vec<String> = [
+        "D", "best linear", "best non-linear", "NLB", "LBM", "challenging?",
+    ]
+    .map(String::from)
+    .to_vec();
+    let mut rows = Vec::new();
+    let mut challenging = Vec::new();
+    for task in new_tasks() {
+        let runs = roster_for("new", &task);
+        let p = practical_measures(&runs);
+        let a = assess(&task, &runs).expect("assessable task");
+        if a.challenging() {
+            challenging.push(task.name.clone());
+        }
+        rows.push(vec![
+            task.name.clone(),
+            percent(p.best_linear),
+            percent(p.best_nonlinear),
+            percent(p.nlb),
+            percent(p.lbm),
+            if a.challenging() { "YES".into() } else { "no".into() },
+        ]);
+    }
+    println!("Figure 6 — NLB and LBM per new dataset\n");
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "Challenging new benchmarks (easy by none of the four measures): {}",
+        challenging.join(", ")
+    );
+    println!("(paper: Dn1, Dn2, Dn6, Dn7)");
+}

@@ -1,0 +1,36 @@
+//! Table II: taxonomy of the selected DL-based ER methods.
+
+use rlb_bench::fmt::render_table;
+use rlb_matchers::taxonomy::{taxonomy, EmbeddingContext, SchemaAwareness, SimilarityContext};
+
+fn main() {
+    let header: Vec<String> = ["DL-based algorithm", "Token embedding context", "Schema awareness", "Entity similarity context"]
+        .map(String::from)
+        .to_vec();
+    let rows: Vec<Vec<String>> = taxonomy()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.algorithm.to_string(),
+                match r.context {
+                    EmbeddingContext::Static => "Static",
+                    EmbeddingContext::Dynamic => "Dynamic",
+                    EmbeddingContext::Both => "Static, Dynamic",
+                }
+                .to_string(),
+                match r.schema {
+                    SchemaAwareness::Homogeneous => "Homogeneous",
+                    SchemaAwareness::Heterogeneous => "Heterogeneous",
+                }
+                .to_string(),
+                match r.similarity {
+                    SimilarityContext::Local => "Local",
+                    SimilarityContext::Global => "Global",
+                }
+                .to_string(),
+            ]
+        })
+        .collect();
+    println!("Table II — Taxonomy of the selected DL-based ER methods\n");
+    println!("{}", render_table(&header, &rows));
+}

@@ -1,0 +1,45 @@
+//! Table IV: F1 per matcher and established dataset (three panels:
+//! DL-based, non-neural non-linear, linear supervised).
+
+use rlb_bench::fmt::{f1_cell, render_table};
+use rlb_bench::runner::{established_tasks, roster_for};
+use rlb_core::MatcherFamily;
+
+fn main() {
+    let tasks = established_tasks();
+    let mut header: Vec<String> = vec!["method".into()];
+    header.extend(tasks.iter().map(|t| t.name.clone()));
+
+    // name -> per-dataset F1, preserving roster order.
+    let mut order: Vec<(String, MatcherFamily)> = Vec::new();
+    let mut table: std::collections::HashMap<String, Vec<Option<f64>>> =
+        std::collections::HashMap::new();
+    for task in &tasks {
+        let runs = roster_for("established", task);
+        for run in runs {
+            if !table.contains_key(&run.name) {
+                order.push((run.name.clone(), run.family));
+                table.insert(run.name.clone(), Vec::new());
+            }
+            table.get_mut(&run.name).expect("inserted").push(run.f1);
+        }
+    }
+
+    println!("Table IV — F1 per method and established dataset (hyphen = insufficient memory)\n");
+    for (panel, family) in [
+        ("(a) DL-based matching algorithms", MatcherFamily::DeepLearning),
+        ("(b) Non-neural, non-linear ML-based matching algorithms", MatcherFamily::NonLinearMl),
+        ("(c) Non-neural, linear supervised matching algorithms", MatcherFamily::Linear),
+    ] {
+        let rows: Vec<Vec<String>> = order
+            .iter()
+            .filter(|(_, f)| *f == family)
+            .map(|(name, _)| {
+                let mut row = vec![name.clone()];
+                row.extend(table[name].iter().map(|f1| f1_cell(*f1)));
+                row
+            })
+            .collect();
+        println!("{panel}\n{}", render_table(&header, &rows));
+    }
+}

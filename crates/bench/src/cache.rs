@@ -1,0 +1,64 @@
+//! Tiny JSON result cache keyed by artifact name.
+//!
+//! The matcher sweep behind Table IV takes minutes; Figures 3/6 and the
+//! conclusion verdicts reuse its numbers. Results land in
+//! `target/rlb-results/<key>.json`; delete the directory to force
+//! recomputation.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Directory used for cached results.
+pub fn cache_dir() -> PathBuf {
+    let base = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    PathBuf::from(base).join("rlb-results")
+}
+
+/// Loads `key` from the cache, or computes and stores it.
+pub fn with_cache<T, F>(key: &str, compute: F) -> T
+where
+    T: Serialize + DeserializeOwned,
+    F: FnOnce() -> T,
+{
+    let dir = cache_dir();
+    let path = dir.join(format!("{key}.json"));
+    if let Ok(bytes) = std::fs::read(&path) {
+        if let Ok(value) = serde_json::from_slice::<T>(&bytes) {
+            eprintln!("[cache] reused {}", path.display());
+            return value;
+        }
+    }
+    let value = compute();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        if let Ok(json) = serde_json::to_vec_pretty(&value) {
+            if std::fs::write(&path, json).is_ok() {
+                eprintln!("[cache] wrote {}", path.display());
+            }
+        }
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_and_reuses() {
+        let key = format!("unit-test-{}", std::process::id());
+        let mut calls = 0;
+        let a: Vec<u32> = with_cache(&key, || {
+            calls += 1;
+            vec![1, 2, 3]
+        });
+        let b: Vec<u32> = with_cache(&key, || {
+            calls += 1;
+            vec![9, 9, 9]
+        });
+        assert_eq!(a, vec![1, 2, 3]);
+        assert_eq!(b, vec![1, 2, 3], "second call must come from cache");
+        assert_eq!(calls, 1);
+        let _ = std::fs::remove_file(cache_dir().join(format!("{key}.json")));
+    }
+}

@@ -1,0 +1,84 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// Renders a table with a header row; every column is padded to its widest
+/// cell. Returns the formatted string (the binaries print it).
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            if cell.len() > widths[c] {
+                widths[c] = cell.len();
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (c, cell) in cells.iter().enumerate() {
+            if c > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:width$}", cell, width = widths.get(c).copied().unwrap_or(0)));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(header, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats an F1 as the paper does (percent with two decimals), or `-` for
+/// an insufficient-memory run.
+pub fn f1_cell(f1: Option<f64>) -> String {
+    match f1 {
+        Some(v) => format!("{:.2}", v * 100.0),
+        None => "-".to_string(),
+    }
+}
+
+/// Formats a ratio in `[0, 1]` with three decimals.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn percent(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let header = vec!["name".to_string(), "value".to_string()];
+        let rows = vec![
+            vec!["short".to_string(), "1".to_string()],
+            vec!["much-longer-name".to_string(), "22".to_string()],
+        ];
+        let s = render_table(&header, &rows);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        // Both data rows align the second column at the same offset.
+        let off1 = lines[2].find('1').unwrap();
+        let off2 = lines[3].find("22").unwrap();
+        assert_eq!(off1, off2);
+    }
+
+    #[test]
+    fn cells() {
+        assert_eq!(f1_cell(Some(0.8462)), "84.62");
+        assert_eq!(f1_cell(None), "-");
+        assert_eq!(ratio(0.95), "0.950");
+        assert_eq!(percent(0.103), "10.3%");
+    }
+}

@@ -1,0 +1,17 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (Sections V and VI).
+//!
+//! One binary per artifact (`cargo run --release -p rlb-bench --bin
+//! table4`), a combined `all_experiments` driver, and Criterion benches for
+//! the runtime of the core computations. Expensive intermediate results
+//! (the matcher sweeps behind Tables IV/VI and the blocking tuning behind
+//! Table V) are cached as JSON under `target/rlb-results/` so the figure
+//! binaries can reuse them.
+
+pub mod cache;
+pub mod fmt;
+pub mod runner;
+
+pub use runner::{
+    established_tasks, new_benchmarks, new_tasks, roster_for, NewBenchmarkSummary,
+};

@@ -1,0 +1,38 @@
+//! Blocking: candidate-pair generation and the Section-VI tuning loop.
+//!
+//! The paper's methodology for new benchmarks hinges on a *state-of-the-art,
+//! tunable* blocker (DeepBlocker): embed every record, index one source,
+//! query with the other, keep the top-`K` neighbours per query, and grid-
+//! search the hyperparameters (blocked attribute, cleaning on/off, `K`,
+//! which source is indexed) for the smallest candidate set whose recall
+//! (pair completeness, PC) still exceeds a floor. This crate provides:
+//!
+//! - [`EmbeddingNnBlocker`] — the DeepBlocker substitute: pooled subword
+//!   embeddings + exact top-K cosine retrieval, with an optional
+//!   perturbation seed standing in for the stochasticity of DeepBlocker's
+//!   self-supervised autoencoder training (the paper averages 10 runs);
+//! - [`TokenBlocker`] / [`QGramBlocker`] — classical baselines used in the
+//!   ablation benches;
+//! - [`metrics`] — PC and PQ as defined in the blocking literature;
+//! - [`tuner`] — the grid search of Section VI step 2.
+
+pub mod cleaning;
+pub mod embed_nn;
+pub mod metrics;
+pub mod token;
+pub mod tuner;
+
+pub use embed_nn::{EmbeddingNnBlocker, IndexSide, Retrieval};
+pub use metrics::{blocking_metrics, BlockingMetrics};
+pub use token::{QGramBlocker, TokenBlocker};
+pub use tuner::{tune, BlockerChoice, TunerConfig};
+
+use rlb_data::{PairRef, Source};
+
+/// A candidate-pair generator over two duplicate-free sources.
+pub trait Blocker {
+    /// Display name.
+    fn name(&self) -> String;
+    /// The candidate pairs (unique, unordered).
+    fn candidates(&self, left: &Source, right: &Source) -> Vec<PairRef>;
+}

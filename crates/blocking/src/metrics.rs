@@ -1,0 +1,66 @@
+//! Blocking quality measures: pair completeness (PC, recall) and pairs
+//! quality (PQ, precision).
+
+use rlb_data::PairRef;
+use rustc_hash::FxHashSet;
+
+/// PC / PQ plus the raw counts Table V reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockingMetrics {
+    /// Pair completeness `|C ∩ M| / |M|` (recall).
+    pub pc: f64,
+    /// Pairs quality `|C ∩ M| / |C|` (precision).
+    pub pq: f64,
+    /// Candidate count `|C|`.
+    pub candidates: usize,
+    /// Matching candidates `|P| = |C ∩ M|`.
+    pub matching_candidates: usize,
+}
+
+/// Computes PC/PQ of a candidate set against the ground-truth matches.
+pub fn blocking_metrics(candidates: &[PairRef], matches: &[PairRef]) -> BlockingMetrics {
+    let truth: FxHashSet<PairRef> = matches.iter().copied().collect();
+    let hit = candidates.iter().filter(|p| truth.contains(p)).count();
+    let pc = if matches.is_empty() { 0.0 } else { hit as f64 / matches.len() as f64 };
+    let pq = if candidates.is_empty() { 0.0 } else { hit as f64 / candidates.len() as f64 };
+    BlockingMetrics { pc, pq, candidates: candidates.len(), matching_candidates: hit }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(l: u32, r: u32) -> PairRef {
+        PairRef::new(l, r)
+    }
+
+    #[test]
+    fn perfect_blocking() {
+        let m = vec![p(0, 0), p(1, 1)];
+        let metrics = blocking_metrics(&m, &m);
+        assert_eq!(metrics.pc, 1.0);
+        assert_eq!(metrics.pq, 1.0);
+        assert_eq!(metrics.matching_candidates, 2);
+    }
+
+    #[test]
+    fn partial_recall_and_precision() {
+        let matches = vec![p(0, 0), p(1, 1), p(2, 2), p(3, 3)];
+        let cands = vec![p(0, 0), p(1, 1), p(0, 1), p(1, 0)];
+        let metrics = blocking_metrics(&cands, &matches);
+        assert_eq!(metrics.pc, 0.5);
+        assert_eq!(metrics.pq, 0.5);
+        assert_eq!(metrics.candidates, 4);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let m = vec![p(0, 0)];
+        let empty = blocking_metrics(&[], &m);
+        assert_eq!(empty.pc, 0.0);
+        assert_eq!(empty.pq, 0.0);
+        let no_truth = blocking_metrics(&m, &[]);
+        assert_eq!(no_truth.pc, 0.0);
+        assert_eq!(no_truth.pq, 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Classical blocking baselines: shared-token and shared-q-gram blocking.
+
+use crate::Blocker;
+use rlb_data::{PairRef, Source};
+use rustc_hash::FxHashMap;
+use std::collections::BTreeSet;
+
+/// Standard token blocking: every pair of records sharing at least one
+/// (cleaned) token becomes a candidate.
+#[derive(Debug, Clone)]
+pub struct TokenBlocker {
+    /// Apply stop-word removal + stemming before indexing.
+    pub clean: bool,
+    /// Block on one attribute only (`None` = schema-agnostic full text).
+    pub attribute: Option<usize>,
+}
+
+impl TokenBlocker {
+    /// Schema-agnostic, uncleaned token blocker.
+    pub fn new() -> Self {
+        TokenBlocker { clean: false, attribute: None }
+    }
+
+    fn keys(&self, record: &rlb_data::Record) -> Vec<String> {
+        let text = match self.attribute {
+            Some(a) => record.value(a).to_string(),
+            None => record.full_text(),
+        };
+        let mut toks = if self.clean {
+            crate::cleaning::clean_tokens(&text)
+        } else {
+            crate::cleaning::raw_tokens(&text)
+        };
+        toks.sort_unstable();
+        toks.dedup();
+        toks
+    }
+}
+
+impl Default for TokenBlocker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Blocker for TokenBlocker {
+    fn name(&self) -> String {
+        format!(
+            "TokenBlocker(clean={}, attr={:?})",
+            self.clean, self.attribute
+        )
+    }
+
+    fn candidates(&self, left: &Source, right: &Source) -> Vec<PairRef> {
+        // Invert the right source, then probe with left records.
+        let mut index: FxHashMap<String, Vec<u32>> = FxHashMap::default();
+        for r in &right.records {
+            for key in self.keys(r) {
+                index.entry(key).or_default().push(r.id);
+            }
+        }
+        let mut out: BTreeSet<PairRef> = BTreeSet::new();
+        for l in &left.records {
+            for key in self.keys(l) {
+                if let Some(rs) = index.get(&key) {
+                    for &r in rs {
+                        out.insert(PairRef::new(l.id, r));
+                    }
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+}
+
+/// Q-gram blocking: candidates share at least one character q-gram —
+/// higher recall than token blocking under typos, at the cost of many more
+/// candidates.
+#[derive(Debug, Clone)]
+pub struct QGramBlocker {
+    /// Gram size.
+    pub q: usize,
+}
+
+impl QGramBlocker {
+    /// Blocker with the given gram size.
+    pub fn new(q: usize) -> Self {
+        QGramBlocker { q }
+    }
+}
+
+impl Blocker for QGramBlocker {
+    fn name(&self) -> String {
+        format!("QGramBlocker(q={})", self.q)
+    }
+
+    fn candidates(&self, left: &Source, right: &Source) -> Vec<PairRef> {
+        let grams = |r: &rlb_data::Record| {
+            let set = rlb_textsim::TokenSet::from_qgrams(&r.full_text(), self.q);
+            set.items().to_vec()
+        };
+        let mut index: FxHashMap<String, Vec<u32>> = FxHashMap::default();
+        for r in &right.records {
+            for g in grams(r) {
+                index.entry(g).or_default().push(r.id);
+            }
+        }
+        let mut out: BTreeSet<PairRef> = BTreeSet::new();
+        for l in &left.records {
+            for g in grams(l) {
+                if let Some(rs) = index.get(&g) {
+                    for &r in rs {
+                        out.insert(PairRef::new(l.id, r));
+                    }
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking_metrics;
+
+    fn sources() -> (Source, Source, Vec<PairRef>) {
+        let mut left = Source::new("L", vec!["name".into()]);
+        let mut right = Source::new("R", vec!["name".into()]);
+        left.push(vec!["acme widget pro".into()]);
+        left.push(vec!["zenbrook speaker".into()]);
+        left.push(vec!["unrelated thing".into()]);
+        // The second duplicate shares no *exact* token with its partner:
+        // a typo'd brand plus a pluralized noun.
+        right.push(vec!["acme widget".into()]);
+        right.push(vec!["zenbruk speakers".into()]);
+        right.push(vec!["different stuff".into()]);
+        let matches = vec![PairRef::new(0, 0), PairRef::new(1, 1)];
+        (left, right, matches)
+    }
+
+    #[test]
+    fn token_blocking_finds_shared_token_pairs() {
+        let (l, r, m) = sources();
+        let cands = TokenBlocker::new().candidates(&l, &r);
+        let metrics = blocking_metrics(&cands, &m);
+        assert_eq!(metrics.pc, 0.5, "plural break exact-token blocking");
+        assert!(cands.contains(&PairRef::new(0, 0)));
+    }
+
+    #[test]
+    fn cleaning_recovers_stemmed_matches() {
+        let (l, r, m) = sources();
+        let mut b = TokenBlocker::new();
+        b.clean = true;
+        let cands = b.candidates(&l, &r);
+        let metrics = blocking_metrics(&cands, &m);
+        assert_eq!(metrics.pc, 1.0, "stemming aligns speaker/speakers");
+    }
+
+    #[test]
+    fn qgram_blocking_has_higher_recall_and_lower_precision() {
+        let (l, r, m) = sources();
+        let tok = TokenBlocker::new().candidates(&l, &r);
+        let qg = QGramBlocker::new(3).candidates(&l, &r);
+        let mt = blocking_metrics(&tok, &m);
+        let mq = blocking_metrics(&qg, &m);
+        assert!(mq.pc >= mt.pc);
+        assert!(mq.candidates >= mt.candidates);
+    }
+
+    #[test]
+    fn attribute_restriction() {
+        let mut left = Source::new("L", vec!["a".into(), "b".into()]);
+        let mut right = Source::new("R", vec!["a".into(), "b".into()]);
+        left.push(vec!["shared".into(), "only-here".into()]);
+        right.push(vec!["different".into(), "shared".into()]);
+        let mut b = TokenBlocker::new();
+        b.attribute = Some(0);
+        // Attribute 0 does not share tokens across the records.
+        assert!(b.candidates(&left, &right).is_empty());
+        b.attribute = None;
+        assert_eq!(b.candidates(&left, &right).len(), 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Class-balance measures `c1`, `c2` (Table I, group e).
+
+/// Computes `(c1, c2)` for binary labels:
+///
+/// - `c1 = 1 + Σ p_c ln p_c / ln C` — one minus the normalized entropy of
+///   the class proportions (0 for a balanced problem, → 1 as one class
+///   vanishes);
+/// - `c2 = 1 − 1/IR` with `IR = (C−1)/C · Σ_c n_c/(n−n_c)` (Lorena et al.);
+///   0 when balanced, → 1 under extreme imbalance.
+pub fn class_balance(ys: &[bool]) -> (f64, f64) {
+    let n = ys.len() as f64;
+    let pos = ys.iter().filter(|&&y| y).count() as f64;
+    let neg = n - pos;
+    if pos == 0.0 || neg == 0.0 {
+        return (1.0, 1.0);
+    }
+    let (pp, pn) = (pos / n, neg / n);
+    let entropy = -(pp * pp.ln() + pn * pn.ln());
+    let c1 = 1.0 - entropy / std::f64::consts::LN_2;
+    let ir = 0.5 * (pos / neg + neg / pos);
+    let c2 = 1.0 - 1.0 / ir;
+    (c1.clamp(0.0, 1.0), c2.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(pos: usize, neg: usize) -> Vec<bool> {
+        std::iter::repeat(true).take(pos).chain(std::iter::repeat(false).take(neg)).collect()
+    }
+
+    #[test]
+    fn balanced_is_zero() {
+        let (c1, c2) = class_balance(&labels(50, 50));
+        assert!(c1.abs() < 1e-12);
+        assert!(c2.abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_monotonically_increases_both() {
+        let mut prev = (0.0, 0.0);
+        for pos in [40, 20, 10, 5, 1] {
+            let (c1, c2) = class_balance(&labels(pos, 100 - pos));
+            assert!(c1 > prev.0, "c1 {c1} at pos {pos}");
+            assert!(c2 > prev.1, "c2 {c2} at pos {pos}");
+            prev = (c1, c2);
+        }
+    }
+
+    #[test]
+    fn single_class_maxes_out() {
+        assert_eq!(class_balance(&labels(10, 0)), (1.0, 1.0));
+        assert_eq!(class_balance(&labels(0, 10)), (1.0, 1.0));
+    }
+
+    #[test]
+    fn known_value_ninety_ten() {
+        let (c1, c2) = class_balance(&labels(10, 90));
+        // Entropy of (0.1, 0.9) in bits is ~0.469.
+        assert!((c1 - (1.0 - 0.468_995_6)).abs() < 1e-4, "c1 {c1}");
+        // IR = 0.5 (1/9 + 9) = 4.555..; c2 = 1 - 1/4.5556 = 0.7805.
+        assert!((c2 - 0.780_5).abs() < 1e-3, "c2 {c2}");
+    }
+
+    #[test]
+    fn symmetric_in_class_roles() {
+        assert_eq!(class_balance(&labels(20, 80)), class_balance(&labels(80, 20)));
+    }
+}

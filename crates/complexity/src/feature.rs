@@ -1,0 +1,201 @@
+//! Feature-based measures: `f1`, `f1v`, `f2`, `f3`.
+
+use rlb_util::linalg::{mean2, scatter2, Sym2};
+
+/// Computes `(f1, f1v, f2, f3)`.
+///
+/// `f1v` uses the exact 2-class directional Fisher ratio when the feature
+/// space is two-dimensional (our `[CS, JS]` representation); for other
+/// dimensionalities it falls back to the best single direction among the
+/// coordinate axes, which keeps the measure well-defined for ablations.
+pub fn feature_measures(xs: &[Vec<f64>], ys: &[bool]) -> (f64, f64, f64, f64) {
+    let dim = xs[0].len();
+    let pos: Vec<&Vec<f64>> = xs.iter().zip(ys).filter(|(_, &y)| y).map(|(x, _)| x).collect();
+    let neg: Vec<&Vec<f64>> = xs.iter().zip(ys).filter(|(_, &y)| !y).map(|(x, _)| x).collect();
+
+    let f1 = f1_measure(&pos, &neg, xs, dim);
+    let f1v = if dim == 2 { f1v_2d(&pos, &neg) } else { f1 };
+    let f2 = f2_measure(&pos, &neg, dim);
+    let f3 = f3_measure(&pos, &neg, dim);
+    (f1, f1v, f2, f3)
+}
+
+fn column(points: &[&Vec<f64>], d: usize) -> Vec<f64> {
+    points.iter().map(|p| p[d]).collect()
+}
+
+/// `f1 = 1 / (1 + max_d r_d)` with the multi-class Fisher ratio
+/// `r_d = Σ_c n_c (μ_cd − μ_d)² / Σ_c Σ_{i∈c} (x_id − μ_cd)²`.
+fn f1_measure(pos: &[&Vec<f64>], neg: &[&Vec<f64>], all: &[Vec<f64>], dim: usize) -> f64 {
+    let mut best_r = 0.0f64;
+    for d in 0..dim {
+        let cp = column(pos, d);
+        let cn = column(neg, d);
+        let ca: Vec<f64> = all.iter().map(|p| p[d]).collect();
+        let mu = rlb_util::stats::mean(&ca);
+        let (mp, mn) = (rlb_util::stats::mean(&cp), rlb_util::stats::mean(&cn));
+        let between =
+            cp.len() as f64 * (mp - mu) * (mp - mu) + cn.len() as f64 * (mn - mu) * (mn - mu);
+        let within: f64 = cp.iter().map(|x| (x - mp) * (x - mp)).sum::<f64>()
+            + cn.iter().map(|x| (x - mn) * (x - mn)).sum::<f64>();
+        let r = if within > 0.0 { between / within } else if between > 0.0 { f64::INFINITY } else { 0.0 };
+        best_r = best_r.max(r);
+    }
+    1.0 / (1.0 + best_r)
+}
+
+/// Two-class directional Fisher ratio in 2-D:
+/// `dF = (w·(μ₁−μ₀))² / (w^T W w)` with `w = W⁻¹ (μ₁−μ₀)`;
+/// `f1v = 1 / (1 + dF)`.
+fn f1v_2d(pos: &[&Vec<f64>], neg: &[&Vec<f64>]) -> f64 {
+    let to2 = |pts: &[&Vec<f64>]| -> Vec<[f64; 2]> {
+        pts.iter().map(|p| [p[0], p[1]]).collect()
+    };
+    let p2 = to2(pos);
+    let n2 = to2(neg);
+    let mp = mean2(&p2);
+    let mn = mean2(&n2);
+    let sp = scatter2(&p2);
+    let sn = scatter2(&n2);
+    let n_total = (p2.len() + n2.len()) as f64;
+    // Pooled within-class scatter, normalized.
+    let w = Sym2 {
+        a: (sp.a + sn.a) / n_total,
+        b: (sp.b + sn.b) / n_total,
+        c: (sp.c + sn.c) / n_total,
+    };
+    let diff = [mp[0] - mn[0], mp[1] - mn[1]];
+    let wvec = w.solve(diff);
+    let denom = w.quad(wvec);
+    let numer = (wvec[0] * diff[0] + wvec[1] * diff[1]).powi(2);
+    let df = if denom > 1e-15 { numer / denom } else if numer > 0.0 { 1e15 } else { 0.0 };
+    1.0 / (1.0 + df)
+}
+
+/// `f2`: product over features of the normalized class-overlap interval.
+fn f2_measure(pos: &[&Vec<f64>], neg: &[&Vec<f64>], dim: usize) -> f64 {
+    let mut vol = 1.0;
+    for d in 0..dim {
+        let cp = column(pos, d);
+        let cn = column(neg, d);
+        let (minp, maxp) = (rlb_util::stats::min(&cp).unwrap(), rlb_util::stats::max(&cp).unwrap());
+        let (minn, maxn) = (rlb_util::stats::min(&cn).unwrap(), rlb_util::stats::max(&cn).unwrap());
+        let overlap = (maxp.min(maxn) - minp.max(minn)).max(0.0);
+        let range = maxp.max(maxn) - minp.min(minn);
+        vol *= if range > 0.0 { overlap / range } else { 0.0 };
+    }
+    vol
+}
+
+/// `f3`: minimum over features of the fraction of points inside the
+/// class-overlap interval of that feature (points no single threshold on
+/// the feature can separate).
+fn f3_measure(pos: &[&Vec<f64>], neg: &[&Vec<f64>], dim: usize) -> f64 {
+    let n = (pos.len() + neg.len()) as f64;
+    let mut best = 1.0f64;
+    for d in 0..dim {
+        let cp = column(pos, d);
+        let cn = column(neg, d);
+        let lo = rlb_util::stats::min(&cp).unwrap().max(rlb_util::stats::min(&cn).unwrap());
+        let hi = rlb_util::stats::max(&cp).unwrap().min(rlb_util::stats::max(&cn).unwrap());
+        let overlapping = cp
+            .iter()
+            .chain(cn.iter())
+            .filter(|&&v| v >= lo && v <= hi)
+            .count() as f64;
+        let frac = if hi >= lo { overlapping / n } else { 0.0 };
+        best = best.min(frac);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split<'a>(xs: &'a [Vec<f64>], ys: &[bool]) -> (Vec<&'a Vec<f64>>, Vec<&'a Vec<f64>>) {
+        let pos = xs.iter().zip(ys).filter(|(_, &y)| y).map(|(x, _)| x).collect();
+        let neg = xs.iter().zip(ys).filter(|(_, &y)| !y).map(|(x, _)| x).collect();
+        (pos, neg)
+    }
+
+    #[test]
+    fn separable_classes_score_near_zero() {
+        let xs = vec![
+            vec![0.9, 0.9],
+            vec![0.85, 0.95],
+            vec![0.95, 0.8],
+            vec![0.1, 0.1],
+            vec![0.15, 0.05],
+            vec![0.05, 0.2],
+        ];
+        let ys = vec![true, true, true, false, false, false];
+        let (f1, f1v, f2, f3) = feature_measures(&xs, &ys);
+        assert!(f1 < 0.1, "f1 {f1}");
+        assert!(f1v < 0.1, "f1v {f1v}");
+        assert_eq!(f2, 0.0);
+        assert_eq!(f3, 0.0);
+    }
+
+    #[test]
+    fn fully_overlapping_classes_score_high() {
+        let mut rng = rlb_util::Prng::seed_from_u64(1);
+        let xs: Vec<Vec<f64>> = (0..200).map(|_| vec![rng.f64(), rng.f64()]).collect();
+        let ys: Vec<bool> = (0..200).map(|i| i % 2 == 0).collect();
+        let (f1, f1v, f2, f3) = feature_measures(&xs, &ys);
+        assert!(f1 > 0.9, "f1 {f1}");
+        assert!(f1v > 0.9, "f1v {f1v}");
+        assert!(f2 > 0.8, "f2 {f2}");
+        assert!(f3 > 0.9, "f3 {f3}");
+    }
+
+    #[test]
+    fn f2_is_product_of_interval_overlaps() {
+        // Feature 0 overlaps on [0.4, 0.6] of range [0,1]; feature 1 disjoint.
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![0.6, 0.1],
+            vec![0.4, 0.9],
+            vec![1.0, 1.0],
+        ];
+        let ys = vec![true, true, false, false];
+        let (pos, neg) = split(&xs, &ys);
+        let f2 = f2_measure(&pos, &neg, 2);
+        assert_eq!(f2, 0.0, "any disjoint feature zeroes the volume");
+    }
+
+    #[test]
+    fn f3_takes_the_most_efficient_feature() {
+        // Feature 0: all points in overlap. Feature 1: classes overlap on
+        // [0.45, 0.5], which contains exactly half of the points.
+        let xs = vec![
+            vec![0.5, 0.0],
+            vec![0.5, 0.5],
+            vec![0.5, 0.45],
+            vec![0.5, 1.0],
+        ];
+        let ys = vec![true, true, false, false];
+        let (pos, neg) = split(&xs, &ys);
+        let f3 = f3_measure(&pos, &neg, 2);
+        assert!((f3 - 0.5).abs() < 1e-12, "f3 {f3}");
+    }
+
+    #[test]
+    fn f1v_catches_oblique_separation_f1_misses() {
+        // Classes separated along the diagonal: neither axis separates them,
+        // but the direction (1, -1) does.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut rng = rlb_util::Prng::seed_from_u64(2);
+        for i in 0..200 {
+            let t = rng.f64();
+            let offset = if i % 2 == 0 { 0.08 } else { -0.08 };
+            xs.push(vec![t + offset, t - offset]);
+            ys.push(i % 2 == 0);
+        }
+        let (f1, f1v, _, _) = feature_measures(&xs, &ys);
+        assert!(f1v < f1, "directional measure should see the separation: f1v {f1v} vs f1 {f1}");
+        assert!(f1 > 0.5, "axis-parallel Fisher should look complex: {f1}");
+        assert!(f1v < 0.15, "directional Fisher should look simple: {f1v}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Linearity measures `l1`, `l2` — how well a linear SVM separates the
+//! classes (Table I, group b).
+
+use rlb_ml::{Classifier, LinearSvm, StandardScaler};
+
+/// Computes `(l1, l2)`:
+///
+/// - `l1` — normalized sum of error distances of misclassified points from
+///   the SVM boundary: `l1 = 1 − 1 / (1 + ΣED/n)` (Lorena et al.'s
+///   normalization; 0 when the data is perfectly separated with margin).
+/// - `l2` — the linear SVM's training error rate.
+pub fn linearity_measures(xs: &[Vec<f64>], ys: &[bool], seed: u64) -> (f64, f64) {
+    let scaler = StandardScaler::fit(xs).expect("validated upstream");
+    let scaled = scaler.transform_batch(xs);
+    let mut svm = LinearSvm::new(seed ^ 0x51D3);
+    svm.epochs = 40;
+    svm.fit(&scaled, ys).expect("validated upstream");
+
+    let n = scaled.len() as f64;
+    let mut errors = 0usize;
+    let mut error_dist_sum = 0.0;
+    for (x, &y) in scaled.iter().zip(ys) {
+        let pred = svm.predict(x);
+        if pred != y {
+            errors += 1;
+            error_dist_sum += svm.error_distance(x, y);
+        }
+    }
+    let l1 = 1.0 - 1.0 / (1.0 + error_dist_sum / n);
+    let l2 = errors as f64 / n;
+    (l1, l2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::separated;
+
+    #[test]
+    fn separable_data_scores_near_zero() {
+        let (xs, ys) = separated(300, 0.02, 0.4, 1);
+        let (l1, l2) = linearity_measures(&xs, &ys, 7);
+        assert!(l1 < 0.1, "l1 {l1}");
+        assert!(l2 < 0.05, "l2 {l2}");
+    }
+
+    #[test]
+    fn inseparable_data_scores_high() {
+        let (xs, ys) = separated(300, 1.0, 0.5, 2);
+        let (l1, l2) = linearity_measures(&xs, &ys, 7);
+        assert!(l2 > 0.25, "l2 {l2}");
+        assert!(l1 > 0.05, "l1 {l1}");
+    }
+
+    #[test]
+    fn measures_bounded() {
+        for overlap in [0.0, 0.3, 0.7, 1.0] {
+            let (xs, ys) = separated(200, overlap, 0.3, 3);
+            let (l1, l2) = linearity_measures(&xs, &ys, 7);
+            assert!((0.0..=1.0).contains(&l1));
+            assert!((0.0..=1.0).contains(&l2));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (xs, ys) = separated(200, 0.5, 0.3, 4);
+        assert_eq!(linearity_measures(&xs, &ys, 9), linearity_measures(&xs, &ys, 9));
+    }
+}

@@ -1,0 +1,270 @@
+//! Neighborhood measures `n1`, `n2`, `n3`, `n4`, `t1`, `lsc` over the Gower
+//! distance (Table I, group c).
+
+use rlb_textsim::gower::GowerSpace;
+use rlb_util::Prng;
+
+/// Results of the neighborhood group.
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborhoodMeasures {
+    pub n1: f64,
+    pub n2: f64,
+    pub n3: f64,
+    pub n4: f64,
+    pub t1: f64,
+    pub lsc: f64,
+}
+
+/// Computes the whole group from a precomputed pairwise distance matrix.
+pub fn neighborhood_measures(
+    xs: &[Vec<f64>],
+    ys: &[bool],
+    dists: &[Vec<f64>],
+    gower: &GowerSpace,
+    n4_ratio: f64,
+    rng: &mut Prng,
+) -> NeighborhoodMeasures {
+    let n = xs.len();
+    // Nearest neighbour overall / same class / other class per point.
+    let mut nn_any = vec![usize::MAX; n];
+    let mut nn_intra_d = vec![f64::INFINITY; n];
+    let mut nn_extra_d = vec![f64::INFINITY; n];
+    for i in 0..n {
+        let mut best = f64::INFINITY;
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d = dists[i][j];
+            if d < best {
+                best = d;
+                nn_any[i] = j;
+            }
+            if ys[i] == ys[j] {
+                if d < nn_intra_d[i] {
+                    nn_intra_d[i] = d;
+                }
+            } else if d < nn_extra_d[i] {
+                nn_extra_d[i] = d;
+            }
+        }
+    }
+
+    let n1 = n1_mst(ys, dists);
+    let n2 = {
+        let intra: f64 = nn_intra_d.iter().filter(|d| d.is_finite()).sum();
+        let extra: f64 = nn_extra_d.iter().filter(|d| d.is_finite()).sum();
+        if intra + extra == 0.0 {
+            0.0
+        } else {
+            let r = if extra > 0.0 { intra / extra } else { f64::INFINITY };
+            r / (1.0 + r)
+        }
+    };
+    let n3 = {
+        let errors = (0..n).filter(|&i| ys[nn_any[i]] != ys[i]).count();
+        errors as f64 / n as f64
+    };
+    let n4 = n4_interpolated(xs, ys, gower, n4_ratio, rng);
+    let t1 = t1_hyperspheres(dists, &nn_extra_d);
+    let lsc = lsc_measure(dists, &nn_extra_d);
+
+    NeighborhoodMeasures { n1, n2, n3, n4, t1, lsc }
+}
+
+/// `n1`: fraction of points incident to an MST edge connecting the two
+/// classes (borderline points). Prim's algorithm on the dense matrix.
+fn n1_mst(ys: &[bool], dists: &[Vec<f64>]) -> f64 {
+    let n = ys.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_d = vec![f64::INFINITY; n];
+    let mut best_from = vec![0usize; n];
+    let mut borderline = vec![false; n];
+    in_tree[0] = true;
+    for j in 1..n {
+        best_d[j] = dists[0][j];
+        best_from[j] = 0;
+    }
+    for _ in 1..n {
+        let mut pick = usize::MAX;
+        let mut pick_d = f64::INFINITY;
+        for j in 0..n {
+            if !in_tree[j] && best_d[j] < pick_d {
+                pick_d = best_d[j];
+                pick = j;
+            }
+        }
+        if pick == usize::MAX {
+            break;
+        }
+        in_tree[pick] = true;
+        let from = best_from[pick];
+        if ys[pick] != ys[from] {
+            borderline[pick] = true;
+            borderline[from] = true;
+        }
+        for j in 0..n {
+            if !in_tree[j] && dists[pick][j] < best_d[j] {
+                best_d[j] = dists[pick][j];
+                best_from[j] = pick;
+            }
+        }
+    }
+    borderline.iter().filter(|&&b| b).count() as f64 / n as f64
+}
+
+/// `n4`: 1-NN error on synthetic points interpolated between random
+/// same-class pairs.
+fn n4_interpolated(
+    xs: &[Vec<f64>],
+    ys: &[bool],
+    gower: &GowerSpace,
+    ratio: f64,
+    rng: &mut Prng,
+) -> f64 {
+    let n = xs.len();
+    let n_new = ((n as f64 * ratio).round() as usize).max(1);
+    let pos: Vec<usize> = (0..n).filter(|&i| ys[i]).collect();
+    let neg: Vec<usize> = (0..n).filter(|&i| !ys[i]).collect();
+    let mut errors = 0usize;
+    let mut made = 0usize;
+    for k in 0..n_new {
+        let class_pos = k % 2 == 0;
+        let pool = if class_pos { &pos } else { &neg };
+        if pool.len() < 2 {
+            continue;
+        }
+        let a = xs[*rng.choose(pool)].as_slice();
+        let b = xs[*rng.choose(pool)].as_slice();
+        let t = rng.f64();
+        let point: Vec<f64> = a.iter().zip(b).map(|(x, y)| x + t * (y - x)).collect();
+        // 1-NN over the original data.
+        let mut best_j = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (j, xj) in xs.iter().enumerate() {
+            let d = gower.distance(&point, xj);
+            if d < best_d {
+                best_d = d;
+                best_j = j;
+            }
+        }
+        made += 1;
+        if ys[best_j] != class_pos {
+            errors += 1;
+        }
+    }
+    if made == 0 {
+        0.0
+    } else {
+        errors as f64 / made as f64
+    }
+}
+
+/// `t1`: fraction of hyperspheres remaining after absorption. Every point
+/// gets a sphere with radius = distance to its nearest enemy; a sphere fully
+/// contained in another is absorbed.
+fn t1_hyperspheres(dists: &[Vec<f64>], radius: &[f64]) -> f64 {
+    let n = radius.len();
+    let mut kept = 0usize;
+    for i in 0..n {
+        let absorbed = (0..n).any(|j| {
+            j != i && radius[j].is_finite() && dists[i][j] + radius[i] <= radius[j] + 1e-12
+        });
+        if !absorbed {
+            kept += 1;
+        }
+    }
+    kept as f64 / n as f64
+}
+
+/// `lsc = 1 − Σ|LS(x)| / n²` where the local set `LS(x)` contains points
+/// strictly closer to `x` than its nearest enemy.
+fn lsc_measure(dists: &[Vec<f64>], nn_extra_d: &[f64]) -> f64 {
+    let n = nn_extra_d.len();
+    let mut total = 0usize;
+    for i in 0..n {
+        let r = nn_extra_d[i];
+        if !r.is_finite() {
+            continue;
+        }
+        total += (0..n).filter(|&j| j != i && dists[i][j] < r).count();
+    }
+    1.0 - total as f64 / (n * n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::separated;
+
+    fn run(overlap: f64, seed: u64) -> NeighborhoodMeasures {
+        let (xs, ys) = separated(250, overlap, 0.4, seed);
+        let gower = GowerSpace::fit(&xs).unwrap();
+        let dists = gower.pairwise(&xs);
+        let mut rng = Prng::seed_from_u64(seed);
+        neighborhood_measures(&xs, &ys, &dists, &gower, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn all_bounded() {
+        for overlap in [0.0, 0.5, 1.0] {
+            let m = run(overlap, 1);
+            for v in [m.n1, m.n2, m.n3, m.n4, m.t1, m.lsc] {
+                assert!((0.0..=1.0).contains(&v), "{v} at overlap {overlap}");
+            }
+        }
+    }
+
+    #[test]
+    fn separable_data_scores_low() {
+        let m = run(0.02, 2);
+        assert!(m.n1 < 0.1, "n1 {}", m.n1);
+        assert!(m.n3 < 0.05, "n3 {}", m.n3);
+        assert!(m.n4 < 0.1, "n4 {}", m.n4);
+        assert!(m.t1 < 0.3, "t1 {}", m.t1);
+    }
+
+    #[test]
+    fn overlapping_data_scores_high() {
+        let lo = run(0.05, 3);
+        let hi = run(0.95, 3);
+        assert!(hi.n1 > lo.n1);
+        assert!(hi.n3 > lo.n3);
+        assert!(hi.n2 > lo.n2);
+        assert!(hi.lsc > lo.lsc);
+        assert!(hi.n3 > 0.2, "n3 {}", hi.n3);
+    }
+
+    #[test]
+    fn mst_borderline_fraction_on_handcrafted_data() {
+        // Four collinear points: n n | p p — exactly one cross edge in the
+        // MST, touching 2 of 4 points.
+        let ys = vec![false, false, true, true];
+        let xs = vec![vec![0.0], vec![0.1], vec![0.6], vec![0.7]];
+        let gower = GowerSpace::fit(&xs).unwrap();
+        let dists = gower.pairwise(&xs);
+        assert!((n1_mst(&ys, &dists) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t1_two_clean_clusters_collapses_spheres() {
+        // Points tightly packed per class far from the enemy: most spheres
+        // absorb each other.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            xs.push(vec![i as f64 * 1e-4]);
+            ys.push(true);
+            xs.push(vec![1.0 + i as f64 * 1e-4]);
+            ys.push(false);
+        }
+        let gower = GowerSpace::fit(&xs).unwrap();
+        let dists = gower.pairwise(&xs);
+        let mut rng = Prng::seed_from_u64(1);
+        let m = neighborhood_measures(&xs, &ys, &dists, &gower, 0.5, &mut rng);
+        assert!(m.t1 < 0.2, "t1 {}", m.t1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Network measures `den`, `cls`, `hub` (Table I, group d).
+//!
+//! The dataset is modelled as an ε-NN graph: nodes are instances, edges
+//! connect pairs with Gower distance below `epsilon`; edges between
+//! instances of *different* classes are then pruned (the paper's
+//! description). All three measures are reported complexity-oriented
+//! (`1 − value`), following `problexity`.
+
+/// Computes `(den, cls, hub)` from the distance matrix.
+pub fn network_measures(ys: &[bool], dists: &[Vec<f64>], epsilon: f64) -> (f64, f64, f64) {
+    let n = ys.len();
+    // Adjacency after same-class pruning.
+    let mut adj = vec![Vec::<usize>::new(); n];
+    let mut edges = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dists[i][j] < epsilon && ys[i] == ys[j] {
+                adj[i].push(j);
+                adj[j].push(i);
+                edges += 1;
+            }
+        }
+    }
+
+    // den = 1 − 2E / (n(n−1)).
+    let possible = n * (n - 1) / 2;
+    let den = if possible == 0 { 1.0 } else { 1.0 - edges as f64 / possible as f64 };
+
+    // cls = 1 − mean local clustering coefficient.
+    let mut cls_sum = 0.0;
+    for i in 0..n {
+        let k = adj[i].len();
+        if k < 2 {
+            continue; // contributes 0 to the clustering sum
+        }
+        let mut closed = 0usize;
+        for a in 0..k {
+            for b in (a + 1)..k {
+                let (u, v) = (adj[i][a], adj[i][b]);
+                if adj[u].binary_search(&v).is_ok() || adj[u].contains(&v) {
+                    closed += 1;
+                }
+            }
+        }
+        cls_sum += closed as f64 / (k * (k - 1) / 2) as f64;
+    }
+    let cls = 1.0 - cls_sum / n as f64;
+
+    // hub = 1 − mean normalized hub score (principal eigenvector of the
+    // adjacency matrix via power iteration).
+    let hub = {
+        let mut v = vec![1.0f64; n];
+        for _ in 0..50 {
+            let mut next = vec![0.0f64; n];
+            for i in 0..n {
+                for &j in &adj[i] {
+                    next[i] += v[j];
+                }
+            }
+            let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-12 {
+                next = vec![0.0; n];
+                v = next;
+                break;
+            }
+            for x in next.iter_mut() {
+                *x /= norm;
+            }
+            v = next;
+        }
+        let max = v.iter().copied().fold(0.0f64, f64::max);
+        if max <= 0.0 {
+            1.0 // no structure at all: maximally complex by this measure
+        } else {
+            let mean = v.iter().sum::<f64>() / n as f64 / max;
+            1.0 - mean
+        }
+    };
+
+    (den, cls, hub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlb_textsim::gower::GowerSpace;
+
+    fn graph_for(xs: &[Vec<f64>], ys: &[bool], eps: f64) -> (f64, f64, f64) {
+        let g = GowerSpace::fit(xs).unwrap();
+        let d = g.pairwise(xs);
+        network_measures(ys, &d, eps)
+    }
+
+    #[test]
+    fn tight_clusters_give_dense_clustered_graph() {
+        // Two tight same-class clusters.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..10 {
+            xs.push(vec![0.01 * i as f64]);
+            ys.push(true);
+            xs.push(vec![1.0 - 0.01 * i as f64]);
+            ys.push(false);
+        }
+        let (den, cls, _hub) = graph_for(&xs, &ys, 0.15);
+        // Each cluster is a clique of 10 -> 90 edges of 190 possible.
+        assert!(den < 0.6, "den {den}");
+        assert!(cls < 0.1, "cliques have clustering 1: cls {cls}");
+    }
+
+    #[test]
+    fn cross_class_edges_are_pruned() {
+        // Interleaved classes: every close neighbour is an enemy, so the
+        // pruned graph is empty and all measures max out.
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.01]).collect();
+        let ys: Vec<bool> = (0..20).map(|i| i % 2 == 0).collect();
+        let (den, cls, hub) = graph_for(&xs, &ys, 0.012);
+        assert!(den > 0.95, "den {den}");
+        assert_eq!(cls, 1.0);
+        assert_eq!(hub, 1.0);
+    }
+
+    #[test]
+    fn all_bounded() {
+        let mut rng = rlb_util::Prng::seed_from_u64(1);
+        let xs: Vec<Vec<f64>> = (0..100).map(|_| vec![rng.f64(), rng.f64()]).collect();
+        let ys: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        for eps in [0.05, 0.15, 0.5] {
+            let (den, cls, hub) = graph_for(&xs, &ys, eps);
+            for v in [den, cls, hub] {
+                assert!((0.0..=1.0).contains(&v), "{v} at eps {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn larger_epsilon_means_denser_graph() {
+        let mut rng = rlb_util::Prng::seed_from_u64(2);
+        let xs: Vec<Vec<f64>> = (0..80).map(|_| vec![rng.f64()]).collect();
+        let ys = vec![true; 40].into_iter().chain(vec![false; 40]).collect::<Vec<_>>();
+        let (den_small, _, _) = graph_for(&xs, &ys, 0.05);
+        let (den_large, _, _) = graph_for(&xs, &ys, 0.5);
+        assert!(den_large < den_small, "{den_large} vs {den_small}");
+    }
+}

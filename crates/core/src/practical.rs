@@ -1,0 +1,128 @@
+//! A-posteriori measures: **non-linear boost** (NLB) and **learning-based
+//! margin** (LBM) over a set of matcher results (Section III-C).
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's three families a matcher belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatcherFamily {
+    /// Non-neural linear supervised (the six ESDE variants).
+    Linear,
+    /// Non-neural, non-linear ML (Magellan variants, ZeroER).
+    NonLinearMl,
+    /// Deep-learning matchers.
+    DeepLearning,
+}
+
+/// One matcher's outcome on one benchmark. `f1 = None` renders as the
+/// hyphen of Tables IV/VI (insufficient memory).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatcherRun {
+    /// Display name, e.g. `"EMTransformer-R (40)"`.
+    pub name: String,
+    /// Family for the NLB aggregation.
+    pub family: MatcherFamily,
+    /// Test-set F1, or `None` when the matcher could not run.
+    pub f1: Option<f64>,
+}
+
+/// The two aggregate practical measures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PracticalMeasures {
+    /// Best F1 among the linear matchers.
+    pub best_linear: f64,
+    /// Best F1 among the non-linear matchers (ML + DL).
+    pub best_nonlinear: f64,
+    /// Best F1 among every learning-based matcher.
+    pub best_overall: f64,
+    /// `NLB = max F1(non-linear) − max F1(linear)`.
+    pub nlb: f64,
+    /// `LBM = 1 − max F1(all)`.
+    pub lbm: f64,
+}
+
+/// Aggregates a roster of runs into NLB and LBM. Runs with `f1 = None` are
+/// skipped (they contribute no maximum, as in the paper's tables).
+pub fn practical_measures(runs: &[MatcherRun]) -> PracticalMeasures {
+    let best = |pred: &dyn Fn(MatcherFamily) -> bool| {
+        runs.iter()
+            .filter(|r| pred(r.family))
+            .filter_map(|r| r.f1)
+            .fold(0.0f64, f64::max)
+    };
+    let best_linear = best(&|f| f == MatcherFamily::Linear);
+    let best_nonlinear = best(&|f| f != MatcherFamily::Linear);
+    let best_overall = best_linear.max(best_nonlinear);
+    PracticalMeasures {
+        best_linear,
+        best_nonlinear,
+        best_overall,
+        nlb: best_nonlinear - best_linear,
+        lbm: 1.0 - best_overall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(name: &str, family: MatcherFamily, f1: Option<f64>) -> MatcherRun {
+        MatcherRun { name: name.into(), family, f1 }
+    }
+
+    #[test]
+    fn aggregates_maxima_per_family() {
+        let runs = vec![
+            run("SA-ESDE", MatcherFamily::Linear, Some(0.60)),
+            run("SB-ESDE", MatcherFamily::Linear, Some(0.68)),
+            run("Magellan-RF", MatcherFamily::NonLinearMl, Some(0.70)),
+            run("EMTransformer-R (40)", MatcherFamily::DeepLearning, Some(0.85)),
+        ];
+        let m = practical_measures(&runs);
+        assert_eq!(m.best_linear, 0.68);
+        assert_eq!(m.best_nonlinear, 0.85);
+        assert!((m.nlb - 0.17).abs() < 1e-12);
+        assert!((m.lbm - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_benchmark_zeroes_both() {
+        let runs = vec![
+            run("SA-ESDE", MatcherFamily::Linear, Some(1.0)),
+            run("DITTO (40)", MatcherFamily::DeepLearning, Some(1.0)),
+        ];
+        let m = practical_measures(&runs);
+        assert_eq!(m.nlb, 0.0);
+        assert_eq!(m.lbm, 0.0);
+    }
+
+    #[test]
+    fn linear_winners_give_negative_nlb() {
+        // The paper's Ds5: the best linear algorithm outperforms the best
+        // non-linear one.
+        let runs = vec![
+            run("SAS-ESDE", MatcherFamily::Linear, Some(0.875)),
+            run("Magellan-RF", MatcherFamily::NonLinearMl, Some(0.848)),
+        ];
+        let m = practical_measures(&runs);
+        assert!(m.nlb < 0.0);
+    }
+
+    #[test]
+    fn missing_runs_are_ignored() {
+        let runs = vec![
+            run("SA-ESDE", MatcherFamily::Linear, Some(0.5)),
+            run("HierMatcher (10)", MatcherFamily::DeepLearning, None),
+            run("GNEM (10)", MatcherFamily::DeepLearning, Some(0.7)),
+        ];
+        let m = practical_measures(&runs);
+        assert_eq!(m.best_nonlinear, 0.7);
+    }
+
+    #[test]
+    fn empty_roster_is_all_zero_margins() {
+        let m = practical_measures(&[]);
+        assert_eq!(m.best_overall, 0.0);
+        assert_eq!(m.lbm, 1.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Data model for clean-clean entity resolution (record linkage).
+//!
+//! Mirrors Problem 1 of the paper: two individually duplicate-free sources,
+//! a set of candidate pairs produced by blocking, and a labelled split into
+//! training / validation / testing sets (ratio 3:1:1 in the established
+//! benchmarks). The model is deliberately schema-light: a [`Source`] carries
+//! one attribute list shared by all of its [`Record`]s, and a record is a
+//! dense vector of attribute values where the empty string denotes a missing
+//! value (how the DeepMatcher CSV exports encode absence).
+
+pub mod record;
+pub mod split;
+pub mod stats;
+pub mod task;
+
+pub use record::{Record, Source};
+pub use split::{split_pairs, SplitRatio};
+pub use stats::DatasetStats;
+pub use task::{LabeledPair, MatchingTask, PairRef};

@@ -1,0 +1,133 @@
+//! Random splitting of labelled candidate pairs into train/val/test.
+//!
+//! The established benchmarks use a 3:1:1 ratio (Section V); the new
+//! benchmarks of Section VI are split "randomly ... with the same ratio".
+//! The split is stratified-free (plain random), matching the paper; the
+//! imbalance ratio is therefore the same in all splits in expectation.
+
+use crate::task::LabeledPair;
+use rlb_util::Prng;
+
+/// A `train:val:test` ratio expressed as positive integer parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitRatio {
+    /// Training parts.
+    pub train: u32,
+    /// Validation parts.
+    pub val: u32,
+    /// Testing parts.
+    pub test: u32,
+}
+
+impl SplitRatio {
+    /// The paper's 3:1:1 convention.
+    pub const PAPER: SplitRatio = SplitRatio { train: 3, val: 1, test: 1 };
+
+    fn total(&self) -> u32 {
+        self.train + self.val + self.test
+    }
+}
+
+impl Default for SplitRatio {
+    fn default() -> Self {
+        SplitRatio::PAPER
+    }
+}
+
+/// Shuffles `pairs` with `rng` and splits them by `ratio`.
+///
+/// Boundaries are computed by rounding cumulative fractions, so the three
+/// parts always cover the input exactly once. Panics if the ratio is
+/// all-zero.
+pub fn split_pairs(
+    mut pairs: Vec<LabeledPair>,
+    ratio: SplitRatio,
+    rng: &mut Prng,
+) -> (Vec<LabeledPair>, Vec<LabeledPair>, Vec<LabeledPair>) {
+    assert!(ratio.total() > 0, "split ratio must have at least one part");
+    rng.shuffle(&mut pairs);
+    let n = pairs.len();
+    let t = ratio.total() as f64;
+    let train_end = ((ratio.train as f64 / t) * n as f64).round() as usize;
+    let val_end =
+        (((ratio.train + ratio.val) as f64 / t) * n as f64).round() as usize;
+    let train_end = train_end.min(n);
+    let val_end = val_end.clamp(train_end, n);
+    let test = pairs.split_off(val_end);
+    let val = pairs.split_off(train_end);
+    (pairs, val, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(n: usize) -> Vec<LabeledPair> {
+        (0..n).map(|i| LabeledPair::new(i as u32, i as u32, i % 4 == 0)).collect()
+    }
+
+    #[test]
+    fn paper_ratio_sizes() {
+        let mut rng = Prng::seed_from_u64(1);
+        let (tr, va, te) = split_pairs(pairs(1000), SplitRatio::PAPER, &mut rng);
+        assert_eq!(tr.len(), 600);
+        assert_eq!(va.len(), 200);
+        assert_eq!(te.len(), 200);
+    }
+
+    #[test]
+    fn covers_input_exactly_once() {
+        let mut rng = Prng::seed_from_u64(2);
+        let input = pairs(503); // awkward size
+        let (tr, va, te) = split_pairs(input.clone(), SplitRatio::PAPER, &mut rng);
+        assert_eq!(tr.len() + va.len() + te.len(), input.len());
+        let mut all: Vec<_> = tr.iter().chain(&va).chain(&te).map(|p| p.pair).collect();
+        all.sort();
+        let mut expect: Vec<_> = input.iter().map(|p| p.pair).collect();
+        expect.sort();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = split_pairs(pairs(100), SplitRatio::PAPER, &mut Prng::seed_from_u64(7));
+        let b = split_pairs(pairs(100), SplitRatio::PAPER, &mut Prng::seed_from_u64(7));
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+    }
+
+    #[test]
+    fn shuffle_actually_happens() {
+        let mut rng = Prng::seed_from_u64(3);
+        let (tr, _, _) = split_pairs(pairs(100), SplitRatio::PAPER, &mut rng);
+        let first_ids: Vec<u32> = tr.iter().take(10).map(|p| p.pair.left).collect();
+        assert_ne!(first_ids, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn tiny_inputs_do_not_panic() {
+        for n in 0..6 {
+            let mut rng = Prng::seed_from_u64(n as u64);
+            let (tr, va, te) = split_pairs(pairs(n), SplitRatio::PAPER, &mut rng);
+            assert_eq!(tr.len() + va.len() + te.len(), n);
+        }
+    }
+
+    #[test]
+    fn custom_ratio() {
+        let mut rng = Prng::seed_from_u64(4);
+        let (tr, va, te) =
+            split_pairs(pairs(100), SplitRatio { train: 8, val: 1, test: 1 }, &mut rng);
+        assert_eq!(tr.len(), 80);
+        assert_eq!(va.len(), 10);
+        assert_eq!(te.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn zero_ratio_panics() {
+        let mut rng = Prng::seed_from_u64(5);
+        split_pairs(pairs(10), SplitRatio { train: 0, val: 0, test: 0 }, &mut rng);
+    }
+}

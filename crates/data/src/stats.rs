@@ -1,0 +1,134 @@
+//! Dataset characteristic statistics — the columns of Table III / Table V.
+
+use crate::task::MatchingTask;
+use serde::{Deserialize, Serialize};
+
+/// Summary characteristics of a matching benchmark, as reported in the
+/// paper's Table III: source sizes, arity, per-split instance counts and the
+/// imbalance ratio.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Benchmark name.
+    pub name: String,
+    /// `|D1|` — records in the left source.
+    pub left_records: usize,
+    /// `|D2|` — records in the right source.
+    pub right_records: usize,
+    /// `|A|` — number of attributes (left source; equal for aligned schemas).
+    pub attributes: usize,
+    /// `|I_tr|` — labelled training instances.
+    pub train_instances: usize,
+    /// `|P_tr|` — positive training instances.
+    pub train_positives: usize,
+    /// `|N_tr|` — negative training instances.
+    pub train_negatives: usize,
+    /// `|I_te|` — labelled testing instances.
+    pub test_instances: usize,
+    /// `|P_te|` — positive testing instances.
+    pub test_positives: usize,
+    /// `|N_te|` — negative testing instances.
+    pub test_negatives: usize,
+    /// `IR` — imbalance ratio over all labelled pairs (positives / total).
+    pub imbalance_ratio: f64,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of a task.
+    pub fn of(task: &MatchingTask) -> Self {
+        let train_positives = MatchingTask::positives(&task.train);
+        let test_positives = MatchingTask::positives(&task.test);
+        DatasetStats {
+            name: task.name.clone(),
+            left_records: task.left.len(),
+            right_records: task.right.len(),
+            attributes: task.left.arity(),
+            train_instances: task.train.len(),
+            train_positives,
+            train_negatives: task.train.len() - train_positives,
+            test_instances: task.test.len(),
+            test_positives,
+            test_negatives: task.test.len() - test_positives,
+            imbalance_ratio: task.imbalance_ratio(),
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:6} |D1|={:6} |D2|={:6} |A|={} |Itr|={:6} |Ptr|={:5} |Ntr|={:6} \
+             |Ite|={:6} |Pte|={:5} |Nte|={:6} IR={:5.1}%",
+            self.name,
+            self.left_records,
+            self.right_records,
+            self.attributes,
+            self.train_instances,
+            self.train_positives,
+            self.train_negatives,
+            self.test_instances,
+            self.test_positives,
+            self.test_negatives,
+            self.imbalance_ratio * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Source;
+    use crate::task::LabeledPair;
+
+    fn task() -> MatchingTask {
+        let mut left = Source::new("L", vec!["a".into(), "b".into()]);
+        let mut right = Source::new("R", vec!["a".into(), "b".into()]);
+        for i in 0..4 {
+            left.push(vec![format!("l{i}"), String::new()]);
+            right.push(vec![format!("r{i}"), String::new()]);
+        }
+        MatchingTask {
+            name: "t".into(),
+            left,
+            right,
+            train: vec![
+                LabeledPair::new(0, 0, true),
+                LabeledPair::new(0, 1, false),
+                LabeledPair::new(1, 2, false),
+            ],
+            val: vec![LabeledPair::new(2, 2, true)],
+            test: vec![LabeledPair::new(3, 3, true), LabeledPair::new(3, 1, false)],
+        }
+    }
+
+    #[test]
+    fn counts_are_correct() {
+        let s = DatasetStats::of(&task());
+        assert_eq!(s.left_records, 4);
+        assert_eq!(s.right_records, 4);
+        assert_eq!(s.attributes, 2);
+        assert_eq!(s.train_instances, 3);
+        assert_eq!(s.train_positives, 1);
+        assert_eq!(s.train_negatives, 2);
+        assert_eq!(s.test_instances, 2);
+        assert_eq!(s.test_positives, 1);
+        assert_eq!(s.test_negatives, 1);
+        assert!((s.imbalance_ratio - 3.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let s = DatasetStats::of(&task());
+        let line = s.to_string();
+        assert!(line.contains("|A|=2"));
+        assert!(line.contains("50.0%"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = DatasetStats::of(&task());
+        let back: DatasetStats =
+            serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,204 @@
+//! Matching tasks: candidate pairs plus labelled splits (Problem 1).
+
+use crate::record::{Record, Source};
+use serde::{Deserialize, Serialize};
+
+/// A candidate pair referencing one record in each source by id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PairRef {
+    /// Record id in the left source.
+    pub left: u32,
+    /// Record id in the right source.
+    pub right: u32,
+}
+
+impl PairRef {
+    /// Convenience constructor.
+    pub fn new(left: u32, right: u32) -> Self {
+        PairRef { left, right }
+    }
+}
+
+/// A candidate pair with its ground-truth label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabeledPair {
+    /// The pair of record ids.
+    pub pair: PairRef,
+    /// `true` iff the two records refer to the same real-world entity.
+    pub is_match: bool,
+}
+
+impl LabeledPair {
+    /// Convenience constructor.
+    pub fn new(left: u32, right: u32, is_match: bool) -> Self {
+        LabeledPair { pair: PairRef::new(left, right), is_match }
+    }
+}
+
+/// A complete matching benchmark: two sources and the three labelled pair
+/// sets `T` (train), `V` (validation) and `C` (test), mutually exclusive.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatchingTask {
+    /// Benchmark identifier (e.g. `"Ds1"`, `"Dn4"`).
+    pub name: String,
+    /// Left source (`D1`).
+    pub left: Source,
+    /// Right source (`D2`).
+    pub right: Source,
+    /// Training pairs `T`.
+    pub train: Vec<LabeledPair>,
+    /// Validation pairs `V`.
+    pub val: Vec<LabeledPair>,
+    /// Testing pairs `C`.
+    pub test: Vec<LabeledPair>,
+}
+
+impl MatchingTask {
+    /// The two records of a pair.
+    pub fn records(&self, p: PairRef) -> (&Record, &Record) {
+        (self.left.record(p.left), self.right.record(p.right))
+    }
+
+    /// All labelled pairs (`T ∪ V ∪ C`) in train→val→test order — the
+    /// merged set `D` that Algorithm 1 operates on.
+    pub fn all_pairs(&self) -> impl Iterator<Item = &LabeledPair> {
+        self.train.iter().chain(self.val.iter()).chain(self.test.iter())
+    }
+
+    /// Total number of labelled pairs.
+    pub fn total_pairs(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// Number of positives in a split.
+    pub fn positives(split: &[LabeledPair]) -> usize {
+        split.iter().filter(|p| p.is_match).count()
+    }
+
+    /// Class imbalance ratio over all pairs: positives / total (the `IR`
+    /// column of Tables III and V).
+    pub fn imbalance_ratio(&self) -> f64 {
+        let total = self.total_pairs();
+        if total == 0 {
+            return 0.0;
+        }
+        let pos = self.all_pairs().filter(|p| p.is_match).count();
+        pos as f64 / total as f64
+    }
+
+    /// Checks the Problem-1 invariants: splits are disjoint, every referenced
+    /// record exists, and no pair appears twice. Returns a human-readable
+    /// violation description, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::BTreeSet::new();
+        for (split, name) in
+            [(&self.train, "train"), (&self.val, "val"), (&self.test, "test")]
+        {
+            for lp in split {
+                if lp.pair.left as usize >= self.left.len() {
+                    return Err(format!("{name}: left id {} out of range", lp.pair.left));
+                }
+                if lp.pair.right as usize >= self.right.len() {
+                    return Err(format!("{name}: right id {} out of range", lp.pair.right));
+                }
+                if !seen.insert(lp.pair) {
+                    return Err(format!(
+                        "pair ({}, {}) appears in more than one split or twice",
+                        lp.pair.left, lp.pair.right
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_task() -> MatchingTask {
+        let mut left = Source::new("L", vec!["name".into()]);
+        let mut right = Source::new("R", vec!["name".into()]);
+        for n in ["alpha", "beta", "gamma"] {
+            left.push(vec![n.into()]);
+            right.push(vec![n.into()]);
+        }
+        MatchingTask {
+            name: "tiny".into(),
+            left,
+            right,
+            train: vec![LabeledPair::new(0, 0, true), LabeledPair::new(0, 1, false)],
+            val: vec![LabeledPair::new(1, 1, true)],
+            test: vec![LabeledPair::new(2, 2, true), LabeledPair::new(2, 0, false)],
+        }
+    }
+
+    #[test]
+    fn records_resolve() {
+        let t = tiny_task();
+        let (l, r) = t.records(PairRef::new(0, 1));
+        assert_eq!(l.value(0), "alpha");
+        assert_eq!(r.value(0), "beta");
+    }
+
+    #[test]
+    fn totals_and_imbalance() {
+        let t = tiny_task();
+        assert_eq!(t.total_pairs(), 5);
+        assert_eq!(MatchingTask::positives(&t.train), 1);
+        assert!((t.imbalance_ratio() - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_pairs_order_is_train_val_test() {
+        let t = tiny_task();
+        let v: Vec<_> = t.all_pairs().collect();
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[0].pair, PairRef::new(0, 0));
+        assert_eq!(v[2].pair, PairRef::new(1, 1));
+        assert_eq!(v[4].pair, PairRef::new(2, 0));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert_eq!(tiny_task().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_duplicates_across_splits() {
+        let mut t = tiny_task();
+        t.val.push(LabeledPair::new(0, 0, true));
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_dangling_ids() {
+        let mut t = tiny_task();
+        t.test.push(LabeledPair::new(99, 0, false));
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("out of range"));
+    }
+
+    #[test]
+    fn empty_task_imbalance_is_zero() {
+        let t = MatchingTask {
+            name: "empty".into(),
+            left: Source::new("L", vec![]),
+            right: Source::new("R", vec![]),
+            train: vec![],
+            val: vec![],
+            test: vec![],
+        };
+        assert_eq!(t.imbalance_ratio(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = tiny_task();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: MatchingTask = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, t.name);
+        assert_eq!(back.total_pairs(), t.total_pairs());
+    }
+}

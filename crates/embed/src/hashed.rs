@@ -1,0 +1,223 @@
+//! Static token embeddings via signed q-gram hashing (fastText substitute).
+
+use rustc_hash::FxHashMap;
+
+/// Deterministic static token embedder.
+///
+/// Every character 3–5-gram of the padded token is hashed twice (bucket and
+/// sign) and accumulated into a `dim`-dimensional vector, which is then
+/// L2-normalized. Two tokens sharing most of their q-grams (typos, fusions,
+/// inflections) therefore have high cosine similarity — the robustness
+/// property the DL matchers inherit from fastText.
+#[derive(Debug, Clone)]
+pub struct HashedEmbedder {
+    dim: usize,
+    seed: u64,
+    q_lo: usize,
+    q_hi: usize,
+}
+
+impl HashedEmbedder {
+    /// Embedder with the given dimensionality and hash seed.
+    ///
+    /// The reproduction uses `dim = 64` instead of fastText's 300: on
+    /// synthetic vocabularies the extra dimensions only add CPU cost, and
+    /// all downstream consumers depend on cosine geometry, not absolute
+    /// dimensionality.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        HashedEmbedder { dim, seed, q_lo: 3, q_hi: 5 }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn hash_gram(&self, gram: &[u8]) -> u64 {
+        // FNV-1a with a seeded basis; cheap and deterministic.
+        let mut h = 0xCBF2_9CE4_8422_2325u64 ^ self.seed;
+        for &b in gram {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        h
+    }
+
+    /// Embeds one token (lower-cased by the caller or not — hashing is
+    /// case-sensitive, so normalize upstream). Returns a unit vector, or
+    /// the zero vector for an empty token.
+    pub fn token(&self, token: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim];
+        if token.is_empty() {
+            return v;
+        }
+        let padded = format!("<{token}>");
+        let bytes = padded.as_bytes();
+        for q in self.q_lo..=self.q_hi {
+            if bytes.len() < q {
+                // Shorter than q: hash the whole padded token once.
+                let h = self.hash_gram(bytes);
+                accumulate(&mut v, h, self.dim);
+                continue;
+            }
+            for w in bytes.windows(q) {
+                let h = self.hash_gram(w);
+                accumulate(&mut v, h, self.dim);
+            }
+        }
+        normalize(&mut v);
+        v
+    }
+
+    /// Mean of token embeddings, re-normalized — the standard fastText
+    /// sentence representation. Zero vector for no tokens.
+    pub fn pooled(&self, tokens: &[String]) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim];
+        if tokens.is_empty() {
+            return v;
+        }
+        for t in tokens {
+            let tv = self.token(t);
+            for (a, b) in v.iter_mut().zip(&tv) {
+                *a += b;
+            }
+        }
+        normalize(&mut v);
+        v
+    }
+
+    /// Embeds the full text of a record (tokenized schema-agnostically).
+    pub fn text(&self, text: &str) -> Vec<f32> {
+        self.pooled(&rlb_textsim::tokens(text))
+    }
+}
+
+#[inline]
+fn accumulate(v: &mut [f32], hash: u64, dim: usize) {
+    let idx = (hash % dim as u64) as usize;
+    let sign = if (hash >> 63) == 0 { 1.0 } else { -1.0 };
+    v[idx] += sign;
+}
+
+#[inline]
+fn normalize(v: &mut [f32]) {
+    let n = rlb_util::linalg::norm_f32(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// Memoizing wrapper around a [`HashedEmbedder`] for repeated token lookups
+/// (the matchers embed the same vocabulary thousands of times).
+#[derive(Debug)]
+pub struct TokenCache {
+    embedder: HashedEmbedder,
+    cache: FxHashMap<String, Vec<f32>>,
+}
+
+impl TokenCache {
+    /// Wraps an embedder.
+    pub fn new(embedder: HashedEmbedder) -> Self {
+        TokenCache { embedder, cache: FxHashMap::default() }
+    }
+
+    /// Embedding of `token`, computed once.
+    pub fn get(&mut self, token: &str) -> &[f32] {
+        if !self.cache.contains_key(token) {
+            let v = self.embedder.token(token);
+            self.cache.insert(token.to_owned(), v);
+        }
+        self.cache.get(token).expect("just inserted")
+    }
+
+    /// The wrapped embedder.
+    pub fn embedder(&self) -> &HashedEmbedder {
+        &self.embedder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlb_util::linalg::cosine_f32;
+
+    fn emb() -> HashedEmbedder {
+        HashedEmbedder::new(64, 42)
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let e = emb();
+        for t in ["widget", "a", "zenbrook", "4821"] {
+            let v = e.token(t);
+            let n = rlb_util::linalg::norm_f32(&v);
+            assert!((n - 1.0).abs() < 1e-5, "{t}: norm {n}");
+        }
+    }
+
+    #[test]
+    fn empty_token_is_zero_vector() {
+        assert!(emb().token("").iter().all(|&x| x == 0.0));
+        assert!(emb().pooled(&[]).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = emb().token("reproducible");
+        let b = emb().token("reproducible");
+        assert_eq!(a, b);
+        let c = HashedEmbedder::new(64, 43).token("reproducible");
+        assert_ne!(a, c, "different seeds must give different spaces");
+    }
+
+    #[test]
+    fn typos_stay_close_unrelated_words_do_not() {
+        let e = emb();
+        let base = e.token("powerbook");
+        let typo = e.token("powerbok");
+        let other = e.token("quantrel");
+        let sim_typo = cosine_f32(&base, &typo);
+        let sim_other = cosine_f32(&base, &other);
+        assert!(sim_typo > 0.6, "typo sim {sim_typo}");
+        assert!(sim_typo > sim_other + 0.3, "typo {sim_typo} vs other {sim_other}");
+    }
+
+    #[test]
+    fn fused_tokens_resemble_their_parts() {
+        let e = emb();
+        let fused = e.token("powerbook");
+        let parts = e.pooled(&["power".into(), "book".into()]);
+        assert!(cosine_f32(&fused, &parts) > 0.4);
+    }
+
+    #[test]
+    fn pooled_is_order_invariant() {
+        let e = emb();
+        let a = e.pooled(&["alpha".into(), "beta".into(), "gamma".into()]);
+        let b = e.pooled(&["gamma".into(), "alpha".into(), "beta".into()]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn text_tokenizes_schema_agnostically() {
+        let e = emb();
+        let a = e.text("Acme Widget, XK-4821");
+        let b = e.pooled(&["acme".into(), "widget".into(), "xk".into(), "4821".into()]);
+        assert!(cosine_f32(&a, &b) > 0.999);
+    }
+
+    #[test]
+    fn cache_returns_same_vectors() {
+        let mut c = TokenCache::new(emb());
+        let v1 = c.get("cached").to_vec();
+        let v2 = c.get("cached").to_vec();
+        assert_eq!(v1, v2);
+        assert_eq!(v1, emb().token("cached"));
+    }
+}

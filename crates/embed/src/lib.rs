@@ -1,0 +1,32 @@
+//! Embedding substitutes for the pre-trained language models.
+//!
+//! The paper's matchers consume three kinds of embeddings that we cannot
+//! ship (fastText, BERT/RoBERTa, Sentence-BERT S-GTR-T5). This crate
+//! provides deterministic, training-free stand-ins that preserve the
+//! properties each matcher actually exploits:
+//!
+//! - [`HashedEmbedder`] — *static token embeddings* (fastText substitute).
+//!   A token's vector is the signed-hash superposition of its character
+//!   3–5-grams, so typo'd or fused tokens land near their originals. This is
+//!   fastText's own subword mechanism minus the corpus-trained projection.
+//! - [`ContextualEncoder`] — *dynamic sequence embeddings* (BERT/RoBERTa
+//!   substitute). Token vectors are mixed with their neighbours and pooled
+//!   with salience-weighted attention into one record vector; two `variant`
+//!   seeds stand in for the BERT vs RoBERTa checkpoints.
+//! - [`SentenceEmbedder`] — *sentence embeddings* (S-GTR-T5 substitute):
+//!   IDF-weighted pooling of token vectors over a fitted corpus.
+//!
+//! Plus the vector similarities used by the SAS/SBS-ESDE matchers:
+//! cosine, Euclidean similarity `1/(1+d)`, and a Wasserstein similarity
+//! derived from the 1-D earth mover's distance of the component
+//! distributions (Section IV-C).
+
+pub mod contextual;
+pub mod hashed;
+pub mod sentence;
+pub mod sim;
+
+pub use contextual::ContextualEncoder;
+pub use hashed::HashedEmbedder;
+pub use sentence::SentenceEmbedder;
+pub use sim::{cosine_sim, euclidean_sim, wasserstein_sim};

@@ -1,0 +1,110 @@
+//! Vector similarities used by the embedding-based ESDE matchers
+//! (Section IV-C, SAS-ESDE feature vector `[CS, ES, WS]`).
+
+use rlb_util::linalg::{cosine_f32, norm_f32};
+
+/// Cosine similarity mapped into `[0, 1]` via `(1 + cos) / 2` so it is
+/// comparable with the other similarity features (hashed embeddings can
+/// produce negative cosines).
+pub fn cosine_sim(a: &[f32], b: &[f32]) -> f64 {
+    ((1.0 + cosine_f32(a, b)) / 2.0) as f64
+}
+
+/// Euclidean similarity `ES = 1 / (1 + ED)` (the paper's definition).
+pub fn euclidean_sim(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let d2: f32 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    1.0 / (1.0 + d2.sqrt() as f64)
+}
+
+/// Wasserstein similarity `WS = 1 / (1 + W1)`, where `W1` is the 1-D earth
+/// mover's distance between the two vectors' component distributions
+/// (computed exactly as the mean absolute difference of sorted components).
+pub fn wasserstein_sim(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 1.0;
+    }
+    let mut sa: Vec<f32> = a.to_vec();
+    let mut sb: Vec<f32> = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("NaN component"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("NaN component"));
+    let w1: f64 = sa
+        .iter()
+        .zip(&sb)
+        .map(|(x, y)| (x - y).abs() as f64)
+        .sum::<f64>()
+        / a.len() as f64;
+    1.0 / (1.0 + w1)
+}
+
+/// L2-normalizes a vector in place (no-op for the zero vector).
+pub fn normalize(v: &mut [f32]) {
+    let n = norm_f32(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_score_maximally() {
+        let v = vec![0.5f32, -0.25, 0.75];
+        assert!((cosine_sim(&v, &v) - 1.0).abs() < 1e-6);
+        assert!((euclidean_sim(&v, &v) - 1.0).abs() < 1e-6);
+        assert!((wasserstein_sim(&v, &v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn opposite_vectors_score_zero_cosine() {
+        let a = vec![1.0f32, 0.0];
+        let b = vec![-1.0f32, 0.0];
+        assert!(cosine_sim(&a, &b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_sims_in_unit_interval() {
+        let mut rng = rlb_util::Prng::seed_from_u64(1);
+        for _ in 0..50 {
+            let a: Vec<f32> = (0..16).map(|_| rng.f32() * 2.0 - 1.0).collect();
+            let b: Vec<f32> = (0..16).map(|_| rng.f32() * 2.0 - 1.0).collect();
+            for f in [cosine_sim, euclidean_sim, wasserstein_sim] {
+                let s = f(&a, &b);
+                assert!((0.0..=1.0).contains(&s), "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn euclidean_sim_decreases_with_distance() {
+        let a = vec![0.0f32, 0.0];
+        assert!(euclidean_sim(&a, &[1.0, 0.0]) > euclidean_sim(&a, &[3.0, 0.0]));
+    }
+
+    #[test]
+    fn wasserstein_ignores_component_order() {
+        let a = vec![0.1f32, 0.9, 0.5];
+        let b = vec![0.9f32, 0.5, 0.1];
+        assert!((wasserstein_sim(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wasserstein_empty_is_one() {
+        assert_eq!(wasserstein_sim(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn normalize_makes_unit_or_keeps_zero() {
+        let mut v = vec![3.0f32, 4.0];
+        normalize(&mut v);
+        assert!((norm_f32(&v) - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0f32, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+}

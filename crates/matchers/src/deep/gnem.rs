@@ -1,0 +1,206 @@
+//! GNEM simulation — the one *global* method of the taxonomy
+//! (Section IV-A, method 3): candidate pairs are nodes of a graph, pairs
+//! sharing a record are connected, and match likelihoods are propagated
+//! through a gated graph-convolution step before the final decision.
+//!
+//! The simulation keeps that structure: a local scorer (dynamic encoder +
+//! MLP) produces per-pair logits; a second-stage network then consumes each
+//! pair's logit *together with the competing logits of pairs sharing its
+//! records* — which in clean-clean ER is exactly the signal a one-to-one
+//! assumption exposes.
+
+use super::{train_classifier, CrossAlign, DeepConfig};
+use crate::Matcher;
+use rlb_data::{MatchingTask, PairRef, Record};
+use rlb_embed::contextual::{ContextualEncoder, Variant};
+use rlb_nn::{Mlp, TrainConfig};
+use rlb_util::{Error, Prng, Result};
+use rustc_hash::FxHashMap;
+
+/// Capacity cap: the pair graph is materialized over every candidate pair,
+/// so very large tasks exhaust the simulated memory budget (GNEM shows "-"
+/// on several datasets in Tables IV and VI for the same reason).
+const MAX_GRAPH_PAIRS: usize = 60_000;
+
+/// GNEM: local scorer + one propagation step over the pair graph.
+pub struct GnemSim {
+    cfg: DeepConfig,
+    encoder: ContextualEncoder,
+    left: Vec<Vec<f32>>,
+    right: Vec<Vec<f32>>,
+    align: CrossAlign,
+    local: Option<Mlp>,
+    global: Option<Mlp>,
+    /// Competitor-logit statistics per pair, rebuilt in fit over all
+    /// candidate pairs of the task.
+    competitor_stats: FxHashMap<PairRef, [f32; 3]>,
+}
+
+impl GnemSim {
+    /// Unfitted matcher.
+    pub fn new(cfg: DeepConfig) -> Self {
+        GnemSim {
+            cfg,
+            encoder: ContextualEncoder::new(Variant::Bert),
+            left: Vec::new(),
+            right: Vec::new(),
+            align: CrossAlign::default(),
+            local: None,
+            global: None,
+            competitor_stats: FxHashMap::default(),
+        }
+    }
+
+    fn encode_records(&self, records: &[Record]) -> Vec<Vec<f32>> {
+        records.iter().map(|r| self.encoder.encode_text(&r.full_text())).collect()
+    }
+
+    fn local_features(&self, p: PairRef) -> Vec<f32> {
+        let mut out = super::emtransformer::EmTransformerSim::pair_features(
+            &self.left[p.left as usize],
+            &self.right[p.right as usize],
+        );
+        out.extend_from_slice(&self.align.features(p));
+        out
+    }
+
+    /// Builds the pair graph over every candidate pair and computes, per
+    /// pair: its own logit, the max and mean logit among pairs sharing its
+    /// left or right record (the "gated interaction" signal).
+    fn build_graph(&mut self, task: &MatchingTask) {
+        let local = self.local.as_mut().expect("local scorer first");
+        let all: Vec<PairRef> = task.all_pairs().map(|lp| lp.pair).collect();
+        let logits: Vec<f32> = all
+            .iter()
+            .map(|&p| {
+                let mut f = super::emtransformer::EmTransformerSim::pair_features(
+                    &self.left[p.left as usize],
+                    &self.right[p.right as usize],
+                );
+                f.extend_from_slice(&self.align.features(p));
+                local.logit(&f)
+            })
+            .collect();
+        let mut by_left: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+        let mut by_right: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+        for (i, p) in all.iter().enumerate() {
+            by_left.entry(p.left).or_default().push(i);
+            by_right.entry(p.right).or_default().push(i);
+        }
+        self.competitor_stats.clear();
+        for (i, &p) in all.iter().enumerate() {
+            let mut max_c = f32::NEG_INFINITY;
+            let mut sum_c = 0.0f32;
+            let mut n_c = 0usize;
+            for &j in by_left[&p.left].iter().chain(by_right[&p.right].iter()) {
+                if j == i {
+                    continue;
+                }
+                max_c = max_c.max(logits[j]);
+                sum_c += logits[j];
+                n_c += 1;
+            }
+            let stats = if n_c == 0 {
+                [logits[i], 0.0, 0.0]
+            } else {
+                [logits[i], max_c, sum_c / n_c as f32]
+            };
+            self.competitor_stats.insert(p, stats);
+        }
+    }
+
+    fn global_features(&self, p: PairRef) -> Vec<f32> {
+        let [own, max_c, mean_c] =
+            self.competitor_stats.get(&p).copied().unwrap_or([0.0, 0.0, 0.0]);
+        // Squash logits so the second stage trains on a bounded scale.
+        let s = |x: f32| 1.0 / (1.0 + (-x).exp());
+        vec![s(own), s(max_c), s(mean_c), s(own) - s(max_c)]
+    }
+}
+
+impl Matcher for GnemSim {
+    fn name(&self) -> String {
+        format!("GNEM ({})", self.cfg.epochs)
+    }
+
+    fn fit(&mut self, task: &MatchingTask) -> Result<()> {
+        if task.total_pairs() > MAX_GRAPH_PAIRS {
+            return Err(super::insufficient_memory());
+        }
+        if task.train.is_empty() {
+            return Err(Error::EmptyInput("GNEM training set"));
+        }
+        self.left = self.encode_records(&task.left.records);
+        self.right = self.encode_records(&task.right.records);
+        let base = rlb_embed::HashedEmbedder::new(self.encoder.dim(), 0x63E10);
+        self.align = CrossAlign::prepare(&|t| base.token(t), task);
+        // Stage 1: local scorer.
+        let dim = 2 * self.encoder.dim() + 3 + CrossAlign::WIDTH;
+        let local = Mlp::new(dim, &[64], self.cfg.seed ^ 0x63E1);
+        let fitted = train_classifier(task, &self.cfg, local, |p| self.local_features(p))?;
+        self.local = Some(fitted);
+        // Stage 2: graph interaction over all candidate pairs.
+        self.build_graph(task);
+        let mut global = Mlp::new(4, &[8], self.cfg.seed ^ 0x6E42);
+        let mut rng = Prng::seed_from_u64(self.cfg.seed);
+        let train = super::subsample_train(&task.train, self.cfg.max_train, &mut rng);
+        let gx: Vec<Vec<f32>> = train.iter().map(|lp| self.global_features(lp.pair)).collect();
+        let gy: Vec<bool> = train.iter().map(|lp| lp.is_match).collect();
+        let vx: Vec<Vec<f32>> = task.val.iter().map(|lp| self.global_features(lp.pair)).collect();
+        let vy: Vec<bool> = task.val.iter().map(|lp| lp.is_match).collect();
+        let tc = TrainConfig { epochs: self.cfg.epochs.min(20), ..Default::default() };
+        global.train(&gx, &gy, &vx, &vy, &tc, self.cfg.seed ^ 0x6E43)?;
+        self.global = Some(global);
+        Ok(())
+    }
+
+    fn predict(&mut self, _task: &MatchingTask, pairs: &[PairRef]) -> Vec<bool> {
+        let feats: Vec<Vec<f32>> = pairs.iter().map(|&p| self.global_features(p)).collect();
+        let net = self.global.as_mut().expect("GnemSim::predict before fit");
+        net.predict_batch(&feats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate;
+    use crate::testtask::small;
+
+    #[test]
+    fn learns_easy_benchmark() {
+        let task = small(0.15, 71);
+        let mut m = GnemSim::new(DeepConfig::with_epochs(10));
+        let f1 = evaluate(&mut m, &task).unwrap().f1;
+        assert!(f1 > 0.7, "GNEM sim F1 {f1:.3}");
+    }
+
+    #[test]
+    fn oversized_task_reports_insufficient_memory() {
+        let mut task = small(0.3, 72);
+        // Inflate the candidate count past the cap without building data.
+        let filler: Vec<rlb_data::LabeledPair> = (0..MAX_GRAPH_PAIRS)
+            .map(|i| rlb_data::LabeledPair::new((i % 150) as u32, (i % 180) as u32, false))
+            .collect();
+        task.train.extend(filler);
+        let mut m = GnemSim::new(DeepConfig::with_epochs(10));
+        let err = m.fit(&task).unwrap_err();
+        assert!(super::super::is_insufficient_memory(&err));
+    }
+
+    #[test]
+    fn global_stage_uses_competitor_signal() {
+        let task = small(0.2, 73);
+        let mut m = GnemSim::new(DeepConfig::with_epochs(10));
+        m.fit(&task).unwrap();
+        // Competitor stats exist for every candidate pair of the task.
+        assert_eq!(m.competitor_stats.len(), task.total_pairs());
+        let f = m.global_features(task.test[0].pair);
+        assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    fn name_carries_epochs() {
+        assert_eq!(GnemSim::new(DeepConfig::with_epochs(10)).name(), "GNEM (10)");
+    }
+}

@@ -1,0 +1,220 @@
+//! Shared record/pair feature extraction used by several matchers.
+
+use rlb_data::{MatchingTask, PairRef, Record};
+use rlb_textsim::{sets, TokenSet};
+
+/// Cached per-record token views for one source, computed once per task.
+#[derive(Debug, Clone)]
+pub struct RecordViews {
+    /// Schema-agnostic token set over all attributes.
+    pub full: Vec<TokenSet>,
+    /// Token set per attribute.
+    pub per_attr: Vec<Vec<TokenSet>>,
+}
+
+impl RecordViews {
+    /// Builds the views for every record of a source.
+    pub fn build(records: &[Record], arity: usize) -> Self {
+        let mut full = Vec::with_capacity(records.len());
+        let mut per_attr = Vec::with_capacity(records.len());
+        for r in records {
+            full.push(r.token_set());
+            let attrs: Vec<TokenSet> = (0..arity)
+                .map(|a| TokenSet::from_text(r.value(a)))
+                .collect();
+            per_attr.push(attrs);
+        }
+        RecordViews { full, per_attr }
+    }
+}
+
+/// Both sources' views plus the arity, bundled per task.
+#[derive(Debug, Clone)]
+pub struct TaskViews {
+    /// Left-source views.
+    pub left: RecordViews,
+    /// Right-source views.
+    pub right: RecordViews,
+    /// Shared attribute count.
+    pub arity: usize,
+}
+
+impl TaskViews {
+    /// Computes the views for a task.
+    pub fn build(task: &MatchingTask) -> Self {
+        let arity = task.left.arity().max(task.right.arity());
+        TaskViews {
+            left: RecordViews::build(&task.left.records, arity),
+            right: RecordViews::build(&task.right.records, arity),
+            arity,
+        }
+    }
+
+    /// `[CS, JS]` — the canonical 2-D representation of Section III-B, used
+    /// by the complexity measures and the degree of linearity.
+    pub fn cs_js(&self, p: PairRef) -> [f64; 2] {
+        let a = &self.left.full[p.left as usize];
+        let b = &self.right.full[p.right as usize];
+        [sets::cosine(a, b), sets::jaccard(a, b)]
+    }
+
+    /// Schema-agnostic `[CS, DS, JS]` over full-text tokens (SA-ESDE).
+    pub fn sa_features(&self, p: PairRef) -> Vec<f64> {
+        let a = &self.left.full[p.left as usize];
+        let b = &self.right.full[p.right as usize];
+        vec![sets::cosine(a, b), sets::dice(a, b), sets::jaccard(a, b)]
+    }
+
+    /// Schema-based `[CS, DS, JS]` per attribute (SB-ESDE), `3·|A|` wide.
+    pub fn sb_features(&self, p: PairRef) -> Vec<f64> {
+        let mut out = Vec::with_capacity(3 * self.arity);
+        for a in 0..self.arity {
+            let l = &self.left.per_attr[p.left as usize][a];
+            let r = &self.right.per_attr[p.right as usize][a];
+            out.push(sets::cosine(l, r));
+            out.push(sets::dice(l, r));
+            out.push(sets::jaccard(l, r));
+        }
+        out
+    }
+}
+
+/// Magellan-style feature vector for one pair: eight similarity functions
+/// per attribute (token cosine/jaccard, 3-gram jaccard, Jaro, Jaro-Winkler,
+/// Levenshtein, symmetric Monge-Elkan over Jaro-Winkler, exact match), with
+/// a both-missing indicator convention of 0.5.
+pub fn magellan_features(task: &MatchingTask, p: PairRef) -> Vec<f64> {
+    let (l, r) = task.records(p);
+    let arity = task.left.arity().max(task.right.arity());
+    let mut out = Vec::with_capacity(8 * arity);
+    for a in 0..arity {
+        let va = l.value(a);
+        let vb = r.value(a);
+        if va.is_empty() && vb.is_empty() {
+            out.extend_from_slice(&[0.5; 8]);
+            continue;
+        }
+        if va.is_empty() || vb.is_empty() {
+            out.extend_from_slice(&[0.0; 8]);
+            continue;
+        }
+        let ta = TokenSet::from_text(va);
+        let tb = TokenSet::from_text(vb);
+        let qa = TokenSet::from_qgrams(va, 3);
+        let qb = TokenSet::from_qgrams(vb, 3);
+        let toks_a = rlb_textsim::tokens(va);
+        let toks_b = rlb_textsim::tokens(vb);
+        out.push(sets::cosine(&ta, &tb));
+        out.push(sets::jaccard(&ta, &tb));
+        out.push(sets::jaccard(&qa, &qb));
+        out.push(rlb_textsim::edit::jaro(va, vb));
+        out.push(rlb_textsim::edit::jaro_winkler(va, vb));
+        out.push(rlb_textsim::edit::levenshtein(va, vb));
+        out.push(rlb_textsim::hybrid::monge_elkan_sym(
+            &toks_a,
+            &toks_b,
+            rlb_textsim::edit::jaro_winkler,
+        ));
+        out.push(f64::from((va.to_lowercase() == vb.to_lowercase()) as u8));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testtask::small;
+
+    #[test]
+    fn views_cover_all_records() {
+        let task = small(0.3, 1);
+        let v = TaskViews::build(&task);
+        assert_eq!(v.left.full.len(), task.left.len());
+        assert_eq!(v.right.full.len(), task.right.len());
+        assert_eq!(v.left.per_attr[0].len(), v.arity);
+    }
+
+    #[test]
+    fn cs_js_matches_direct_computation() {
+        let task = small(0.3, 2);
+        let v = TaskViews::build(&task);
+        let p = task.train[0].pair;
+        let (l, r) = task.records(p);
+        let expected = [
+            sets::cosine(&l.token_set(), &r.token_set()),
+            sets::jaccard(&l.token_set(), &r.token_set()),
+        ];
+        assert_eq!(v.cs_js(p), expected);
+    }
+
+    #[test]
+    fn feature_widths() {
+        let task = small(0.3, 3);
+        let v = TaskViews::build(&task);
+        let p = task.train[0].pair;
+        assert_eq!(v.sa_features(p).len(), 3);
+        assert_eq!(v.sb_features(p).len(), 3 * v.arity);
+        assert_eq!(magellan_features(&task, p).len(), 8 * v.arity);
+    }
+
+    #[test]
+    fn all_features_in_unit_interval() {
+        let task = small(0.6, 4);
+        let v = TaskViews::build(&task);
+        for lp in task.all_pairs().take(100) {
+            for f in v
+                .sa_features(lp.pair)
+                .into_iter()
+                .chain(v.sb_features(lp.pair))
+                .chain(magellan_features(&task, lp.pair))
+            {
+                assert!((0.0..=1.0).contains(&f), "{f}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_have_higher_sa_features() {
+        let task = small(0.3, 5);
+        let v = TaskViews::build(&task);
+        let mut pos = 0.0;
+        let mut npos = 0;
+        let mut neg = 0.0;
+        let mut nneg = 0;
+        for lp in task.all_pairs() {
+            let f = v.sa_features(lp.pair)[0];
+            if lp.is_match {
+                pos += f;
+                npos += 1;
+            } else {
+                neg += f;
+                nneg += 1;
+            }
+        }
+        assert!(pos / npos as f64 > neg / nneg as f64);
+    }
+
+    #[test]
+    fn missing_value_conventions() {
+        use rlb_data::Source;
+        let mut left = Source::new("L", vec!["a".into(), "b".into()]);
+        let mut right = Source::new("R", vec!["a".into(), "b".into()]);
+        left.push(vec!["x".into(), String::new()]);
+        right.push(vec!["x".into(), String::new()]);
+        right.push(vec!["x".into(), "y".into()]);
+        let task = MatchingTask {
+            name: "m".into(),
+            left,
+            right,
+            train: vec![],
+            val: vec![],
+            test: vec![],
+        };
+        // Both missing -> 0.5 block.
+        let f = magellan_features(&task, PairRef::new(0, 0));
+        assert_eq!(&f[8..16], &[0.5; 8]);
+        // One missing -> 0.0 block.
+        let f = magellan_features(&task, PairRef::new(0, 1));
+        assert_eq!(&f[8..16], &[0.0; 8]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Magellan-style matcher: automatically extracted similarity features
+//! (similarity function × attribute) feeding a classical classifier
+//! (Section IV-B). Four variants mirror the paper's Magellan-DT / -LR /
+//! -RF / -SVM.
+
+use crate::features::magellan_features;
+use crate::Matcher;
+use rlb_data::{MatchingTask, PairRef};
+use rlb_ml::{
+    Classifier, DecisionTree, LinearSvm, LogisticRegression, RandomForest, StandardScaler,
+};
+use rlb_util::{Error, Prng, Result};
+
+/// Which classifier tops the Magellan feature stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MagellanModel {
+    /// CART decision tree.
+    DecisionTree,
+    /// Logistic regression.
+    LogisticRegression,
+    /// Random forest.
+    RandomForest,
+    /// Linear SVM.
+    Svm,
+}
+
+impl MagellanModel {
+    /// Paper-style short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MagellanModel::DecisionTree => "Magellan-DT",
+            MagellanModel::LogisticRegression => "Magellan-LR",
+            MagellanModel::RandomForest => "Magellan-RF",
+            MagellanModel::Svm => "Magellan-SVM",
+        }
+    }
+
+    /// All four variants.
+    pub fn all() -> [MagellanModel; 4] {
+        [
+            MagellanModel::DecisionTree,
+            MagellanModel::LogisticRegression,
+            MagellanModel::RandomForest,
+            MagellanModel::Svm,
+        ]
+    }
+}
+
+enum Fitted {
+    Tree(DecisionTree),
+    LogReg(LogisticRegression),
+    Forest(RandomForest),
+    Svm(LinearSvm),
+}
+
+impl Fitted {
+    fn score(&self, x: &[f64]) -> f64 {
+        match self {
+            Fitted::Tree(m) => m.score(x),
+            Fitted::LogReg(m) => m.score(x),
+            Fitted::Forest(m) => m.score(x),
+            Fitted::Svm(m) => m.score(x),
+        }
+    }
+}
+
+/// Magellan matcher (blocking disabled, as in the paper's fair-comparison
+/// setup: it consumes exactly the task's candidate pairs).
+pub struct Magellan {
+    model: MagellanModel,
+    seed: u64,
+    /// Cap on training pairs (stratified subsample beyond it). Classical
+    /// Magellan pipelines label a bounded sample anyway; the cap keeps the
+    /// expensive Monge-Elkan feature extraction tractable on the largest
+    /// blocked candidate sets.
+    pub max_train: usize,
+    scaler: Option<StandardScaler>,
+    fitted: Option<Fitted>,
+}
+
+impl Magellan {
+    /// Unfitted matcher.
+    pub fn new(model: MagellanModel, seed: u64) -> Self {
+        Magellan { model, seed, max_train: 6000, scaler: None, fitted: None }
+    }
+
+    fn featurize(&self, task: &MatchingTask, p: PairRef) -> Vec<f64> {
+        let raw = magellan_features(task, p);
+        match &self.scaler {
+            Some(s) => s.transform(&raw),
+            None => raw,
+        }
+    }
+}
+
+impl Matcher for Magellan {
+    fn name(&self) -> String {
+        self.model.name().to_string()
+    }
+
+    fn fit(&mut self, task: &MatchingTask) -> Result<()> {
+        if task.train.is_empty() {
+            return Err(Error::EmptyInput("Magellan training set"));
+        }
+        // Magellan trains on T; V is unused by the classical classifiers
+        // (they have no epoch dimension to select over).
+        let train = subsample(&task.train, self.max_train, self.seed);
+        let raw: Vec<Vec<f64>> =
+            train.iter().map(|lp| magellan_features(task, lp.pair)).collect();
+        let ys: Vec<bool> = train.iter().map(|lp| lp.is_match).collect();
+        let scaler = StandardScaler::fit(&raw)?;
+        let xs = scaler.transform_batch(&raw);
+        self.scaler = Some(scaler);
+        self.fitted = Some(match self.model {
+            MagellanModel::DecisionTree => {
+                let mut m = DecisionTree::new(self.seed);
+                m.fit(&xs, &ys)?;
+                Fitted::Tree(m)
+            }
+            MagellanModel::LogisticRegression => {
+                let mut m = LogisticRegression::new(self.seed);
+                // scikit-learn's default LogisticRegression is unweighted;
+                // Magellan uses it as-is.
+                m.class_weighted = false;
+                m.fit(&xs, &ys)?;
+                Fitted::LogReg(m)
+            }
+            MagellanModel::RandomForest => {
+                let mut m = RandomForest::new(self.seed);
+                m.fit(&xs, &ys)?;
+                Fitted::Forest(m)
+            }
+            MagellanModel::Svm => {
+                let mut m = LinearSvm::new(self.seed);
+                // Unweighted hinge loss, like Magellan's default SVC — this
+                // is what makes Magellan-SVM collapse on the imbalanced
+                // benchmarks (Table IV shows 0.0–12.6 F1 on several).
+                m.class_weighted = false;
+                m.fit(&xs, &ys)?;
+                Fitted::Svm(m)
+            }
+        });
+        Ok(())
+    }
+
+    fn predict(&mut self, task: &MatchingTask, pairs: &[PairRef]) -> Vec<bool> {
+        let fitted = self.fitted.as_ref().expect("Magellan::predict before fit");
+        pairs
+            .iter()
+            .map(|&p| fitted.score(&self.featurize(task, p)) >= 0.5)
+            .collect()
+    }
+}
+
+/// Stratified subsample preserving the positive fraction.
+fn subsample(
+    pairs: &[rlb_data::LabeledPair],
+    cap: usize,
+    seed: u64,
+) -> Vec<rlb_data::LabeledPair> {
+    if pairs.len() <= cap {
+        return pairs.to_vec();
+    }
+    let mut rng = Prng::seed_from_u64(seed ^ 0x3A6E);
+    let pos: Vec<_> = pairs.iter().filter(|p| p.is_match).copied().collect();
+    let neg: Vec<_> = pairs.iter().filter(|p| !p.is_match).copied().collect();
+    let pos_take = (((pos.len() as f64 / pairs.len() as f64) * cap as f64).round() as usize)
+        .clamp(1.min(pos.len()), pos.len());
+    let neg_take = (cap - pos_take).min(neg.len());
+    let mut out = Vec::with_capacity(pos_take + neg_take);
+    for i in rng.sample_indices(pos.len(), pos_take) {
+        out.push(pos[i]);
+    }
+    for i in rng.sample_indices(neg.len(), neg_take) {
+        out.push(neg[i]);
+    }
+    rng.shuffle(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate;
+    use crate::testtask::small;
+
+    #[test]
+    fn all_variants_work_on_easy_data() {
+        let task = small(0.1, 21);
+        for model in MagellanModel::all() {
+            let mut m = Magellan::new(model, 7);
+            let f1 = evaluate(&mut m, &task).unwrap().f1;
+            assert!(f1 > 0.7, "{} got {f1:.3}", model.name());
+        }
+    }
+
+    #[test]
+    fn forest_beats_linear_variants_on_hard_data() {
+        let task = small(0.65, 22);
+        let f1 = |model| {
+            let mut m = Magellan::new(model, 7);
+            evaluate(&mut m, &task).unwrap().f1
+        };
+        let rf = f1(MagellanModel::RandomForest);
+        let svm = f1(MagellanModel::Svm);
+        assert!(
+            rf + 0.02 >= svm,
+            "forest {rf:.3} should not trail the linear SVM {svm:.3}"
+        );
+    }
+
+    #[test]
+    fn predict_before_fit_panics() {
+        let task = small(0.3, 23);
+        let mut m = Magellan::new(MagellanModel::DecisionTree, 7);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.predict(&task, &[task.test[0].pair])
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let task = small(0.4, 24);
+        let run = || {
+            let mut m = Magellan::new(MagellanModel::RandomForest, 9);
+            m.fit(&task).unwrap();
+            let pairs: Vec<_> = task.test.iter().map(|lp| lp.pair).collect();
+            m.predict(&task, &pairs)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_training_errors() {
+        let mut task = small(0.3, 25);
+        task.train.clear();
+        let mut m = Magellan::new(MagellanModel::LogisticRegression, 7);
+        assert!(m.fit(&task).is_err());
+    }
+}

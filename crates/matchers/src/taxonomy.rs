@@ -1,0 +1,87 @@
+//! The DL-matcher taxonomy of Table II.
+
+/// Token-embedding context dimension of the taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmbeddingContext {
+    /// Pre-trained, context-free vectors (word2vec / GloVe / fastText).
+    Static,
+    /// Context-aware BERT-style vectors.
+    Dynamic,
+    /// Supports both (GNEM).
+    Both,
+}
+
+/// Schema-awareness dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemaAwareness {
+    /// Requires aligned schemata.
+    Homogeneous,
+    /// Copes with unaligned schemata.
+    Heterogeneous,
+}
+
+/// Entity-similarity-context dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimilarityContext {
+    /// Each candidate pair is judged in isolation.
+    Local,
+    /// Decisions use information across candidate pairs / the whole dataset.
+    Global,
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaxonomyRow {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Token-embedding context.
+    pub context: EmbeddingContext,
+    /// Schema awareness.
+    pub schema: SchemaAwareness,
+    /// Similarity context.
+    pub similarity: SimilarityContext,
+}
+
+/// Table II verbatim.
+pub fn taxonomy() -> Vec<TaxonomyRow> {
+    use EmbeddingContext::*;
+    use SchemaAwareness::*;
+    use SimilarityContext::*;
+    vec![
+        TaxonomyRow { algorithm: "DeepMatcher", context: Static, schema: Homogeneous, similarity: Local },
+        TaxonomyRow { algorithm: "EMTransformer", context: Dynamic, schema: Heterogeneous, similarity: Local },
+        TaxonomyRow { algorithm: "GNEM", context: Both, schema: Homogeneous, similarity: Global },
+        TaxonomyRow { algorithm: "DITTO", context: Dynamic, schema: Heterogeneous, similarity: Local },
+        TaxonomyRow { algorithm: "HierMatcher", context: Dynamic, schema: Heterogeneous, similarity: Local },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_methods_cover_all_cells() {
+        let rows = taxonomy();
+        assert_eq!(rows.len(), 5);
+        // Every taxonomy value appears at least once — the paper's claim
+        // that the selection is representative.
+        assert!(rows.iter().any(|r| matches!(r.context, EmbeddingContext::Static)));
+        assert!(rows.iter().any(|r| matches!(r.context, EmbeddingContext::Dynamic)));
+        assert!(rows.iter().any(|r| matches!(r.schema, SchemaAwareness::Homogeneous)));
+        assert!(rows.iter().any(|r| matches!(r.schema, SchemaAwareness::Heterogeneous)));
+        assert!(rows.iter().any(|r| matches!(r.similarity, SimilarityContext::Local)));
+        assert!(rows.iter().any(|r| matches!(r.similarity, SimilarityContext::Global)));
+    }
+
+    #[test]
+    fn gnem_is_the_only_global_method() {
+        let rows = taxonomy();
+        let globals: Vec<_> = rows
+            .iter()
+            .filter(|r| matches!(r.similarity, SimilarityContext::Global))
+            .collect();
+        assert_eq!(globals.len(), 1);
+        assert_eq!(globals[0].algorithm, "GNEM");
+    }
+}

@@ -1,0 +1,141 @@
+//! Random forest: bagged CART trees with feature subsampling
+//! (Magellan-RF's classifier).
+
+use crate::tree::DecisionTree;
+use crate::{check_xy, Classifier};
+use rlb_util::{Prng, Result};
+
+/// Random forest of CART trees.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Depth limit per tree.
+    pub max_depth: usize,
+    seed: u64,
+}
+
+impl RandomForest {
+    /// Forest with defaults matching scikit-learn's spirit (100 trees is
+    /// overkill for ≤ 30-dimensional similarity features; 40 suffices).
+    pub fn new(seed: u64) -> Self {
+        RandomForest { trees: Vec::new(), n_trees: 40, max_depth: 12, seed }
+    }
+
+    /// Trains the ensemble: each tree sees a bootstrap sample and considers
+    /// `ceil(sqrt(d))` random features per split.
+    pub fn fit(&mut self, xs: &[Vec<f64>], ys: &[bool]) -> Result<()> {
+        let dim = check_xy(xs, ys)?;
+        let n = xs.len();
+        let mtry = ((dim as f64).sqrt().ceil() as usize).max(1);
+        let mut rng = Prng::seed_from_u64(self.seed);
+        self.trees.clear();
+        for t in 0..self.n_trees {
+            let mut tree_rng = rng.fork(t as u64);
+            // Bootstrap sample (with replacement).
+            let mut bx = Vec::with_capacity(n);
+            let mut by = Vec::with_capacity(n);
+            for _ in 0..n {
+                let i = tree_rng.index(n);
+                bx.push(xs[i].clone());
+                by.push(ys[i]);
+            }
+            // Degenerate bootstrap (single class) still trains fine: the
+            // tree becomes a constant leaf.
+            let mut tree = DecisionTree::new(tree_rng.next_u64());
+            tree.max_depth = self.max_depth;
+            tree.max_features = Some(mtry);
+            tree.fit(&bx, &by)?;
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    /// Number of fitted trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether no trees have been fitted.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn score(&self, x: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.5;
+        }
+        let total: f64 = self.trees.iter().map(|t| t.score(x)).sum();
+        total / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::f1_score;
+    use crate::testdata::{blobs, xor};
+
+    #[test]
+    fn solves_xor() {
+        let (xs, ys) = xor(400, 31);
+        let mut f = RandomForest::new(1);
+        f.fit(&xs, &ys).unwrap();
+        let f1 = f1_score(&f.predict_batch(&xs), &ys);
+        assert!(f1 > 0.95, "forest should solve XOR, got {f1}");
+    }
+
+    #[test]
+    fn generalizes_better_than_single_tree_on_noisy_blobs() {
+        let (xs, ys) = blobs(300, 32, 0.9);
+        let (tx, ty) = blobs(300, 33, 0.9); // fresh sample, same distribution
+        let mut forest = RandomForest::new(1);
+        forest.fit(&xs, &ys).unwrap();
+        let mut tree = DecisionTree::new(1);
+        tree.max_depth = 12;
+        tree.fit(&xs, &ys).unwrap();
+        let f_forest = f1_score(&forest.predict_batch(&tx), &ty);
+        let f_tree = f1_score(&tree.predict_batch(&tx), &ty);
+        assert!(
+            f_forest + 0.02 >= f_tree,
+            "forest {f_forest:.3} should not trail a single tree {f_tree:.3}"
+        );
+    }
+
+    #[test]
+    fn fits_requested_tree_count() {
+        let (xs, ys) = blobs(100, 34, 2.0);
+        let mut f = RandomForest::new(1);
+        f.n_trees = 7;
+        f.fit(&xs, &ys).unwrap();
+        assert_eq!(f.len(), 7);
+    }
+
+    #[test]
+    fn unfitted_scores_half() {
+        let f = RandomForest::new(1);
+        assert!(f.is_empty());
+        assert_eq!(f.score(&[0.0]), 0.5);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (xs, ys) = xor(150, 35);
+        let mut a = RandomForest::new(9);
+        let mut b = RandomForest::new(9);
+        a.fit(&xs, &ys).unwrap();
+        b.fit(&xs, &ys).unwrap();
+        for x in xs.iter().take(30) {
+            assert_eq!(a.score(x), b.score(x));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut f = RandomForest::new(1);
+        assert!(f.fit(&[], &[]).is_err());
+    }
+}

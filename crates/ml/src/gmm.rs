@@ -1,0 +1,257 @@
+//! Two-component Gaussian mixture fitted by EM — the generative core of the
+//! ZeroER reimplementation (Section IV-B): matches and non-matches are
+//! modelled as two diagonal-covariance Gaussians over the similarity
+//! features, estimated *without labels*.
+
+use rlb_util::{Error, Result};
+
+/// Diagonal-covariance Gaussian in `d` dimensions.
+#[derive(Debug, Clone)]
+struct DiagGaussian {
+    mean: Vec<f64>,
+    var: Vec<f64>,
+}
+
+impl DiagGaussian {
+    fn log_density(&self, x: &[f64]) -> f64 {
+        let mut ll = 0.0;
+        for d in 0..self.mean.len() {
+            let v = self.var[d].max(1e-6);
+            let diff = x[d] - self.mean[d];
+            ll += -0.5 * ((2.0 * std::f64::consts::PI * v).ln() + diff * diff / v);
+        }
+        ll
+    }
+}
+
+/// Unsupervised two-component Gaussian mixture over similarity features.
+///
+/// After fitting, component 1 is always the *match* component (the one whose
+/// mean similarity sum is larger — duplicates have higher similarities by
+/// construction of the feature space).
+#[derive(Debug, Clone)]
+pub struct GaussianMixture {
+    match_comp: Option<DiagGaussian>,
+    nonmatch_comp: Option<DiagGaussian>,
+    prior_match: f64,
+    /// EM iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on mean log-likelihood improvement.
+    pub tol: f64,
+}
+
+impl GaussianMixture {
+    /// Mixture with default EM settings.
+    pub fn new() -> Self {
+        GaussianMixture {
+            match_comp: None,
+            nonmatch_comp: None,
+            prior_match: 0.5,
+            max_iter: 100,
+            tol: 1e-6,
+        }
+    }
+
+    /// Fits the mixture on unlabelled feature vectors.
+    ///
+    /// Initialization is deterministic: points are split by their summed
+    /// similarity relative to the 75th percentile (matching ZeroER's
+    /// assumption that matches are the high-similarity minority).
+    pub fn fit(&mut self, xs: &[Vec<f64>]) -> Result<()> {
+        if xs.len() < 4 {
+            return Err(Error::EmptyInput("gmm needs at least 4 points"));
+        }
+        let dim = xs[0].len();
+        if dim == 0 || xs.iter().any(|x| x.len() != dim) {
+            return Err(Error::InvalidParameter("ragged or empty features".into()));
+        }
+        let sums: Vec<f64> = xs.iter().map(|x| x.iter().sum()).collect();
+        let split = rlb_util::stats::quantile(&sums, 0.75).expect("non-empty");
+        let mut resp: Vec<f64> = sums
+            .iter()
+            .map(|&s| if s >= split { 0.9 } else { 0.1 })
+            .collect();
+        // Guard against a degenerate split (all sums equal).
+        if resp.iter().all(|&r| r == resp[0]) {
+            for (i, r) in resp.iter_mut().enumerate() {
+                *r = if i % 2 == 0 { 0.9 } else { 0.1 };
+            }
+        }
+
+        let mut prev_ll = f64::NEG_INFINITY;
+        for _ in 0..self.max_iter {
+            // M-step.
+            let (m1, v1, w1) = weighted_moments(xs, &resp, dim, false);
+            let (m0, v0, w0) = weighted_moments(xs, &resp, dim, true);
+            let prior = w1 / (w1 + w0);
+            let g1 = DiagGaussian { mean: m1, var: v1 };
+            let g0 = DiagGaussian { mean: m0, var: v0 };
+            // E-step + log-likelihood.
+            let mut ll = 0.0;
+            for (i, x) in xs.iter().enumerate() {
+                let l1 = prior.max(1e-9).ln() + g1.log_density(x);
+                let l0 = (1.0 - prior).max(1e-9).ln() + g0.log_density(x);
+                let m = l1.max(l0);
+                let z = m + ((l1 - m).exp() + (l0 - m).exp()).ln();
+                resp[i] = (l1 - z).exp();
+                ll += z;
+            }
+            ll /= xs.len() as f64;
+            self.match_comp = Some(g1);
+            self.nonmatch_comp = Some(g0);
+            self.prior_match = prior;
+            if (ll - prev_ll).abs() < self.tol {
+                break;
+            }
+            prev_ll = ll;
+        }
+        // Ensure component 1 is the high-similarity one.
+        let swap = {
+            let g1 = self.match_comp.as_ref().expect("fitted");
+            let g0 = self.nonmatch_comp.as_ref().expect("fitted");
+            g1.mean.iter().sum::<f64>() < g0.mean.iter().sum::<f64>()
+        };
+        if swap {
+            std::mem::swap(&mut self.match_comp, &mut self.nonmatch_comp);
+            self.prior_match = 1.0 - self.prior_match;
+        }
+        Ok(())
+    }
+
+    /// Posterior probability that `x` belongs to the match component.
+    pub fn posterior(&self, x: &[f64]) -> f64 {
+        let (Some(g1), Some(g0)) = (&self.match_comp, &self.nonmatch_comp) else {
+            return 0.5;
+        };
+        let l1 = self.prior_match.max(1e-9).ln() + g1.log_density(x);
+        let l0 = (1.0 - self.prior_match).max(1e-9).ln() + g0.log_density(x);
+        let m = l1.max(l0);
+        let z = m + ((l1 - m).exp() + (l0 - m).exp()).ln();
+        (l1 - z).exp()
+    }
+
+    /// Estimated prior of the match component.
+    pub fn prior_match(&self) -> f64 {
+        self.prior_match
+    }
+}
+
+impl Default for GaussianMixture {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn weighted_moments(
+    xs: &[Vec<f64>],
+    resp: &[f64],
+    dim: usize,
+    invert: bool,
+) -> (Vec<f64>, Vec<f64>, f64) {
+    let mut w_total = 0.0;
+    let mut mean = vec![0.0; dim];
+    for (x, &r) in xs.iter().zip(resp) {
+        let w = if invert { 1.0 - r } else { r };
+        w_total += w;
+        for (m, v) in mean.iter_mut().zip(x) {
+            *m += w * v;
+        }
+    }
+    let w_safe = w_total.max(1e-9);
+    for m in mean.iter_mut() {
+        *m /= w_safe;
+    }
+    let mut var = vec![0.0; dim];
+    for (x, &r) in xs.iter().zip(resp) {
+        let w = if invert { 1.0 - r } else { r };
+        for (d, v) in x.iter().enumerate() {
+            var[d] += w * (v - mean[d]) * (v - mean[d]);
+        }
+    }
+    for v in var.iter_mut() {
+        *v = (*v / w_safe).max(1e-6);
+    }
+    (mean, var, w_total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlb_util::Prng;
+
+    /// Similarity-feature-like data: matches near 0.8, non-matches near 0.2.
+    fn sim_data(n: usize, pos_frac: f64, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let pos = rng.chance(pos_frac);
+            let c = if pos { 0.8 } else { 0.2 };
+            xs.push(vec![
+                (rng.normal_with(c, 0.08)).clamp(0.0, 1.0),
+                (rng.normal_with(c, 0.08)).clamp(0.0, 1.0),
+            ]);
+            ys.push(pos);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn recovers_clusters_without_labels() {
+        let (xs, ys) = sim_data(500, 0.2, 1);
+        let mut g = GaussianMixture::new();
+        g.fit(&xs).unwrap();
+        let preds: Vec<bool> = xs.iter().map(|x| g.posterior(x) >= 0.5).collect();
+        let f1 = crate::metrics::f1_score(&preds, &ys);
+        assert!(f1 > 0.95, "unsupervised separation failed: {f1}");
+    }
+
+    #[test]
+    fn match_component_is_high_similarity() {
+        let (xs, _) = sim_data(300, 0.3, 2);
+        let mut g = GaussianMixture::new();
+        g.fit(&xs).unwrap();
+        assert!(g.posterior(&[0.9, 0.9]) > 0.9);
+        assert!(g.posterior(&[0.1, 0.1]) < 0.1);
+    }
+
+    #[test]
+    fn prior_tracks_class_fraction() {
+        let (xs, _) = sim_data(1000, 0.25, 3);
+        let mut g = GaussianMixture::new();
+        g.fit(&xs).unwrap();
+        assert!((g.prior_match() - 0.25).abs() < 0.1, "prior {}", g.prior_match());
+    }
+
+    #[test]
+    fn unfitted_posterior_is_half() {
+        let g = GaussianMixture::new();
+        assert_eq!(g.posterior(&[0.5]), 0.5);
+    }
+
+    #[test]
+    fn tiny_input_errors() {
+        let mut g = GaussianMixture::new();
+        assert!(g.fit(&[vec![1.0], vec![2.0]]).is_err());
+    }
+
+    #[test]
+    fn constant_data_does_not_crash() {
+        let xs = vec![vec![0.5, 0.5]; 20];
+        let mut g = GaussianMixture::new();
+        g.fit(&xs).unwrap();
+        let p = g.posterior(&[0.5, 0.5]);
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn overlapping_clusters_give_uncertain_posteriors() {
+        let mut rng = Prng::seed_from_u64(4);
+        let xs: Vec<Vec<f64>> =
+            (0..200).map(|_| vec![rng.normal_with(0.5, 0.05)]).collect();
+        let mut g = GaussianMixture::new();
+        g.fit(&xs).unwrap();
+        let p = g.posterior(&[0.5]);
+        assert!(p > 0.05 && p < 0.95, "posterior should be uncertain: {p}");
+    }
+}

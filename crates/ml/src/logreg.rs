@@ -1,0 +1,168 @@
+//! Logistic regression trained by mini-batch-free SGD with L2 weight decay.
+
+use crate::{check_xy, Classifier};
+use rlb_util::{Prng, Result};
+
+/// L2-regularized logistic regression.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Initial learning rate (decayed as `lr / (1 + epoch)`).
+    pub learning_rate: f64,
+    /// L2 penalty strength.
+    pub l2: f64,
+    /// Balance classes by reweighting the minority class's gradient.
+    pub class_weighted: bool,
+    seed: u64,
+}
+
+impl LogisticRegression {
+    /// Model with sensible defaults for small similarity-feature problems.
+    pub fn new(seed: u64) -> Self {
+        LogisticRegression {
+            weights: Vec::new(),
+            bias: 0.0,
+            epochs: 60,
+            learning_rate: 0.5,
+            l2: 1e-4,
+            class_weighted: true,
+            seed,
+        }
+    }
+
+    /// Learned weights (empty before fit).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Learned bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Trains on the data.
+    pub fn fit(&mut self, xs: &[Vec<f64>], ys: &[bool]) -> Result<()> {
+        let dim = check_xy(xs, ys)?;
+        let n = xs.len();
+        let pos = ys.iter().filter(|&&y| y).count().max(1);
+        let neg = (n - pos.min(n)).max(1);
+        let (w_pos, w_neg) = if self.class_weighted {
+            (n as f64 / (2.0 * pos as f64), n as f64 / (2.0 * neg as f64))
+        } else {
+            (1.0, 1.0)
+        };
+        self.weights = vec![0.0; dim];
+        self.bias = 0.0;
+        let mut rng = Prng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        for epoch in 0..self.epochs {
+            let lr = self.learning_rate / (1.0 + epoch as f64 * 0.2);
+            rng.shuffle(&mut order);
+            for &i in &order {
+                let z = rlb_util::linalg::dot(&self.weights, &xs[i]) + self.bias;
+                let p = sigmoid(z);
+                let y = f64::from(ys[i] as u8);
+                let cw = if ys[i] { w_pos } else { w_neg };
+                let g = cw * (p - y);
+                for (w, x) in self.weights.iter_mut().zip(&xs[i]) {
+                    *w -= lr * (g * x + self.l2 * *w);
+                }
+                self.bias -= lr * g;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn score(&self, x: &[f64]) -> f64 {
+        sigmoid(rlb_util::linalg::dot(&self.weights, x) + self.bias)
+    }
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::f1_score;
+    use crate::testdata::{blobs, xor};
+
+    #[test]
+    fn separates_linear_blobs() {
+        let (xs, ys) = blobs(400, 1, 2.0);
+        let mut m = LogisticRegression::new(7);
+        m.fit(&xs, &ys).unwrap();
+        let preds = m.predict_batch(&xs);
+        assert!(f1_score(&preds, &ys) > 0.9);
+    }
+
+    #[test]
+    fn fails_on_xor() {
+        let (xs, ys) = xor(400, 2);
+        let mut m = LogisticRegression::new(7);
+        m.fit(&xs, &ys).unwrap();
+        let preds = m.predict_batch(&xs);
+        let f1 = f1_score(&preds, &ys);
+        assert!(f1 < 0.75, "linear model should fail on XOR, got {f1}");
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let (xs, ys) = blobs(100, 3, 1.0);
+        let mut m = LogisticRegression::new(7);
+        m.fit(&xs, &ys).unwrap();
+        for x in &xs {
+            let s = m.score(x);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn class_weighting_helps_recall_under_imbalance() {
+        // 5% positives.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut rng = rlb_util::Prng::seed_from_u64(4);
+        for i in 0..400 {
+            let pos = i % 20 == 0;
+            let c = if pos { 1.2 } else { -1.2 };
+            xs.push(vec![rng.normal_with(c, 1.0), rng.normal_with(c, 1.0)]);
+            ys.push(pos);
+        }
+        let mut weighted = LogisticRegression::new(7);
+        weighted.fit(&xs, &ys).unwrap();
+        let mut flat = LogisticRegression::new(7);
+        flat.class_weighted = false;
+        flat.fit(&xs, &ys).unwrap();
+        let rec = |m: &LogisticRegression| {
+            crate::metrics::confusion(&m.predict_batch(&xs), &ys).metrics().recall
+        };
+        assert!(rec(&weighted) >= rec(&flat));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut m = LogisticRegression::new(1);
+        assert!(m.fit(&[], &[]).is_err());
+        assert!(m.fit(&[vec![1.0]], &[true, false]).is_err());
+        assert!(m.fit(&[vec![1.0], vec![1.0, 2.0]], &[true, false]).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (xs, ys) = blobs(100, 5, 1.5);
+        let mut a = LogisticRegression::new(9);
+        let mut b = LogisticRegression::new(9);
+        a.fit(&xs, &ys).unwrap();
+        b.fit(&xs, &ys).unwrap();
+        assert_eq!(a.weights(), b.weights());
+        assert_eq!(a.bias(), b.bias());
+    }
+}

@@ -1,0 +1,131 @@
+//! Binary classification metrics (Section II of the paper).
+
+/// Confusion counts for binary classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+/// Precision / recall / F1 / accuracy bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BinaryMetrics {
+    /// `Pr = |G ∩ M| / |M|`.
+    pub precision: f64,
+    /// `Re = |G ∩ M| / |G|`.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Fraction of correct decisions.
+    pub accuracy: f64,
+    /// Raw confusion counts.
+    pub confusion: Confusion,
+}
+
+/// Computes confusion counts. Panics on length mismatch (caller bug).
+pub fn confusion(predicted: &[bool], actual: &[bool]) -> Confusion {
+    assert_eq!(predicted.len(), actual.len(), "prediction/label length mismatch");
+    let mut c = Confusion::default();
+    for (&p, &a) in predicted.iter().zip(actual) {
+        match (p, a) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, true) => c.fn_ += 1,
+            (false, false) => c.tn += 1,
+        }
+    }
+    c
+}
+
+impl Confusion {
+    /// Derives the full metric bundle. Empty denominators yield `0.0`
+    /// (consistent with the record-linkage convention of Hand & Christen).
+    pub fn metrics(&self) -> BinaryMetrics {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        let precision = if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        };
+        let recall = if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        };
+        let f1 = rlb_util::stats::harmonic_mean2(precision, recall);
+        let accuracy = if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        };
+        BinaryMetrics { precision, recall, f1, accuracy, confusion: *self }
+    }
+}
+
+/// F1 of a prediction vector against labels.
+pub fn f1_score(predicted: &[bool], actual: &[bool]) -> f64 {
+    confusion(predicted, actual).metrics().f1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let y = vec![true, false, true, false];
+        let m = confusion(&y, &y).metrics();
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.accuracy, 1.0);
+    }
+
+    #[test]
+    fn all_wrong() {
+        let p = vec![true, false];
+        let a = vec![false, true];
+        let m = confusion(&p, &a).metrics();
+        assert_eq!(m.f1, 0.0);
+        assert_eq!(m.accuracy, 0.0);
+    }
+
+    #[test]
+    fn known_confusion_counts() {
+        let p = vec![true, true, false, false, true];
+        let a = vec![true, false, true, false, true];
+        let c = confusion(&p, &a);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        let m = c.metrics();
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.accuracy - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_denominators_yield_zero() {
+        // No positives predicted and none actual.
+        let m = confusion(&[false, false], &[false, false]).metrics();
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+        assert_eq!(m.accuracy, 1.0);
+        // Empty input.
+        let m = confusion(&[], &[]).metrics();
+        assert_eq!(m.accuracy, 0.0);
+    }
+
+    #[test]
+    fn f1_shortcut_matches_full_path() {
+        let p = vec![true, false, true];
+        let a = vec![true, true, true];
+        assert_eq!(f1_score(&p, &a), confusion(&p, &a).metrics().f1);
+    }
+}

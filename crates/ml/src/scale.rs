@@ -1,0 +1,100 @@
+//! Feature standardization.
+
+use rlb_util::{Error, Result};
+
+/// Z-score scaler: `(x - mean) / std` per dimension, with zero-variance
+/// dimensions passed through centred only.
+#[derive(Debug, Clone, Default)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits means and standard deviations on the data.
+    pub fn fit(xs: &[Vec<f64>]) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(Error::EmptyInput("scaler input"));
+        }
+        let dim = xs[0].len();
+        let n = xs.len() as f64;
+        let mut means = vec![0.0; dim];
+        for x in xs {
+            if x.len() != dim {
+                return Err(Error::InvalidParameter("ragged feature matrix".into()));
+            }
+            for (m, v) in means.iter_mut().zip(x) {
+                *m += v;
+            }
+        }
+        for m in means.iter_mut() {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; dim];
+        for x in xs {
+            for (d, v) in x.iter().enumerate() {
+                stds[d] += (v - means[d]) * (v - means[d]);
+            }
+        }
+        for s in stds.iter_mut() {
+            *s = (*s / n).sqrt();
+        }
+        Ok(StandardScaler { means, stds })
+    }
+
+    /// Transforms one vector.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .enumerate()
+            .map(|(d, v)| {
+                let m = self.means.get(d).copied().unwrap_or(0.0);
+                let s = self.stds.get(d).copied().unwrap_or(1.0);
+                if s > 0.0 {
+                    (v - m) / s
+                } else {
+                    v - m
+                }
+            })
+            .collect()
+    }
+
+    /// Transforms a batch.
+    pub fn transform_batch(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        xs.iter().map(|x| self.transform(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let xs = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0], vec![4.0, 40.0]];
+        let s = StandardScaler::fit(&xs).unwrap();
+        let t = s.transform_batch(&xs);
+        for d in 0..2 {
+            let col: Vec<f64> = t.iter().map(|r| r[d]).collect();
+            assert!(rlb_util::stats::mean(&col).abs() < 1e-12);
+            assert!((rlb_util::stats::variance(&col) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_variance_dimension_is_centred() {
+        let xs = vec![vec![5.0], vec![5.0]];
+        let s = StandardScaler::fit(&xs).unwrap();
+        assert_eq!(s.transform(&[5.0]), vec![0.0]);
+        assert_eq!(s.transform(&[7.0]), vec![2.0]);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(StandardScaler::fit(&[]).is_err());
+    }
+
+    #[test]
+    fn ragged_input_errors() {
+        assert!(StandardScaler::fit(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Linear SVM trained with the Pegasos stochastic sub-gradient algorithm.
+//!
+//! Used both as Magellan-SVM and as the linear classifier behind the `l1`
+//! (sum of error distances) and `l2` (linear-classifier error rate)
+//! complexity measures of Table I.
+
+use crate::{check_xy, Classifier};
+use rlb_util::{Prng, Result};
+
+/// L2-regularized linear SVM (hinge loss, Pegasos updates).
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    weights: Vec<f64>,
+    bias: f64,
+    /// Regularization strength λ.
+    pub lambda: f64,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Balance classes by scaling the hinge gradient of each class.
+    pub class_weighted: bool,
+    seed: u64,
+}
+
+impl LinearSvm {
+    /// Model with defaults suited to low-dimensional similarity features.
+    pub fn new(seed: u64) -> Self {
+        LinearSvm {
+            weights: Vec::new(),
+            bias: 0.0,
+            lambda: 1e-3,
+            epochs: 60,
+            class_weighted: true,
+            seed,
+        }
+    }
+
+    /// Learned weights (empty before fit).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Learned bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Signed margin `w·x + b` (positive ⇒ match).
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        rlb_util::linalg::dot(&self.weights, x) + self.bias
+    }
+
+    /// Trains on the data.
+    pub fn fit(&mut self, xs: &[Vec<f64>], ys: &[bool]) -> Result<()> {
+        let dim = check_xy(xs, ys)?;
+        let n = xs.len();
+        let pos = ys.iter().filter(|&&y| y).count().max(1);
+        let neg = (n - pos.min(n)).max(1);
+        let (w_pos, w_neg) = if self.class_weighted {
+            (n as f64 / (2.0 * pos as f64), n as f64 / (2.0 * neg as f64))
+        } else {
+            (1.0, 1.0)
+        };
+        self.weights = vec![0.0; dim];
+        self.bias = 0.0;
+        let mut rng = Prng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut t: u64 = 1;
+        for _ in 0..self.epochs {
+            rng.shuffle(&mut order);
+            for &i in &order {
+                let eta = 1.0 / (self.lambda * t as f64);
+                let y = if ys[i] { 1.0 } else { -1.0 };
+                let margin = y * self.decision(&xs[i]);
+                // Weight decay (the regularizer's sub-gradient).
+                let shrink = 1.0 - eta * self.lambda;
+                for w in self.weights.iter_mut() {
+                    *w *= shrink;
+                }
+                if margin < 1.0 {
+                    let cw = if ys[i] { w_pos } else { w_neg };
+                    let step = eta * cw * y;
+                    for (w, x) in self.weights.iter_mut().zip(&xs[i]) {
+                        *w += step * x;
+                    }
+                    self.bias += step;
+                }
+                t += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Hinge-style error distance of one example from the decision boundary:
+    /// `max(0, 1 - y·(w·x+b)) / ||w||` — used by the `l1` complexity measure.
+    pub fn error_distance(&self, x: &[f64], y: bool) -> f64 {
+        let norm = rlb_util::linalg::norm(&self.weights).max(1e-12);
+        let sy = if y { 1.0 } else { -1.0 };
+        (1.0 - sy * self.decision(x)).max(0.0) / norm
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn score(&self, x: &[f64]) -> f64 {
+        // Squash the margin into [0, 1] so the trait contract holds.
+        1.0 / (1.0 + (-self.decision(x)).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::f1_score;
+    use crate::testdata::{blobs, xor};
+
+    #[test]
+    fn separates_linear_blobs() {
+        let (xs, ys) = blobs(400, 11, 2.0);
+        let mut m = LinearSvm::new(3);
+        m.fit(&xs, &ys).unwrap();
+        assert!(f1_score(&m.predict_batch(&xs), &ys) > 0.9);
+    }
+
+    #[test]
+    fn fails_on_xor() {
+        let (xs, ys) = xor(400, 12);
+        let mut m = LinearSvm::new(3);
+        m.fit(&xs, &ys).unwrap();
+        let f1 = f1_score(&m.predict_batch(&xs), &ys);
+        assert!(f1 < 0.75, "linear SVM should fail on XOR, got {f1}");
+    }
+
+    #[test]
+    fn error_distance_zero_beyond_margin() {
+        let (xs, ys) = blobs(200, 13, 3.0);
+        let mut m = LinearSvm::new(3);
+        m.fit(&xs, &ys).unwrap();
+        // A point far on the correct side has zero error distance.
+        let far_pos = vec![50.0, 25.0];
+        assert_eq!(m.error_distance(&far_pos, true), 0.0);
+        // The same point labelled negative has a large one.
+        assert!(m.error_distance(&far_pos, false) > 1.0);
+    }
+
+    #[test]
+    fn decision_sign_matches_prediction() {
+        let (xs, ys) = blobs(200, 14, 2.0);
+        let mut m = LinearSvm::new(3);
+        m.fit(&xs, &ys).unwrap();
+        for x in xs.iter().take(50) {
+            assert_eq!(m.predict(x), m.decision(x) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (xs, ys) = blobs(100, 15, 1.5);
+        let mut a = LinearSvm::new(9);
+        let mut b = LinearSvm::new(9);
+        a.fit(&xs, &ys).unwrap();
+        b.fit(&xs, &ys).unwrap();
+        assert_eq!(a.weights(), b.weights());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut m = LinearSvm::new(1);
+        assert!(m.fit(&[], &[]).is_err());
+        assert!(m.fit(&[vec![]], &[true]).is_err());
+    }
+}

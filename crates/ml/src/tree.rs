@@ -1,0 +1,252 @@
+//! CART decision tree with Gini impurity (Magellan-DT's classifier).
+
+use crate::{check_xy, Classifier};
+use rlb_util::{Prng, Result};
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Fraction of positive training samples that reached this leaf.
+        prob: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// CART binary decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Option<Node>,
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Number of candidate features examined per split; `None` = all
+    /// (random forests pass `sqrt(d)`).
+    pub max_features: Option<usize>,
+    seed: u64,
+}
+
+impl DecisionTree {
+    /// Tree with defaults appropriate for similarity-feature matching.
+    pub fn new(seed: u64) -> Self {
+        DecisionTree {
+            root: None,
+            max_depth: 10,
+            min_samples_split: 4,
+            max_features: None,
+            seed,
+        }
+    }
+
+    /// Trains on the data.
+    pub fn fit(&mut self, xs: &[Vec<f64>], ys: &[bool]) -> Result<()> {
+        let dim = check_xy(xs, ys)?;
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        let mut rng = Prng::seed_from_u64(self.seed);
+        self.root = Some(self.build(xs, ys, &idx, dim, 0, &mut rng));
+        Ok(())
+    }
+
+    fn build(
+        &self,
+        xs: &[Vec<f64>],
+        ys: &[bool],
+        idx: &[usize],
+        dim: usize,
+        depth: usize,
+        rng: &mut Prng,
+    ) -> Node {
+        let pos = idx.iter().filter(|&&i| ys[i]).count();
+        let prob = pos as f64 / idx.len() as f64;
+        if depth >= self.max_depth
+            || idx.len() < self.min_samples_split
+            || pos == 0
+            || pos == idx.len()
+        {
+            return Node::Leaf { prob };
+        }
+        let features: Vec<usize> = match self.max_features {
+            Some(k) if k < dim => rng.sample_indices(dim, k),
+            _ => (0..dim).collect(),
+        };
+        let Some((feature, threshold)) = best_split(xs, ys, idx, &features) else {
+            return Node::Leaf { prob };
+        };
+        let (mut li, mut ri) = (Vec::new(), Vec::new());
+        for &i in idx {
+            if xs[i][feature] <= threshold {
+                li.push(i);
+            } else {
+                ri.push(i);
+            }
+        }
+        if li.is_empty() || ri.is_empty() {
+            return Node::Leaf { prob };
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(self.build(xs, ys, &li, dim, depth + 1, rng)),
+            right: Box::new(self.build(xs, ys, &ri, dim, depth + 1, rng)),
+        }
+    }
+
+    /// Depth of the fitted tree (0 for a single leaf); `None` before fit.
+    pub fn depth(&self) -> Option<usize> {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        self.root.as_ref().map(d)
+    }
+}
+
+/// Finds the `(feature, threshold)` pair maximizing the Gini gain over the
+/// candidate features, scanning sorted unique values.
+fn best_split(
+    xs: &[Vec<f64>],
+    ys: &[bool],
+    idx: &[usize],
+    features: &[usize],
+) -> Option<(usize, f64)> {
+    let n = idx.len() as f64;
+    let total_pos = idx.iter().filter(|&&i| ys[i]).count() as f64;
+    let parent_gini = gini(total_pos, n);
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    for &f in features {
+        // Sort indices by feature value.
+        let mut order: Vec<usize> = idx.to_vec();
+        order.sort_by(|&a, &b| xs[a][f].partial_cmp(&xs[b][f]).expect("NaN feature"));
+        let mut left_n = 0.0;
+        let mut left_pos = 0.0;
+        for w in 0..order.len() - 1 {
+            let i = order[w];
+            left_n += 1.0;
+            if ys[i] {
+                left_pos += 1.0;
+            }
+            let v = xs[i][f];
+            let v_next = xs[order[w + 1]][f];
+            if v == v_next {
+                continue; // can't split between equal values
+            }
+            let right_n = n - left_n;
+            let right_pos = total_pos - left_pos;
+            let weighted = (left_n / n) * gini(left_pos, left_n)
+                + (right_n / n) * gini(right_pos, right_n);
+            let gain = parent_gini - weighted;
+            if best.is_none_or(|(_, _, g)| gain > g) {
+                best = Some((f, (v + v_next) / 2.0, gain));
+            }
+        }
+    }
+    best.filter(|&(_, _, g)| g > 1e-12).map(|(f, t, _)| (f, t))
+}
+
+#[inline]
+fn gini(pos: f64, n: f64) -> f64 {
+    if n == 0.0 {
+        return 0.0;
+    }
+    let p = pos / n;
+    2.0 * p * (1.0 - p)
+}
+
+impl Classifier for DecisionTree {
+    fn score(&self, x: &[f64]) -> f64 {
+        let mut node = match &self.root {
+            Some(n) => n,
+            None => return 0.5,
+        };
+        loop {
+            match node {
+                Node::Leaf { prob } => return *prob,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x.get(*feature).copied().unwrap_or(0.0) <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::f1_score;
+    use crate::testdata::{blobs, xor};
+
+    #[test]
+    fn solves_xor() {
+        let (xs, ys) = xor(400, 21);
+        let mut t = DecisionTree::new(1);
+        t.fit(&xs, &ys).unwrap();
+        let f1 = f1_score(&t.predict_batch(&xs), &ys);
+        assert!(f1 > 0.95, "tree should solve XOR, got {f1}");
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let (xs, ys) = blobs(300, 22, 2.0);
+        let mut t = DecisionTree::new(1);
+        t.fit(&xs, &ys).unwrap();
+        assert!(f1_score(&t.predict_batch(&xs), &ys) > 0.9);
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let (xs, ys) = xor(300, 23);
+        let mut t = DecisionTree::new(1);
+        t.max_depth = 2;
+        t.fit(&xs, &ys).unwrap();
+        assert!(t.depth().unwrap() <= 2);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let ys = vec![true, true, true];
+        let mut t = DecisionTree::new(1);
+        t.fit(&xs, &ys).unwrap();
+        assert_eq!(t.depth(), Some(0));
+        assert!(t.predict(&[5.0]));
+    }
+
+    #[test]
+    fn unfitted_tree_scores_half() {
+        let t = DecisionTree::new(1);
+        assert_eq!(t.score(&[1.0]), 0.5);
+    }
+
+    #[test]
+    fn constant_features_yield_leaf() {
+        let xs = vec![vec![1.0], vec![1.0], vec![1.0], vec![1.0]];
+        let ys = vec![true, false, true, false];
+        let mut t = DecisionTree::new(1);
+        t.fit(&xs, &ys).unwrap();
+        assert_eq!(t.depth(), Some(0));
+        assert_eq!(t.score(&[1.0]), 0.5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (xs, ys) = xor(200, 24);
+        let mut a = DecisionTree::new(5);
+        let mut b = DecisionTree::new(5);
+        a.fit(&xs, &ys).unwrap();
+        b.fit(&xs, &ys).unwrap();
+        for x in xs.iter().take(50) {
+            assert_eq!(a.score(x), b.score(x));
+        }
+    }
+}

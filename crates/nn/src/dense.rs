@@ -1,0 +1,431 @@
+//! Layers: dense (affine + activation) and highway, with Adam state.
+
+use rlb_util::Prng;
+
+/// Elementwise activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity (used for the output logit).
+    Linear,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    #[inline]
+    fn apply(&self, z: f32) -> f32 {
+        match self {
+            Activation::Linear => z,
+            Activation::Relu => z.max(0.0),
+            Activation::Tanh => z.tanh(),
+            Activation::Sigmoid => sigmoid(z),
+        }
+    }
+
+    /// Derivative expressed in terms of the activation *output* `a`.
+    #[inline]
+    fn derivative(&self, a: f32) -> f32 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if a > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - a * a,
+            Activation::Sigmoid => a * (1.0 - a),
+        }
+    }
+}
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// A parameter matrix/vector with its gradient accumulator and Adam moments.
+#[derive(Debug, Clone)]
+struct Param {
+    value: Vec<f32>,
+    grad: Vec<f32>,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl Param {
+    fn new(len: usize) -> Self {
+        Param { value: vec![0.0; len], grad: vec![0.0; len], m: vec![0.0; len], v: vec![0.0; len] }
+    }
+
+    fn init_xavier(&mut self, fan_in: usize, fan_out: usize, rng: &mut Prng) {
+        let scale = (6.0 / (fan_in + fan_out) as f64).sqrt();
+        for w in self.value.iter_mut() {
+            *w = rng.uniform(-scale, scale) as f32;
+        }
+    }
+
+    fn adam_step(&mut self, lr: f32, t: u64) {
+        const B1: f32 = 0.9;
+        const B2: f32 = 0.999;
+        const EPS: f32 = 1e-8;
+        let bc1 = 1.0 - B1.powi(t as i32);
+        let bc2 = 1.0 - B2.powi(t as i32);
+        for i in 0..self.value.len() {
+            let g = self.grad[i];
+            self.m[i] = B1 * self.m[i] + (1.0 - B1) * g;
+            self.v[i] = B2 * self.v[i] + (1.0 - B2) * g * g;
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            self.value[i] -= lr * mhat / (vhat.sqrt() + EPS);
+            self.grad[i] = 0.0;
+        }
+    }
+}
+
+/// Common layer interface: forward caches what backward needs; backward
+/// accumulates parameter gradients and returns the input gradient; `step`
+/// applies one Adam update.
+pub trait Layer {
+    /// Input dimensionality.
+    fn input_dim(&self) -> usize;
+    /// Output dimensionality.
+    fn output_dim(&self) -> usize;
+    /// Forward pass for a single example.
+    fn forward(&mut self, x: &[f32]) -> Vec<f32>;
+    /// Backward pass: `dy` is dL/d(output); returns dL/d(input).
+    fn backward(&mut self, dy: &[f32]) -> Vec<f32>;
+    /// Applies accumulated gradients with Adam.
+    fn step(&mut self, lr: f32, t: u64);
+    /// All parameters flattened into one vector (snapshot for
+    /// validation-based model selection).
+    fn params_flat(&self) -> Vec<f32>;
+    /// Restores parameters from a [`Layer::params_flat`] snapshot.
+    fn set_params_flat(&mut self, flat: &[f32]);
+}
+
+/// Fully connected layer with activation.
+#[derive(Debug, Clone)]
+pub struct DenseLayer {
+    w: Param, // row-major: out × in
+    b: Param,
+    act: Activation,
+    in_dim: usize,
+    out_dim: usize,
+    // Caches from the last forward call.
+    last_x: Vec<f32>,
+    last_a: Vec<f32>,
+}
+
+impl DenseLayer {
+    /// Xavier-initialized dense layer.
+    pub fn new(in_dim: usize, out_dim: usize, act: Activation, rng: &mut Prng) -> Self {
+        assert!(in_dim > 0 && out_dim > 0);
+        let mut w = Param::new(in_dim * out_dim);
+        w.init_xavier(in_dim, out_dim, rng);
+        DenseLayer {
+            w,
+            b: Param::new(out_dim),
+            act,
+            in_dim,
+            out_dim,
+            last_x: Vec::new(),
+            last_a: Vec::new(),
+        }
+    }
+}
+
+impl Layer for DenseLayer {
+    fn input_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(x.len(), self.in_dim);
+        self.last_x = x.to_vec();
+        let mut out = vec![0.0f32; self.out_dim];
+        for o in 0..self.out_dim {
+            let row = &self.w.value[o * self.in_dim..(o + 1) * self.in_dim];
+            let z = rlb_util::linalg::dot_f32(row, x) + self.b.value[o];
+            out[o] = self.act.apply(z);
+        }
+        self.last_a = out.clone();
+        out
+    }
+
+    fn backward(&mut self, dy: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(dy.len(), self.out_dim);
+        let mut dx = vec![0.0f32; self.in_dim];
+        for o in 0..self.out_dim {
+            let dz = dy[o] * self.act.derivative(self.last_a[o]);
+            self.b.grad[o] += dz;
+            let row_g = &mut self.w.grad[o * self.in_dim..(o + 1) * self.in_dim];
+            for (i, g) in row_g.iter_mut().enumerate() {
+                *g += dz * self.last_x[i];
+            }
+            let row = &self.w.value[o * self.in_dim..(o + 1) * self.in_dim];
+            for (i, d) in dx.iter_mut().enumerate() {
+                *d += dz * row[i];
+            }
+        }
+        dx
+    }
+
+    fn step(&mut self, lr: f32, t: u64) {
+        self.w.adam_step(lr, t);
+        self.b.adam_step(lr, t);
+    }
+
+    fn params_flat(&self) -> Vec<f32> {
+        let mut v = self.w.value.clone();
+        v.extend_from_slice(&self.b.value);
+        v
+    }
+
+    fn set_params_flat(&mut self, flat: &[f32]) {
+        let nw = self.w.value.len();
+        assert_eq!(flat.len(), nw + self.b.value.len(), "snapshot size mismatch");
+        self.w.value.copy_from_slice(&flat[..nw]);
+        self.b.value.copy_from_slice(&flat[nw..]);
+    }
+}
+
+/// Highway layer: `y = t ⊙ h(x) + (1 - t) ⊙ x`, where
+/// `t = σ(W_t x + b_t)` (transform gate) and `h = relu(W_h x + b_h)`.
+/// Input and output dimensionality are equal by construction.
+#[derive(Debug, Clone)]
+pub struct HighwayLayer {
+    wh: Param,
+    bh: Param,
+    wt: Param,
+    bt: Param,
+    dim: usize,
+    last_x: Vec<f32>,
+    last_h: Vec<f32>,
+    last_t: Vec<f32>,
+}
+
+impl HighwayLayer {
+    /// Highway layer of width `dim`. The transform-gate bias starts at -1 so
+    /// the layer initially passes its input through (standard practice).
+    pub fn new(dim: usize, rng: &mut Prng) -> Self {
+        assert!(dim > 0);
+        let mut wh = Param::new(dim * dim);
+        wh.init_xavier(dim, dim, rng);
+        let mut wt = Param::new(dim * dim);
+        wt.init_xavier(dim, dim, rng);
+        let mut bt = Param::new(dim);
+        for b in bt.value.iter_mut() {
+            *b = -1.0;
+        }
+        HighwayLayer {
+            wh,
+            bh: Param::new(dim),
+            wt,
+            bt,
+            dim,
+            last_x: Vec::new(),
+            last_h: Vec::new(),
+            last_t: Vec::new(),
+        }
+    }
+}
+
+impl Layer for HighwayLayer {
+    fn input_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(x.len(), self.dim);
+        self.last_x = x.to_vec();
+        let mut h = vec![0.0f32; self.dim];
+        let mut t = vec![0.0f32; self.dim];
+        for o in 0..self.dim {
+            let rh = &self.wh.value[o * self.dim..(o + 1) * self.dim];
+            let rt = &self.wt.value[o * self.dim..(o + 1) * self.dim];
+            h[o] = (rlb_util::linalg::dot_f32(rh, x) + self.bh.value[o]).max(0.0);
+            t[o] = sigmoid(rlb_util::linalg::dot_f32(rt, x) + self.bt.value[o]);
+        }
+        let y: Vec<f32> =
+            (0..self.dim).map(|o| t[o] * h[o] + (1.0 - t[o]) * x[o]).collect();
+        self.last_h = h;
+        self.last_t = t;
+        y
+    }
+
+    fn backward(&mut self, dy: &[f32]) -> Vec<f32> {
+        let mut dx = vec![0.0f32; self.dim];
+        // Carry path: dL/dx += dy ⊙ (1 - t).
+        for i in 0..self.dim {
+            dx[i] += dy[i] * (1.0 - self.last_t[i]);
+        }
+        for o in 0..self.dim {
+            // h path.
+            let dh = dy[o] * self.last_t[o];
+            let dzh = if self.last_h[o] > 0.0 { dh } else { 0.0 };
+            self.bh.grad[o] += dzh;
+            let row_hg = &mut self.wh.grad[o * self.dim..(o + 1) * self.dim];
+            for (i, g) in row_hg.iter_mut().enumerate() {
+                *g += dzh * self.last_x[i];
+            }
+            let row_h = &self.wh.value[o * self.dim..(o + 1) * self.dim];
+            for (i, d) in dx.iter_mut().enumerate() {
+                *d += dzh * row_h[i];
+            }
+            // t path: d y_o / d t_o = h_o - x_o.
+            let dt = dy[o] * (self.last_h[o] - self.last_x[o]);
+            let dzt = dt * self.last_t[o] * (1.0 - self.last_t[o]);
+            self.bt.grad[o] += dzt;
+            let row_tg = &mut self.wt.grad[o * self.dim..(o + 1) * self.dim];
+            for (i, g) in row_tg.iter_mut().enumerate() {
+                *g += dzt * self.last_x[i];
+            }
+            let row_t = &self.wt.value[o * self.dim..(o + 1) * self.dim];
+            for (i, d) in dx.iter_mut().enumerate() {
+                *d += dzt * row_t[i];
+            }
+        }
+        dx
+    }
+
+    fn step(&mut self, lr: f32, t: u64) {
+        self.wh.adam_step(lr, t);
+        self.bh.adam_step(lr, t);
+        self.wt.adam_step(lr, t);
+        self.bt.adam_step(lr, t);
+    }
+
+    fn params_flat(&self) -> Vec<f32> {
+        let mut v = self.wh.value.clone();
+        v.extend_from_slice(&self.bh.value);
+        v.extend_from_slice(&self.wt.value);
+        v.extend_from_slice(&self.bt.value);
+        v
+    }
+
+    fn set_params_flat(&mut self, flat: &[f32]) {
+        let (nw, nb) = (self.wh.value.len(), self.bh.value.len());
+        assert_eq!(flat.len(), 2 * nw + 2 * nb, "snapshot size mismatch");
+        self.wh.value.copy_from_slice(&flat[..nw]);
+        self.bh.value.copy_from_slice(&flat[nw..nw + nb]);
+        self.wt.value.copy_from_slice(&flat[nw + nb..2 * nw + nb]);
+        self.bt.value.copy_from_slice(&flat[2 * nw + nb..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerical gradient check for a layer's input gradient and one weight.
+    fn grad_check<L: Layer>(layer: &mut L, x: &[f32]) {
+        let y = layer.forward(x);
+        // dL = sum(y) -> dy = ones.
+        let dy = vec![1.0f32; y.len()];
+        let dx = layer.backward(&dy);
+        let eps = 1e-3f32;
+        for i in 0..x.len() {
+            let mut xp = x.to_vec();
+            xp[i] += eps;
+            let yp: f32 = layer.forward(&xp).iter().sum();
+            let mut xm = x.to_vec();
+            xm[i] -= eps;
+            let ym: f32 = layer.forward(&xm).iter().sum();
+            let num = (yp - ym) / (2.0 * eps);
+            assert!(
+                (num - dx[i]).abs() < 1e-2,
+                "input grad mismatch at {i}: numeric {num} vs analytic {}",
+                dx[i]
+            );
+        }
+    }
+
+    #[test]
+    fn dense_forward_shape_and_determinism() {
+        let mut rng = Prng::seed_from_u64(1);
+        let mut l = DenseLayer::new(3, 5, Activation::Relu, &mut rng);
+        let y1 = l.forward(&[0.1, -0.2, 0.3]);
+        let y2 = l.forward(&[0.1, -0.2, 0.3]);
+        assert_eq!(y1.len(), 5);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn dense_gradcheck_all_activations() {
+        for act in [Activation::Linear, Activation::Tanh, Activation::Sigmoid] {
+            let mut rng = Prng::seed_from_u64(2);
+            let mut l = DenseLayer::new(4, 3, act, &mut rng);
+            grad_check(&mut l, &[0.3, -0.5, 0.8, 0.2]);
+        }
+    }
+
+    #[test]
+    fn relu_gradcheck_away_from_kink() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut l = DenseLayer::new(2, 2, Activation::Relu, &mut rng);
+        // Pick an input whose pre-activations are comfortably non-zero.
+        grad_check(&mut l, &[0.9, 0.7]);
+    }
+
+    #[test]
+    fn highway_gradcheck() {
+        let mut rng = Prng::seed_from_u64(4);
+        let mut l = HighwayLayer::new(3, &mut rng);
+        grad_check(&mut l, &[0.4, -0.3, 0.6]);
+    }
+
+    #[test]
+    fn highway_initially_passes_input_through() {
+        let mut rng = Prng::seed_from_u64(5);
+        let mut l = HighwayLayer::new(4, &mut rng);
+        let x = [0.5f32, -0.5, 0.25, 0.0];
+        let y = l.forward(&x);
+        // With bt = -1 the gate is ~0.27, so output stays close to input.
+        for (xi, yi) in x.iter().zip(&y) {
+            assert!((xi - yi).abs() < 0.6, "{xi} vs {yi}");
+        }
+    }
+
+    #[test]
+    fn adam_step_reduces_simple_loss() {
+        // Fit y = 2x with a single linear unit.
+        let mut rng = Prng::seed_from_u64(6);
+        let mut l = DenseLayer::new(1, 1, Activation::Linear, &mut rng);
+        let mut t = 0;
+        for _ in 0..500 {
+            t += 1;
+            let x = [1.0f32];
+            let y = l.forward(&x)[0];
+            let target = 2.0;
+            // L = (y - target)^2 / 2, dL/dy = y - target.
+            l.backward(&[y - target]);
+            l.step(0.05, t);
+        }
+        let y = l.forward(&[1.0])[0];
+        assert!((y - 2.0).abs() < 0.05, "converged to {y}");
+    }
+
+    #[test]
+    fn activation_derivatives_match_definition() {
+        assert_eq!(Activation::Relu.derivative(1.0), 1.0);
+        assert_eq!(Activation::Relu.derivative(0.0), 0.0);
+        assert_eq!(Activation::Linear.derivative(123.0), 1.0);
+        let a = Activation::Sigmoid.apply(0.3);
+        assert!((Activation::Sigmoid.derivative(a) - a * (1.0 - a)).abs() < 1e-7);
+    }
+}

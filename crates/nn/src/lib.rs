@@ -1,0 +1,25 @@
+//! Minimal neural-network substrate with manual backpropagation.
+//!
+//! The five DL matcher reimplementations in `rlb-matchers` need exactly
+//! this much deep learning:
+//!
+//! - dense layers with ReLU/Tanh/Sigmoid activations ([`dense`]),
+//! - a Highway layer (DeepMatcher's classification module uses a two-layer
+//!   fully-connected ReLU HighwayNet, Section IV-A),
+//! - the Adam optimizer,
+//! - binary cross-entropy on logits,
+//! - a mini-batch trainer with validation-based model selection
+//!   ([`mlp::Mlp::train`]) — the paper explicitly fixes this protocol
+//!   (it even patches EMTransformer to select the best epoch on the
+//!   validation set rather than the test set).
+//!
+//! Everything is `f32`, seeded, and single-threaded; at benchmark scale
+//! (thousands of pairs × ≤ few-hundred features) this trains in
+//! milliseconds, which is what lets the harness sweep 20+ matcher
+//! configurations over 21 datasets.
+
+pub mod dense;
+pub mod mlp;
+
+pub use dense::{Activation, DenseLayer, HighwayLayer, Layer};
+pub use mlp::{Mlp, TrainConfig, TrainReport};

@@ -1,0 +1,347 @@
+//! The corruption (noise) model.
+//!
+//! A duplicate record is a corrupted copy of its entity's canonical values.
+//! The operations mirror the data-quality problems the ER literature
+//! catalogues, and each one is chosen because it stresses a different class
+//! of matcher:
+//!
+//! - **typos** degrade exact-token overlap (hurting Algorithm-1-style linear
+//!   thresholds) but keep q-gram and subword-embedding similarity high;
+//! - **token drops / filler insertions** shift the overall similarity
+//!   distribution toward the non-match range;
+//! - **token fusion** (`power book` → `powerbook`) is only recoverable by
+//!   subword features;
+//! - **migration** moves a fragment into a neighbouring attribute, which
+//!   breaks schema-*aware* per-attribute comparisons while schema-agnostic
+//!   representations are unaffected;
+//! - **missing values** blank an attribute entirely;
+//! - **dirty misplacement** reproduces the DeepMatcher "dirty" benchmark
+//!   construction: each non-title value is moved (not copied) to the title
+//!   with 50% probability.
+
+use rlb_util::Prng;
+
+/// Per-operation probabilities of the noise model. All in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseParams {
+    /// Chance that a given attribute is corrupted at all.
+    pub attr_corrupt_prob: f64,
+    /// Per-token chance of a character-level typo.
+    pub token_typo_prob: f64,
+    /// Per-token chance of being dropped.
+    pub token_drop_prob: f64,
+    /// Per-token chance of being fused with its successor.
+    pub token_fuse_prob: f64,
+    /// Per-attribute chance of inserting one filler token.
+    pub filler_insert_prob: f64,
+    /// Per-attribute chance of the whole value going missing.
+    pub missing_prob: f64,
+    /// Per-attribute chance of migrating a fragment to the next attribute.
+    pub migrate_prob: f64,
+    /// Per-token chance of abbreviation (`token` → `t.`).
+    pub abbreviate_prob: f64,
+}
+
+impl NoiseParams {
+    /// No corruption at all.
+    pub const CLEAN: NoiseParams = NoiseParams {
+        attr_corrupt_prob: 0.0,
+        token_typo_prob: 0.0,
+        token_drop_prob: 0.0,
+        token_fuse_prob: 0.0,
+        filler_insert_prob: 0.0,
+        missing_prob: 0.0,
+        migrate_prob: 0.0,
+        abbreviate_prob: 0.0,
+    };
+
+    /// Maps a scalar difficulty level in `[0, 1]` to a full parameter set.
+    /// Level 0 is a light "formatting style" change; level 1 is heavy
+    /// corruption where most attributes are touched.
+    pub fn from_level(level: f64) -> Self {
+        let l = level.clamp(0.0, 1.0);
+        NoiseParams {
+            attr_corrupt_prob: 0.25 + 0.75 * l,
+            token_typo_prob: 0.05 + 0.50 * l,
+            token_drop_prob: 0.02 + 0.38 * l,
+            token_fuse_prob: 0.35 * l,
+            filler_insert_prob: 0.10 + 0.50 * l,
+            missing_prob: 0.40 * l,
+            migrate_prob: 0.60 * l,
+            abbreviate_prob: 0.30 * l,
+        }
+    }
+}
+
+/// Applies one random character-level typo to a token (swap, delete,
+/// substitute, or duplicate a character). Single-character tokens get a
+/// substitution.
+pub fn typo(token: &str, rng: &mut Prng) -> String {
+    let chars: Vec<char> = token.chars().collect();
+    if chars.is_empty() {
+        return String::new();
+    }
+    let mut out = chars.clone();
+    let op = rng.index(4);
+    let pos = rng.index(chars.len());
+    match op {
+        0 if chars.len() >= 2 => {
+            let p = pos.min(chars.len() - 2);
+            out.swap(p, p + 1);
+        }
+        1 if chars.len() >= 2 => {
+            out.remove(pos);
+        }
+        2 => {
+            let repl = (b'a' + rng.index(26) as u8) as char;
+            out[pos] = repl;
+        }
+        _ => {
+            out.insert(pos, out[pos]);
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Corrupts one attribute value under `params`.
+pub fn corrupt_value(value: &str, params: &NoiseParams, rng: &mut Prng) -> String {
+    if value.is_empty() {
+        return String::new();
+    }
+    if rng.chance(params.missing_prob) {
+        return String::new();
+    }
+    let mut tokens: Vec<String> =
+        value.split_whitespace().map(|s| s.to_string()).collect();
+    // Token drops (keep at least one token).
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens.len() > 1 && rng.chance(params.token_drop_prob) {
+            tokens.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    // Fusions.
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        if rng.chance(params.token_fuse_prob) {
+            let next = tokens.remove(i + 1);
+            tokens[i].push_str(&next);
+        }
+        i += 1;
+    }
+    // Typos and abbreviations.
+    for t in tokens.iter_mut() {
+        if rng.chance(params.abbreviate_prob) && t.len() > 2 && t.chars().all(char::is_alphabetic)
+        {
+            let first = t.chars().next().expect("non-empty token");
+            *t = format!("{first}.");
+        } else if rng.chance(params.token_typo_prob) {
+            *t = typo(t, rng);
+        }
+    }
+    // Filler insertion.
+    if rng.chance(params.filler_insert_prob) {
+        let filler = *rng.choose(crate::vocab::FILLER);
+        let pos = rng.index(tokens.len() + 1);
+        tokens.insert(pos, filler.to_string());
+    }
+    tokens.join(" ")
+}
+
+/// Corrupts a whole record. Attributes listed in `anchors` are protected:
+/// they receive at most a light typo pass, never drops/missing/migration —
+/// this is the pair-specific evidence that non-linear matchers can exploit.
+pub fn corrupt_record(
+    values: &[String],
+    anchors: &[usize],
+    params: &NoiseParams,
+    rng: &mut Prng,
+) -> Vec<String> {
+    let mut out: Vec<String> = values
+        .iter()
+        .enumerate()
+        .map(|(a, v)| {
+            if anchors.contains(&a) {
+                // Light touch: one possible typo, nothing else.
+                let light = NoiseParams {
+                    token_typo_prob: (params.token_typo_prob * 0.3).min(0.1),
+                    ..NoiseParams::CLEAN
+                };
+                corrupt_value(v, &light, rng)
+            } else if rng.chance(params.attr_corrupt_prob) {
+                corrupt_value(v, params, rng)
+            } else {
+                v.clone()
+            }
+        })
+        .collect();
+    // Migration: move the first token of attribute `a` to attribute `a+1`.
+    for a in 0..out.len().saturating_sub(1) {
+        if anchors.contains(&a) || anchors.contains(&(a + 1)) {
+            continue;
+        }
+        if rng.chance(params.migrate_prob) && !out[a].is_empty() {
+            let mut toks: Vec<String> =
+                out[a].split_whitespace().map(|s| s.to_string()).collect();
+            if toks.len() > 1 {
+                let moved = toks.remove(0);
+                out[a] = toks.join(" ");
+                let target = if out[a + 1].is_empty() {
+                    moved
+                } else {
+                    format!("{moved} {}", out[a + 1])
+                };
+                out[a + 1] = target;
+            }
+        }
+    }
+    out
+}
+
+/// DeepMatcher "dirty" construction: every non-title value moves to the
+/// title with probability `prob` (0.5 in the paper), leaving its own
+/// attribute empty.
+pub fn dirty_misplace(values: &mut Vec<String>, title_idx: usize, prob: f64, rng: &mut Prng) {
+    for a in 0..values.len() {
+        if a == title_idx || values[a].is_empty() {
+            continue;
+        }
+        if rng.chance(prob) {
+            let moved = std::mem::take(&mut values[a]);
+            if values[title_idx].is_empty() {
+                values[title_idx] = moved;
+            } else {
+                values[title_idx] = format!("{} {moved}", values[title_idx]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_params_are_identity() {
+        let mut rng = Prng::seed_from_u64(1);
+        let v = "acme widget xk 4821".to_string();
+        assert_eq!(corrupt_value(&v, &NoiseParams::CLEAN, &mut rng), v);
+    }
+
+    #[test]
+    fn typo_changes_token_but_stays_close() {
+        let mut rng = Prng::seed_from_u64(2);
+        for _ in 0..100 {
+            let t = typo("widget", &mut rng);
+            assert_ne!(t, "");
+            let d = rlb_textsim::edit::levenshtein_distance("widget", &t);
+            assert!(d <= 2, "typo too destructive: {t}");
+        }
+    }
+
+    #[test]
+    fn typo_on_single_char_is_safe() {
+        let mut rng = Prng::seed_from_u64(3);
+        for _ in 0..20 {
+            let t = typo("x", &mut rng);
+            assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn heavy_noise_reduces_overlap() {
+        let mut rng = Prng::seed_from_u64(4);
+        let value = "acme zenbrook kelora brimstone xk 4821 premium";
+        let params = NoiseParams::from_level(1.0);
+        let mut total_sim = 0.0;
+        let n = 50;
+        for _ in 0..n {
+            let c = corrupt_value(value, &params, &mut rng);
+            let a = rlb_textsim::TokenSet::from_text(value);
+            let b = rlb_textsim::TokenSet::from_text(&c);
+            total_sim += rlb_textsim::sets::jaccard(&a, &b);
+        }
+        let avg = total_sim / n as f64;
+        assert!(avg < 0.6, "heavy noise left overlap too high: {avg}");
+    }
+
+    #[test]
+    fn light_noise_preserves_overlap() {
+        let mut rng = Prng::seed_from_u64(5);
+        let value = "acme zenbrook kelora brimstone xk 4821 premium";
+        let params = NoiseParams::from_level(0.05);
+        let mut total_sim = 0.0;
+        let n = 50;
+        for _ in 0..n {
+            let c = corrupt_value(value, &params, &mut rng);
+            let a = rlb_textsim::TokenSet::from_text(value);
+            let b = rlb_textsim::TokenSet::from_text(&c);
+            total_sim += rlb_textsim::sets::jaccard(&a, &b);
+        }
+        let avg = total_sim / n as f64;
+        assert!(avg > 0.7, "light noise destroyed overlap: {avg}");
+    }
+
+    #[test]
+    fn anchors_survive_heavy_noise() {
+        let mut rng = Prng::seed_from_u64(6);
+        let values: Vec<String> =
+            vec!["title words here".into(), "brandname".into(), "XK-4821".into()];
+        let params = NoiseParams::from_level(1.0);
+        for _ in 0..30 {
+            let out = corrupt_record(&values, &[2], &params, &mut rng);
+            // Anchor may carry a light typo but is never emptied.
+            assert!(!out[2].is_empty());
+            let d = rlb_textsim::edit::levenshtein_distance(&values[2], &out[2]);
+            assert!(d <= 2, "anchor corrupted too much: {}", out[2]);
+        }
+    }
+
+    #[test]
+    fn dirty_misplace_moves_values_into_title() {
+        let mut rng = Prng::seed_from_u64(7);
+        let mut moved_any = false;
+        for _ in 0..20 {
+            let mut values: Vec<String> =
+                vec!["title".into(), "brand".into(), "model".into()];
+            dirty_misplace(&mut values, 0, 0.5, &mut rng);
+            let title_tokens = rlb_textsim::tokens(&values[0]);
+            if values[1].is_empty() {
+                assert!(title_tokens.contains(&"brand".to_string()));
+                moved_any = true;
+            }
+            // Value is moved, never duplicated.
+            let all = values.join(" ");
+            let count =
+                rlb_textsim::tokens(&all).iter().filter(|t| *t == "brand").count();
+            assert_eq!(count, 1);
+        }
+        assert!(moved_any);
+    }
+
+    #[test]
+    fn dirty_misplace_zero_prob_is_identity() {
+        let mut rng = Prng::seed_from_u64(8);
+        let mut values: Vec<String> = vec!["t".into(), "b".into()];
+        dirty_misplace(&mut values, 0, 0.0, &mut rng);
+        assert_eq!(values, vec!["t".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn corruption_is_deterministic_under_seed() {
+        let values: Vec<String> = vec!["alpha beta gamma".into(), "delta".into()];
+        let params = NoiseParams::from_level(0.7);
+        let a = corrupt_record(&values, &[], &params, &mut Prng::seed_from_u64(9));
+        let b = corrupt_record(&values, &[], &params, &mut Prng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn missing_prob_one_blanks_everything() {
+        let mut rng = Prng::seed_from_u64(10);
+        let params = NoiseParams { missing_prob: 1.0, ..NoiseParams::CLEAN };
+        assert_eq!(corrupt_value("some value", &params, &mut rng), "");
+    }
+}

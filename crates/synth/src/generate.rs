@@ -1,0 +1,467 @@
+//! Benchmark assembly: entities → sources → labelled candidate pairs.
+
+use crate::corrupt::{corrupt_record, dirty_misplace, NoiseParams};
+use crate::entity::{Domain, EntityFactory};
+use crate::profile::{BenchmarkProfile, RawPairProfile};
+use rlb_data::{split_pairs, LabeledPair, MatchingTask, PairRef, Source, SplitRatio};
+use rlb_util::Prng;
+use rustc_hash::FxHashMap;
+use std::collections::BTreeSet;
+
+/// Average entities per family; larger families mean more near-duplicate
+/// non-matches available as hard negatives.
+const FAMILY_SPREAD: usize = 8;
+
+/// A generated raw dataset pair with complete ground truth — the input to
+/// the Section-VI methodology (blocking has not been applied yet).
+#[derive(Debug, Clone)]
+pub struct RawDatasetPair {
+    /// Benchmark identifier.
+    pub name: String,
+    /// Left source.
+    pub left: Source,
+    /// Right source.
+    pub right: Source,
+    /// All true duplicate pairs (complete ground truth `M`).
+    pub matches: Vec<PairRef>,
+}
+
+/// Applies the `right_terse` style: aggressively shortens the long-text
+/// attribute so right-source values carry far fewer tokens.
+fn shorten_long_text(values: &mut [String], domain: Domain, rng: &mut Prng) {
+    let attr = match domain {
+        Domain::TextualProduct | Domain::TextualCompany => 1,
+        _ => return,
+    };
+    let drop = match domain {
+        // Company pages are shortened the hardest: the paper observes the
+        // largest Cosine-vs-Jaccard linearity gap on the textual sets.
+        Domain::TextualCompany => 0.65,
+        _ => 0.55,
+    };
+    let params = NoiseParams { token_drop_prob: drop, ..NoiseParams::CLEAN };
+    values[attr] = crate::corrupt::corrupt_value(&values[attr], &params, rng);
+}
+
+fn style_render(values: &[String], style_noise: f64, rng: &mut Prng) -> Vec<String> {
+    corrupt_record(values, &[], &NoiseParams::from_level(style_noise), rng)
+}
+
+/// Anchor attributes are chosen among the *non-title* attributes: the
+/// title's tokens dominate the schema-agnostic overlap, so an intact title
+/// would make even heavily-corrupted matches linearly separable. Anchoring
+/// a small attribute (model code, price, year, phone) instead leaves the
+/// global similarity ambiguous while planting pair-specific evidence that
+/// non-linear matchers can learn.
+/// Blanks each non-title attribute with probability `p` — sparse metadata
+/// affecting every record of both sources equally.
+fn apply_base_missing(values: &mut [String], p: f64, rng: &mut Prng) {
+    if p <= 0.0 {
+        return;
+    }
+    for v in values.iter_mut().skip(1) {
+        if rng.chance(p) {
+            v.clear();
+        }
+    }
+}
+
+fn pick_anchors(arity: usize, count: usize, rng: &mut Prng) -> Vec<usize> {
+    if arity <= 1 {
+        return vec![0; count.min(1)];
+    }
+    rng.sample_indices(arity - 1, count.min(arity - 1))
+        .into_iter()
+        .map(|i| i + 1)
+        .collect()
+}
+
+struct BuiltSources {
+    left: Source,
+    right: Source,
+    /// Family id per right record (for hard-negative sampling).
+    right_families: Vec<usize>,
+    /// Family id per left record.
+    left_families: Vec<usize>,
+    /// Ground-truth matches.
+    matches: Vec<PairRef>,
+}
+
+/// Generates the two sources plus ground truth shared by both benchmark
+/// flavours.
+#[allow(clippy::too_many_arguments)]
+fn build_sources(
+    name_left: &str,
+    name_right: &str,
+    domain: Domain,
+    left_size: usize,
+    right_size: usize,
+    n_matches: usize,
+    match_noise: f64,
+    anchor_attrs: usize,
+    style_noise: f64,
+    right_terse: bool,
+    missing_boost: f64,
+    base_missing: f64,
+    match_scramble: f64,
+    rng: &mut Prng,
+) -> BuiltSources {
+    assert!(n_matches <= left_size.min(right_size), "matches exceed source sizes");
+    let total_entities = left_size + right_size - n_matches;
+    let family_count = (total_entities / FAMILY_SPREAD).max(2);
+    let mut factory = EntityFactory::new(domain, family_count, total_entities, rng.next_u64());
+    let entities = factory.generate_all(total_entities);
+
+    let attributes = domain.attributes();
+    let mut left = Source::new(name_left, attributes.clone());
+    let mut left_families = Vec::with_capacity(left_size);
+    for e in entities.iter().take(left_size) {
+        let mut values = style_render(&e.values, style_noise, rng);
+        apply_base_missing(&mut values, base_missing, rng);
+        left.push(values);
+        left_families.push(e.family);
+    }
+
+    // Right records: corrupted duplicates of the first `n_matches` entities
+    // plus fresh entities, in shuffled order.
+    let match_params = NoiseParams::from_level(match_noise);
+    enum Slot {
+        Duplicate(usize),
+        Fresh(usize),
+    }
+    let mut slots: Vec<Slot> = (0..n_matches)
+        .map(Slot::Duplicate)
+        .chain((left_size..total_entities).map(Slot::Fresh))
+        .collect();
+    rng.shuffle(&mut slots);
+
+    let mut right = Source::new(name_right, attributes);
+    let mut right_families = Vec::with_capacity(right_size);
+    let mut matches = Vec::with_capacity(n_matches);
+    for (pos, slot) in slots.iter().enumerate() {
+        let (entity_idx, mut values) = match *slot {
+            Slot::Duplicate(i) => {
+                // The anchor evidence is itself noisy: ~30% of duplicates
+                // preserve nothing, so no single rule recovers every match.
+                let anchors = if rng.chance(0.3) {
+                    Vec::new()
+                } else {
+                    pick_anchors(entities[i].values.len(), anchor_attrs, rng)
+                };
+                let mut values =
+                    corrupt_record(&entities[i].values, &anchors, &match_params, rng);
+                // Heterogeneous-source misalignment: scrambling moves values
+                // between attributes without changing the token set.
+                if rng.chance(match_scramble) {
+                    dirty_misplace(&mut values, 0, 0.5, rng);
+                }
+                (i, values)
+            }
+            Slot::Fresh(i) => (i, style_render(&entities[i].values, style_noise, rng)),
+        };
+        if right_terse {
+            shorten_long_text(&mut values, domain, rng);
+        }
+        apply_base_missing(&mut values, base_missing, rng);
+        if missing_boost > 0.0 {
+            for v in values.iter_mut().skip(1) {
+                if rng.chance(missing_boost) {
+                    v.clear();
+                }
+            }
+        }
+        // Never emit a fully empty record.
+        if values.iter().all(String::is_empty) {
+            values[0] = entities[entity_idx].values[0].clone();
+        }
+        right.push(values);
+        right_families.push(entities[entity_idx].family);
+        if let Slot::Duplicate(i) = *slot {
+            matches.push(PairRef::new(i as u32, pos as u32));
+        }
+    }
+    matches.sort();
+    BuiltSources { left, right, right_families, left_families, matches }
+}
+
+/// Generates an established-style benchmark: sources, pre-blocked labelled
+/// candidate pairs matching the profile's instance counts and imbalance
+/// ratio, split 3:1:1.
+pub fn generate_task(p: &BenchmarkProfile) -> MatchingTask {
+    let mut rng = Prng::seed_from_u64(p.seed);
+    let mut built = build_sources(
+        &format!("{}-left", p.id),
+        &format!("{}-right", p.id),
+        p.domain,
+        p.left_size,
+        p.right_size,
+        p.n_matches,
+        p.knobs.match_noise,
+        p.knobs.anchor_attrs,
+        p.knobs.style_noise,
+        p.knobs.right_terse,
+        0.0,
+        p.knobs.base_missing,
+        0.0,
+        &mut rng,
+    );
+
+    if p.knobs.dirty {
+        let title = p.domain.title_index();
+        for r in built.left.records.iter_mut() {
+            dirty_misplace(&mut r.values, title, 0.5, &mut rng);
+        }
+        for r in built.right.records.iter_mut() {
+            dirty_misplace(&mut r.values, title, 0.5, &mut rng);
+        }
+    }
+
+    // --- Labelled pair construction -------------------------------------
+    let n_pos = ((p.labeled_pairs as f64 * p.positive_fraction).round() as usize)
+        .min(built.matches.len());
+    let n_neg = p.labeled_pairs - n_pos;
+    let n_hard = (n_neg as f64 * p.knobs.hard_negative_fraction).round() as usize;
+
+    let mut used: BTreeSet<PairRef> = BTreeSet::new();
+    let mut labeled: Vec<LabeledPair> = Vec::with_capacity(p.labeled_pairs);
+
+    // Positives: a random subset of the true matches.
+    rng.shuffle(&mut built.matches);
+    let match_lookup: BTreeSet<PairRef> = built.matches.iter().copied().collect();
+    for m in built.matches.iter().take(n_pos) {
+        used.insert(*m);
+        labeled.push(LabeledPair { pair: *m, is_match: true });
+    }
+
+    // Hard negatives: same-family cross-source pairs.
+    let mut family_to_right: FxHashMap<usize, Vec<u32>> = FxHashMap::default();
+    for (idx, fam) in built.right_families.iter().enumerate() {
+        family_to_right.entry(*fam).or_default().push(idx as u32);
+    }
+    let mut hard_added = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = n_hard * 50 + 100;
+    while hard_added < n_hard && attempts < max_attempts {
+        attempts += 1;
+        let l = rng.index(built.left.len()) as u32;
+        let fam = built.left_families[l as usize];
+        let Some(cands) = family_to_right.get(&fam) else { continue };
+        if cands.is_empty() {
+            continue;
+        }
+        let r = *rng.choose(cands);
+        let pair = PairRef::new(l, r);
+        if match_lookup.contains(&pair) || !used.insert(pair) {
+            continue;
+        }
+        labeled.push(LabeledPair { pair, is_match: false });
+        hard_added += 1;
+    }
+
+    // Easy negatives: random cross-source pairs.
+    while labeled.len() < p.labeled_pairs {
+        let pair = PairRef::new(
+            rng.index(built.left.len()) as u32,
+            rng.index(built.right.len()) as u32,
+        );
+        if match_lookup.contains(&pair) || !used.insert(pair) {
+            continue;
+        }
+        labeled.push(LabeledPair { pair, is_match: false });
+    }
+
+    let mut split_rng = rng.fork(7);
+    let (train, val, test) = split_pairs(labeled, SplitRatio::PAPER, &mut split_rng);
+    MatchingTask {
+        name: p.id.to_string(),
+        left: built.left,
+        right: built.right,
+        train,
+        val,
+        test,
+    }
+}
+
+/// Generates a raw dataset pair (sources + complete ground truth) for the
+/// Section-VI methodology.
+pub fn generate_raw_pair(p: &RawPairProfile) -> RawDatasetPair {
+    let mut rng = Prng::seed_from_u64(p.seed);
+    let built = build_sources(
+        p.left_name,
+        p.right_name,
+        p.domain,
+        p.left_size,
+        p.right_size,
+        p.n_matches,
+        p.match_noise,
+        p.anchor_attrs,
+        p.style_noise,
+        false,
+        p.missing_boost,
+        0.05,
+        p.match_scramble,
+        &mut rng,
+    );
+    RawDatasetPair {
+        name: p.id.to_string(),
+        left: built.left,
+        right: built.right,
+        matches: built.matches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{established_profiles, raw_pair_profiles};
+    use rlb_data::DatasetStats;
+
+    fn small_profile() -> BenchmarkProfile {
+        BenchmarkProfile {
+            id: "test",
+            stands_for: "unit test",
+            domain: Domain::Product,
+            left_size: 120,
+            right_size: 150,
+            n_matches: 60,
+            labeled_pairs: 300,
+            positive_fraction: 0.15,
+            knobs: crate::profile::DifficultyKnobs::moderate(),
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn generated_task_matches_profile_shape() {
+        let p = small_profile();
+        let t = generate_task(&p);
+        assert_eq!(t.left.len(), 120);
+        assert_eq!(t.right.len(), 150);
+        assert_eq!(t.total_pairs(), 300);
+        let stats = DatasetStats::of(&t);
+        assert!((stats.imbalance_ratio - 0.15).abs() < 0.02, "IR {}", stats.imbalance_ratio);
+        assert_eq!(t.validate(), Ok(()));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = small_profile();
+        let a = generate_task(&p);
+        let b = generate_task(&p);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.left.records, b.left.records);
+    }
+
+    #[test]
+    fn positives_really_are_corrupted_copies() {
+        let p = small_profile();
+        let t = generate_task(&p);
+        let mut pos_sims = Vec::new();
+        let mut neg_sims = Vec::new();
+        for lp in t.all_pairs() {
+            let (l, r) = t.records(lp.pair);
+            let s = rlb_textsim::sets::jaccard(&l.token_set(), &r.token_set());
+            if lp.is_match {
+                pos_sims.push(s);
+            } else {
+                neg_sims.push(s);
+            }
+        }
+        let pos_mean = rlb_util::stats::mean(&pos_sims);
+        let neg_mean = rlb_util::stats::mean(&neg_sims);
+        assert!(
+            pos_mean > neg_mean + 0.1,
+            "matches should overlap more: pos {pos_mean:.3} vs neg {neg_mean:.3}"
+        );
+    }
+
+    #[test]
+    fn hard_negatives_overlap_more_than_random() {
+        let mut hard = small_profile();
+        hard.knobs.hard_negative_fraction = 1.0;
+        hard.seed = 5;
+        let mut easy = small_profile();
+        easy.knobs.hard_negative_fraction = 0.0;
+        easy.seed = 5;
+        let mean_neg_sim = |t: &MatchingTask| {
+            let sims: Vec<f64> = t
+                .all_pairs()
+                .filter(|lp| !lp.is_match)
+                .map(|lp| {
+                    let (l, r) = t.records(lp.pair);
+                    rlb_textsim::sets::jaccard(&l.token_set(), &r.token_set())
+                })
+                .collect();
+            rlb_util::stats::mean(&sims)
+        };
+        let h = mean_neg_sim(&generate_task(&hard));
+        let e = mean_neg_sim(&generate_task(&easy));
+        assert!(h > e, "hard negatives {h:.3} should exceed random {e:.3}");
+    }
+
+    #[test]
+    fn dirty_flag_moves_values_but_keeps_tokens() {
+        let mut p = small_profile();
+        p.knobs.dirty = true;
+        let t = generate_task(&p);
+        // Some non-title attribute must be empty somewhere while the global
+        // token multiset stays plausible (titles got longer).
+        let any_moved = t
+            .left
+            .records
+            .iter()
+            .any(|r| r.values.iter().skip(1).any(String::is_empty));
+        assert!(any_moved);
+    }
+
+    #[test]
+    fn all_established_profiles_generate_valid_tasks() {
+        // Only the three smallest to keep unit-test time low; the full 13
+        // are exercised by integration tests and the harness.
+        for p in established_profiles().into_iter().filter(|p| p.labeled_pairs <= 1000) {
+            let t = generate_task(&p);
+            assert_eq!(t.validate(), Ok(()), "{}", p.id);
+            assert_eq!(t.total_pairs(), p.labeled_pairs, "{}", p.id);
+        }
+    }
+
+    #[test]
+    fn raw_pair_has_complete_ground_truth() {
+        let p = &raw_pair_profiles()[1]; // Dn2, mid-sized
+        let raw = generate_raw_pair(p);
+        assert_eq!(raw.left.len(), p.left_size);
+        assert_eq!(raw.right.len(), p.right_size);
+        assert_eq!(raw.matches.len(), p.n_matches);
+        // Matches reference valid records and are unique.
+        let set: BTreeSet<_> = raw.matches.iter().collect();
+        assert_eq!(set.len(), raw.matches.len());
+        for m in &raw.matches {
+            assert!((m.left as usize) < raw.left.len());
+            assert!((m.right as usize) < raw.right.len());
+        }
+        // Each left/right record participates in at most one match
+        // (clean-clean ER sources are duplicate-free).
+        let lefts: BTreeSet<_> = raw.matches.iter().map(|m| m.left).collect();
+        let rights: BTreeSet<_> = raw.matches.iter().map(|m| m.right).collect();
+        assert_eq!(lefts.len(), raw.matches.len());
+        assert_eq!(rights.len(), raw.matches.len());
+    }
+
+    #[test]
+    fn terse_right_source_shrinks_token_counts() {
+        let mut p = small_profile();
+        p.domain = Domain::TextualProduct;
+        p.knobs.right_terse = true;
+        let t = generate_task(&p);
+        let left_tokens: f64 = rlb_util::stats::mean(
+            &t.left.records.iter().map(|r| r.tokens().len() as f64).collect::<Vec<_>>(),
+        );
+        let right_tokens: f64 = rlb_util::stats::mean(
+            &t.right.records.iter().map(|r| r.tokens().len() as f64).collect::<Vec<_>>(),
+        );
+        assert!(
+            right_tokens < left_tokens * 0.75,
+            "right {right_tokens:.1} vs left {left_tokens:.1}"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Synthetic clean-clean ER benchmark generator.
+//!
+//! The original paper evaluates on the 13 DeepMatcher benchmark datasets and
+//! on 8 raw record-linkage dataset pairs. Those corpora are not
+//! redistributable here, so this crate generates *statistical stand-ins*: for
+//! every benchmark we fix a [`profile::BenchmarkProfile`] carrying
+//!
+//! - the published shape statistics (source sizes, attribute counts,
+//!   labelled-instance counts, imbalance ratio — Table III / Table V), and
+//! - difficulty knobs (match corruption level, hard-negative share,
+//!   attribute-migration noise, dirty-misplacement, verbosity) calibrated so
+//!   the *measured* difficulty ordering reproduces the paper's findings.
+//!
+//! The generator's central design mirrors what makes real ER benchmarks hard
+//! (Section VI of the paper): matches are corrupted copies whose overall
+//! token overlap can drop into the range of near-duplicate non-matches from
+//! the same product family / author community / franchise, while preserving
+//! pair-specific *anchor* attributes that only richer-than-linear models can
+//! exploit. Easy benchmarks get low corruption and mostly random negatives
+//! (the "arbitrary negative pairs" the paper diagnoses in the established
+//! benchmarks); hard ones get heavy corruption and family-based negatives.
+//!
+//! Everything is deterministic under the profile seed.
+
+pub mod corrupt;
+pub mod entity;
+pub mod generate;
+pub mod profile;
+pub mod vocab;
+
+pub use generate::{generate_raw_pair, generate_task, RawDatasetPair};
+pub use profile::{
+    established_profiles, raw_pair_profiles, BenchmarkProfile, DifficultyKnobs, Domain,
+    RawPairProfile,
+};

@@ -1,0 +1,295 @@
+//! Benchmark profiles.
+//!
+//! A profile fixes everything needed to regenerate one benchmark: shape
+//! statistics taken from the published dataset documentation (downscaled for
+//! CPU-scale runtimes where the original exceeds a few thousand labelled
+//! pairs — the imbalance ratio and all difficulty measures are scale-free)
+//! plus difficulty knobs calibrated so the measured results reproduce the
+//! paper's qualitative findings (DESIGN.md §5 lists the shape targets).
+
+pub use crate::entity::Domain;
+
+/// Knobs controlling how hard a benchmark's classification task is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DifficultyKnobs {
+    /// Corruption level of duplicate copies, in `[0, 1]`
+    /// (see [`crate::corrupt::NoiseParams::from_level`]).
+    pub match_noise: f64,
+    /// Share of negative instances drawn from the same entity family
+    /// (near-duplicates); the rest are random record pairs.
+    pub hard_negative_fraction: f64,
+    /// Number of anchor attributes preserved per match (pair-specific
+    /// evidence exploitable only by non-linear matchers).
+    pub anchor_attrs: usize,
+    /// Apply the DeepMatcher dirty construction (values migrate to title
+    /// with 50% probability) to both sources.
+    pub dirty: bool,
+    /// Formatting-style corruption applied to every record of both sources
+    /// (so even exact duplicates differ textually).
+    pub style_noise: f64,
+    /// Textual domains: aggressively shorten right-source long-text values,
+    /// making token-set sizes asymmetric (this is what depresses Jaccard
+    /// relative to Cosine on the textual benchmarks, Fig. 1).
+    pub right_terse: bool,
+    /// Probability that each non-title attribute of *any* record (both
+    /// sources, matches and non-matches alike) is missing — models the
+    /// sparse metadata of the hard product datasets, where model numbers
+    /// and prices are absent from most records, capping how far any
+    /// per-attribute rule can reach.
+    pub base_missing: f64,
+}
+
+impl DifficultyKnobs {
+    /// A reasonable default: moderate difficulty.
+    pub fn moderate() -> Self {
+        DifficultyKnobs {
+            match_noise: 0.35,
+            hard_negative_fraction: 0.35,
+            anchor_attrs: 1,
+            dirty: false,
+            style_noise: 0.03,
+            right_terse: false,
+            base_missing: 0.1,
+        }
+    }
+}
+
+/// Complete recipe for one established-style benchmark (pre-blocked labelled
+/// candidate pairs, Table III shape).
+#[derive(Debug, Clone)]
+pub struct BenchmarkProfile {
+    /// Paper identifier, e.g. `"Ds1"`.
+    pub id: &'static str,
+    /// The real dataset this profile stands in for.
+    pub stands_for: &'static str,
+    /// Value domain.
+    pub domain: Domain,
+    /// Records in the left source.
+    pub left_size: usize,
+    /// Records in the right source.
+    pub right_size: usize,
+    /// Ground-truth duplicates across the sources (≤ min of the sizes).
+    pub n_matches: usize,
+    /// Total labelled candidate pairs (train+val+test).
+    pub labeled_pairs: usize,
+    /// Fraction of labelled pairs that are positive (the `IR` column).
+    pub positive_fraction: f64,
+    /// Difficulty knobs.
+    pub knobs: DifficultyKnobs,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+/// The 13 established benchmarks of Table III, as synthetic stand-ins.
+///
+/// Shape statistics follow the DeepMatcher dataset documentation with
+/// uniform downscaling of the largest sets; `Dd1..Dd4` are the dirty
+/// variants of `Ds1..Ds4` (same shape, dirty construction applied).
+pub fn established_profiles() -> Vec<BenchmarkProfile> {
+    let mut v = Vec::with_capacity(13);
+    let base = |id, stands_for, domain, ls, rs, m, pairs, ir, knobs, seed| BenchmarkProfile {
+        id,
+        stands_for,
+        domain,
+        left_size: ls,
+        right_size: rs,
+        n_matches: m,
+        labeled_pairs: pairs,
+        positive_fraction: ir,
+        knobs,
+        seed,
+    };
+    let k = |noise: f64, hard: f64, anchors: usize, missing: f64| DifficultyKnobs {
+        match_noise: noise,
+        hard_negative_fraction: hard,
+        anchor_attrs: anchors,
+        dirty: false,
+        style_noise: 0.03,
+        right_terse: false,
+        base_missing: missing,
+    };
+
+    // Structured.
+    v.push(base("Ds1", "DBLP-ACM", Domain::Bibliographic, 1400, 1250, 900, 3600, 0.180, k(0.10, 0.10, 2, 0.00), 101));
+    v.push(base("Ds2", "DBLP-GoogleScholar", Domain::Bibliographic, 1400, 3200, 900, 4200, 0.186, k(0.15, 0.15, 2, 0.03), 102));
+    v.push(base("Ds3", "iTunes-Amazon", Domain::Product, 500, 500, 140, 540, 0.245, k(0.42, 0.45, 1, 0.12), 103));
+    v.push(base("Ds4", "Walmart-Amazon", Domain::Product, 1400, 3400, 800, 4000, 0.094, k(0.56, 0.60, 1, 0.45), 104));
+    v.push(base("Ds5", "BeerAdvo-RateBeer", Domain::Product, 450, 450, 68, 450, 0.150, k(0.22, 0.25, 1, 0.10), 105));
+    v.push(base("Ds6", "Amazon-Google", Domain::Product, 1200, 2800, 1000, 4400, 0.102, k(0.58, 0.62, 1, 0.50), 106));
+    v.push(base("Ds7", "Fodors-Zagats", Domain::Restaurant, 533, 331, 110, 946, 0.116, k(0.04, 0.05, 2, 0.00), 107));
+
+    // Dirty variants of the first four structured sets.
+    for (i, src) in v.clone().iter().take(4).enumerate() {
+        let mut p = src.clone();
+        p.id = ["Dd1", "Dd2", "Dd3", "Dd4"][i];
+        p.stands_for = ["DBLP-ACM (dirty)", "DBLP-GoogleScholar (dirty)", "iTunes-Amazon (dirty)", "Walmart-Amazon (dirty)"][i];
+        p.knobs.dirty = true;
+        p.seed = 110 + i as u64;
+        v.push(p);
+    }
+
+    // Textual.
+    v.push(base(
+        "Dt1",
+        "Abt-Buy",
+        Domain::TextualProduct,
+        1081,
+        1092,
+        1028,
+        3830,
+        0.107,
+        DifficultyKnobs {
+            match_noise: 0.58,
+            hard_negative_fraction: 0.60,
+            anchor_attrs: 1,
+            dirty: false,
+            style_noise: 0.04,
+            right_terse: true,
+            base_missing: 0.35,
+        },
+        120,
+    ));
+    v.push(base(
+        "Dt2",
+        "Company",
+        Domain::TextualCompany,
+        2000,
+        2000,
+        1200,
+        4200,
+        0.280,
+        DifficultyKnobs {
+            match_noise: 0.30,
+            hard_negative_fraction: 0.30,
+            anchor_attrs: 1,
+            dirty: false,
+            style_noise: 0.04,
+            right_terse: true,
+            base_missing: 0.10,
+        },
+        121,
+    ));
+    v
+}
+
+/// Recipe for one raw dataset pair used by the Section-VI methodology
+/// (blocking applied afterwards to derive candidates).
+#[derive(Debug, Clone)]
+pub struct RawPairProfile {
+    /// New-benchmark identifier, e.g. `"Dn1"`.
+    pub id: &'static str,
+    /// Left source name.
+    pub left_name: &'static str,
+    /// Right source name.
+    pub right_name: &'static str,
+    /// Value domain.
+    pub domain: Domain,
+    /// Records in the left source.
+    pub left_size: usize,
+    /// Records in the right source.
+    pub right_size: usize,
+    /// Ground-truth duplicates.
+    pub n_matches: usize,
+    /// Corruption level of duplicates.
+    pub match_noise: f64,
+    /// Anchor attributes preserved per match.
+    pub anchor_attrs: usize,
+    /// Style noise for both sources.
+    pub style_noise: f64,
+    /// Extra per-attribute missing-value probability applied to the right
+    /// source (models the sparse metadata of the movie datasets).
+    pub missing_boost: f64,
+    /// Probability that a duplicate copy has its attribute values scrambled
+    /// across fields (heterogeneous-source misalignment). Scrambling leaves
+    /// the record's token set — and therefore blocking and the
+    /// schema-agnostic difficulty measures — untouched, but breaks
+    /// per-attribute comparisons, which is what separates schema-aware
+    /// matchers from the heterogeneous DL methods on real product data.
+    pub match_scramble: f64,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+/// The eight raw dataset pairs of Table V (downscaled stand-ins).
+pub fn raw_pair_profiles() -> Vec<RawPairProfile> {
+    let p = |id, ln, rn, domain, ls, rs, m, noise, anchors, missing, scramble, seed| RawPairProfile {
+        id,
+        left_name: ln,
+        right_name: rn,
+        domain,
+        left_size: ls,
+        right_size: rs,
+        n_matches: m,
+        match_noise: noise,
+        anchor_attrs: anchors,
+        style_noise: 0.03,
+        missing_boost: missing,
+        match_scramble: scramble,
+        seed,
+    };
+    vec![
+        p("Dn1", "Abt", "Buy", Domain::TextualProduct, 1076, 1076, 1076, 0.60, 1, 0.0, 0.85, 201),
+        p("Dn2", "Amazon", "GP", Domain::Product, 700, 1500, 560, 0.62, 1, 0.0, 0.85, 202),
+        p("Dn3", "DBLP", "ACM", Domain::Bibliographic, 1300, 1150, 1100, 0.08, 2, 0.0, 0.0, 203),
+        p("Dn4", "IMDB", "TMDB", Domain::Movie, 1700, 2000, 650, 0.05, 2, 0.50, 0.0, 204),
+        p("Dn5", "IMDB", "TVDB", Domain::Movie, 1700, 2600, 360, 0.58, 1, 0.15, 0.5, 205),
+        p("Dn6", "TMDB", "TVDB", Domain::Movie, 2000, 2600, 360, 0.34, 1, 0.10, 0.5, 206),
+        p("Dn7", "Walmart", "Amazon", Domain::Product, 1300, 3600, 430, 0.58, 1, 0.0, 0.85, 207),
+        p("Dn8", "DBLP", "GS", Domain::Bibliographic, 1250, 4000, 1150, 0.11, 2, 0.0, 0.0, 208),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_established_profiles_with_unique_ids() {
+        let ps = established_profiles();
+        assert_eq!(ps.len(), 13);
+        let ids: std::collections::BTreeSet<_> = ps.iter().map(|p| p.id).collect();
+        assert_eq!(ids.len(), 13);
+    }
+
+    #[test]
+    fn profiles_are_internally_consistent() {
+        for p in established_profiles() {
+            assert!(p.n_matches <= p.left_size.min(p.right_size), "{}", p.id);
+            assert!(p.positive_fraction > 0.0 && p.positive_fraction < 1.0, "{}", p.id);
+            let pos = (p.labeled_pairs as f64 * p.positive_fraction).round() as usize;
+            assert!(pos <= p.n_matches, "{}: needs {pos} positives, has {} matches", p.id, p.n_matches);
+        }
+    }
+
+    #[test]
+    fn dirty_profiles_mirror_structured_shapes() {
+        let ps = established_profiles();
+        let by_id = |id: &str| ps.iter().find(|p| p.id == id).unwrap();
+        for (s, d) in [("Ds1", "Dd1"), ("Ds2", "Dd2"), ("Ds3", "Dd3"), ("Ds4", "Dd4")] {
+            let (s, d) = (by_id(s), by_id(d));
+            assert_eq!(s.left_size, d.left_size);
+            assert_eq!(s.labeled_pairs, d.labeled_pairs);
+            assert!(d.knobs.dirty);
+            assert!(!s.knobs.dirty);
+        }
+    }
+
+    #[test]
+    fn eight_raw_profiles() {
+        let ps = raw_pair_profiles();
+        assert_eq!(ps.len(), 8);
+        for p in &ps {
+            assert!(p.n_matches <= p.left_size.min(p.right_size), "{}", p.id);
+        }
+    }
+
+    #[test]
+    fn difficulty_ordering_is_encoded() {
+        let ps = established_profiles();
+        let noise = |id: &str| ps.iter().find(|p| p.id == id).unwrap().knobs.match_noise;
+        // The paper's hard sets must be noisier than the easy ones.
+        assert!(noise("Ds4") > noise("Ds1"));
+        assert!(noise("Ds6") > noise("Ds2"));
+        assert!(noise("Ds7") < noise("Ds3"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Edit-based string similarities: Levenshtein, Jaro, Jaro-Winkler.
+//!
+//! These power the Magellan-style feature builder (Section IV-B cites Jaro
+//! among Magellan's established similarity functions) and the hybrid
+//! Monge-Elkan measure. All functions return similarities in `[0, 1]`.
+
+/// Levenshtein (edit) distance between two strings, in unicode scalar
+/// values. Classic two-row dynamic program.
+pub fn levenshtein_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein similarity: `1 - distance / max_len`; `1.0` for two empty
+/// strings.
+pub fn levenshtein(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein_distance(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> =
+        b.iter().zip(&b_used).filter(|(_, &used)| used).map(|(&c, _)| c).collect();
+    let transpositions =
+        matches_a.iter().zip(&matches_b).filter(|(x, y)| x != y).count() / 2;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with the standard prefix scale `p = 0.1` and a
+/// maximum prefix of 4 characters.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    (j + prefix as f64 * 0.1 * (1.0 - j)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_known_cases() {
+        assert_eq!(levenshtein_distance("kitten", "sitting"), 3);
+        assert_eq!(levenshtein_distance("", "abc"), 3);
+        assert_eq!(levenshtein_distance("abc", ""), 3);
+        assert_eq!(levenshtein_distance("abc", "abc"), 0);
+    }
+
+    #[test]
+    fn levenshtein_similarity_bounds() {
+        assert_eq!(levenshtein("", ""), 1.0);
+        assert_eq!(levenshtein("abc", "abc"), 1.0);
+        assert_eq!(levenshtein("abc", "xyz"), 0.0);
+        let s = levenshtein("kitten", "sitting");
+        assert!((s - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_reference_values() {
+        // Canonical examples from Winkler's papers.
+        assert!((jaro("MARTHA", "MARHTA") - 0.944_444).abs() < 1e-4);
+        assert!((jaro("DWAYNE", "DUANE") - 0.822_222).abs() < 1e-4);
+        assert!((jaro("DIXON", "DICKSONX") - 0.766_666).abs() < 1e-4);
+    }
+
+    #[test]
+    fn jaro_winkler_reference_values() {
+        assert!((jaro_winkler("MARTHA", "MARHTA") - 0.961_111).abs() < 1e-4);
+        assert!((jaro_winkler("DIXON", "DICKSONX") - 0.813_333).abs() < 1e-4);
+    }
+
+    #[test]
+    fn jaro_degenerate_inputs() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("", "a"), 0.0);
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("ab", "cd"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_rewards_prefix() {
+        let no_prefix = jaro_winkler("xabcd", "yabcd");
+        let with_prefix = jaro_winkler("abcdx", "abcdy");
+        assert!(with_prefix > no_prefix);
+        assert!(jaro_winkler("same", "same") == 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("kitten", "sitting"), ("DWAYNE", "DUANE"), ("abc", "")] {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+            assert!((jaro(a, b) - jaro(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_results_in_unit_interval() {
+        let words = ["", "a", "ab", "monge", "elkan", "ABBA", "baba", "café"];
+        for a in words {
+            for b in words {
+                for f in [levenshtein, jaro, jaro_winkler] {
+                    let v = f(a, b);
+                    assert!((0.0..=1.0).contains(&v), "{a} vs {b}: {v}");
+                }
+            }
+        }
+    }
+}

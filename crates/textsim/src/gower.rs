@@ -1,0 +1,138 @@
+//! Gower distance between feature vectors.
+//!
+//! The neighborhood and network complexity measures (Table I, groups c–d)
+//! define proximity via the Gower coefficient [Gower 1971]. For purely
+//! numeric features — our case, since every candidate pair is represented by
+//! the 2-D `[CS, JS]` vector — the Gower distance is the mean of
+//! per-dimension absolute differences normalized by that dimension's range
+//! over the dataset.
+
+/// Per-dimension ranges learned from a dataset, used to normalize Gower
+/// distances.
+#[derive(Debug, Clone)]
+pub struct GowerSpace {
+    ranges: Vec<f64>,
+    mins: Vec<f64>,
+}
+
+impl GowerSpace {
+    /// Learns per-dimension `[min, max]` ranges from the data.
+    ///
+    /// Returns `None` for empty input. Zero-range dimensions contribute zero
+    /// distance (all values equal), matching the reference definition.
+    pub fn fit(data: &[Vec<f64>]) -> Option<Self> {
+        let first = data.first()?;
+        let dims = first.len();
+        let mut mins = vec![f64::INFINITY; dims];
+        let mut maxs = vec![f64::NEG_INFINITY; dims];
+        for row in data {
+            assert_eq!(row.len(), dims, "ragged feature matrix");
+            for (d, &v) in row.iter().enumerate() {
+                mins[d] = mins[d].min(v);
+                maxs[d] = maxs[d].max(v);
+            }
+        }
+        let ranges = mins.iter().zip(&maxs).map(|(lo, hi)| hi - lo).collect();
+        Some(GowerSpace { ranges, mins })
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Per-dimension minima observed during fit.
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// Gower distance in `[0, 1]` between two vectors.
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), self.dims());
+        debug_assert_eq!(b.len(), self.dims());
+        if self.dims() == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for d in 0..self.dims() {
+            if self.ranges[d] > 0.0 {
+                total += ((a[d] - b[d]).abs() / self.ranges[d]).min(1.0);
+            }
+        }
+        total / self.dims() as f64
+    }
+
+    /// Full pairwise distance matrix (row-major, symmetric, zero diagonal).
+    pub fn pairwise(&self, data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let n = data.len();
+        let mut m = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = self.distance(&data[i], &data[j]);
+                m[i][j] = d;
+                m[j][i] = d;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_requires_data() {
+        assert!(GowerSpace::fit(&[]).is_none());
+    }
+
+    #[test]
+    fn distance_is_normalized_mean_of_abs_diffs() {
+        let data = vec![vec![0.0, 0.0], vec![10.0, 1.0]];
+        let g = GowerSpace::fit(&data).unwrap();
+        // dim0 range 10, dim1 range 1.
+        let d = g.distance(&[0.0, 0.0], &[5.0, 0.5]);
+        assert!((d - 0.5).abs() < 1e-12);
+        assert_eq!(g.distance(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        assert_eq!(g.distance(&[0.0, 0.0], &[10.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn zero_range_dimension_is_ignored() {
+        let data = vec![vec![3.0, 0.0], vec![3.0, 2.0]];
+        let g = GowerSpace::fit(&data).unwrap();
+        let d = g.distance(&[3.0, 0.0], &[3.0, 2.0]);
+        // Only dim1 contributes: |0-2|/2 / 2 dims = 0.5.
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_and_symmetric() {
+        let data: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![i as f64, (i * i % 7) as f64]).collect();
+        let g = GowerSpace::fit(&data).unwrap();
+        for a in &data {
+            for b in &data {
+                let d = g.distance(a, b);
+                assert!((0.0..=1.0).contains(&d));
+                assert!((d - g.distance(b, a)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_matrix_shape_and_diagonal() {
+        let data = vec![vec![0.0], vec![1.0], vec![0.5]];
+        let g = GowerSpace::fit(&data).unwrap();
+        let m = g.pairwise(&data);
+        assert_eq!(m.len(), 3);
+        for i in 0..3 {
+            assert_eq!(m[i][i], 0.0);
+            for j in 0..3 {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+        assert_eq!(m[0][1], 1.0);
+        assert_eq!(m[0][2], 0.5);
+    }
+}

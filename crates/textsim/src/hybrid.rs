@@ -1,0 +1,106 @@
+//! Hybrid token/edit similarity: Monge-Elkan.
+//!
+//! Monge-Elkan scores two token sequences by matching every token of the
+//! first to its best-scoring counterpart in the second under an inner
+//! (secondary) similarity, then averaging. Magellan ships it as one of its
+//! established similarity functions (Section IV-B), and it is the measure in
+//! our Magellan-style feature builder that tolerates token-level typos.
+
+/// Monge-Elkan similarity of two token slices under inner similarity `sim`.
+///
+/// `0.0` when `a` is empty and `b` is not; `1.0` when both are empty (two
+/// absent values are treated as agreeing, matching Magellan's behaviour).
+/// Note the measure is asymmetric; use [`monge_elkan_sym`] for a symmetric
+/// variant.
+pub fn monge_elkan<F>(a: &[String], b: &[String], sim: F) -> f64
+where
+    F: Fn(&str, &str) -> f64,
+{
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for ta in a {
+        let best = b
+            .iter()
+            .map(|tb| sim(ta, tb))
+            .fold(0.0f64, f64::max);
+        total += best;
+    }
+    total / a.len() as f64
+}
+
+/// Symmetric Monge-Elkan: the mean of both directions.
+pub fn monge_elkan_sym<F>(a: &[String], b: &[String], sim: F) -> f64
+where
+    F: Fn(&str, &str) -> f64 + Copy,
+{
+    (monge_elkan(a, b, sim) + monge_elkan(b, a, sim)) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit::jaro_winkler;
+
+    fn toks(s: &str) -> Vec<String> {
+        crate::tokenize::tokens(s)
+    }
+
+    #[test]
+    fn identical_sequences_score_one() {
+        let a = toks("peter christen");
+        assert_eq!(monge_elkan(&a, &a, jaro_winkler), 1.0);
+    }
+
+    #[test]
+    fn empty_handling() {
+        let a = toks("x");
+        let e: Vec<String> = vec![];
+        assert_eq!(monge_elkan(&e, &e, jaro_winkler), 1.0);
+        assert_eq!(monge_elkan(&a, &e, jaro_winkler), 0.0);
+        assert_eq!(monge_elkan(&e, &a, jaro_winkler), 0.0);
+    }
+
+    #[test]
+    fn tolerates_token_reordering() {
+        let a = toks("george papadakis");
+        let b = toks("papadakis george");
+        assert!(monge_elkan(&a, &b, jaro_winkler) > 0.99);
+    }
+
+    #[test]
+    fn tolerates_typos_better_than_exact_overlap() {
+        let a = toks("apple macbook pro");
+        let b = toks("aple macbok pro");
+        let me = monge_elkan_sym(&a, &b, jaro_winkler);
+        assert!(me > 0.9, "monge-elkan {me}");
+        // Exact token overlap sees only one shared token out of three.
+        let sa = crate::TokenSet::new(a.clone());
+        let sb = crate::TokenSet::new(b.clone());
+        assert!(crate::sets::jaccard(&sa, &sb) < 0.5);
+    }
+
+    #[test]
+    fn asymmetry_and_symmetric_variant() {
+        let a = toks("alpha");
+        let b = toks("alpha beta gamma");
+        let ab = monge_elkan(&a, &b, jaro_winkler);
+        let ba = monge_elkan(&b, &a, jaro_winkler);
+        assert!(ab > ba, "subset direction should score higher");
+        let sym = monge_elkan_sym(&a, &b, jaro_winkler);
+        assert!((sym - (ab + ba) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let pairs = [("a b c", "x y"), ("", "k"), ("k k", "k"), ("q w e r", "r e w q")];
+        for (x, y) in pairs {
+            let v = monge_elkan_sym(&toks(x), &toks(y), jaro_winkler);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

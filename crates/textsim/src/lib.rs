@@ -1,0 +1,26 @@
+//! Textual similarity substrate for record linkage.
+//!
+//! Implements everything Sections III and IV of the paper rely on for
+//! comparing quasi-identifier values:
+//!
+//! - tokenization and character q-gram extraction ([`tokenize`]),
+//! - token-set similarity measures — Cosine, Jaccard, Dice, Overlap
+//!   ([`sets`]), which are the features behind the degree of linearity
+//!   (Algorithm 1) and the `[CS, JS]` complexity-measure representation,
+//! - edit-based similarities — Levenshtein, Jaro, Jaro-Winkler — and the
+//!   hybrid Monge-Elkan measure ([`edit`], [`hybrid`]), used by the
+//!   Magellan-style feature builder,
+//! - TF-IDF weighting ([`tfidf`]), used by the DITTO-style long-value
+//!   summarization and by sentence embeddings,
+//! - the Gower distance ([`gower`]) that the neighborhood and network
+//!   complexity measures are defined over.
+
+pub mod edit;
+pub mod gower;
+pub mod hybrid;
+pub mod sets;
+pub mod tfidf;
+pub mod tokenize;
+
+pub use sets::TokenSet;
+pub use tokenize::{qgrams, tokens};

@@ -1,0 +1,208 @@
+//! Token-set representation and set-overlap similarity measures.
+//!
+//! These are the measures of Section III-A: for a candidate pair with token
+//! sets `T_i`, `T_j`,
+//!
+//! - Cosine:  `|T_i ∩ T_j| / sqrt(|T_i| · |T_j|)`
+//! - Jaccard: `|T_i ∩ T_j| / |T_i ∪ T_j|`
+//! - Dice:    `2·|T_i ∩ T_j| / (|T_i| + |T_j|)`
+//! - Overlap: `|T_i ∩ T_j| / min(|T_i|, |T_j|)`
+//!
+//! A [`TokenSet`] is a sorted, deduplicated vector; intersections are merge
+//! joins, so comparing two sets is `O(|T_i| + |T_j|)` with no hashing in the
+//! hot loop (the degree-of-linearity sweep touches every pair 99 times).
+
+/// A sorted, deduplicated set of strings (tokens or q-grams).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TokenSet {
+    items: Vec<String>,
+}
+
+impl TokenSet {
+    /// Builds a set from any iterator of strings (sorts + dedups).
+    pub fn new<I, S>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut items: Vec<String> = iter.into_iter().map(Into::into).collect();
+        items.sort_unstable();
+        items.dedup();
+        TokenSet { items }
+    }
+
+    /// Tokenizes `text` (lower-cased alphanumeric runs) into a set.
+    pub fn from_text(text: &str) -> Self {
+        TokenSet::new(crate::tokenize::tokens(text))
+    }
+
+    /// Character q-grams of `text` as a set.
+    pub fn from_qgrams(text: &str, q: usize) -> Self {
+        TokenSet::new(crate::tokenize::qgrams(text, q))
+    }
+
+    /// Number of distinct elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Sorted elements.
+    pub fn items(&self) -> &[String] {
+        &self.items
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, token: &str) -> bool {
+        self.items.binary_search_by(|t| t.as_str().cmp(token)).is_ok()
+    }
+
+    /// Size of the intersection with `other` (merge join).
+    pub fn intersection_size(&self, other: &TokenSet) -> usize {
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        let (a, b) = (&self.items, &other.items);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Size of the union with `other`.
+    pub fn union_size(&self, other: &TokenSet) -> usize {
+        self.len() + other.len() - self.intersection_size(other)
+    }
+
+    /// Merged set containing the elements of both.
+    pub fn union(&self, other: &TokenSet) -> TokenSet {
+        TokenSet::new(self.items.iter().chain(other.items.iter()).cloned())
+    }
+}
+
+/// Cosine similarity of two sets; `0.0` when either is empty.
+pub fn cosine(a: &TokenSet, b: &TokenSet) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    a.intersection_size(b) as f64 / ((a.len() as f64) * (b.len() as f64)).sqrt()
+}
+
+/// Jaccard similarity of two sets; `0.0` when both are empty.
+pub fn jaccard(a: &TokenSet, b: &TokenSet) -> f64 {
+    let union = a.union_size(b);
+    if union == 0 {
+        return 0.0;
+    }
+    a.intersection_size(b) as f64 / union as f64
+}
+
+/// Dice similarity of two sets; `0.0` when both are empty.
+pub fn dice(a: &TokenSet, b: &TokenSet) -> f64 {
+    let total = a.len() + b.len();
+    if total == 0 {
+        return 0.0;
+    }
+    2.0 * a.intersection_size(b) as f64 / total as f64
+}
+
+/// Overlap coefficient; `0.0` when either is empty.
+pub fn overlap(a: &TokenSet, b: &TokenSet) -> f64 {
+    let min = a.len().min(b.len());
+    if min == 0 {
+        return 0.0;
+    }
+    a.intersection_size(b) as f64 / min as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(words: &[&str]) -> TokenSet {
+        TokenSet::new(words.iter().copied())
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let s = ts(&["b", "a", "b", "c"]);
+        assert_eq!(s.items(), &["a", "b", "c"]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains("b"));
+        assert!(!s.contains("z"));
+    }
+
+    #[test]
+    fn intersection_and_union_sizes() {
+        let a = ts(&["a", "b", "c"]);
+        let b = ts(&["b", "c", "d", "e"]);
+        assert_eq!(a.intersection_size(&b), 2);
+        assert_eq!(a.union_size(&b), 5);
+        assert_eq!(a.union(&b).len(), 5);
+    }
+
+    #[test]
+    fn identical_sets_score_one() {
+        let a = ts(&["x", "y"]);
+        assert_eq!(cosine(&a, &a), 1.0);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        assert_eq!(dice(&a, &a), 1.0);
+        assert_eq!(overlap(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_score_zero() {
+        let a = ts(&["x"]);
+        let b = ts(&["y"]);
+        assert_eq!(cosine(&a, &b), 0.0);
+        assert_eq!(jaccard(&a, &b), 0.0);
+        assert_eq!(dice(&a, &b), 0.0);
+        assert_eq!(overlap(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn empty_sets_are_safe() {
+        let e = TokenSet::default();
+        let a = ts(&["x"]);
+        for f in [cosine, jaccard, dice, overlap] {
+            assert_eq!(f(&e, &a), 0.0);
+            assert_eq!(f(&e, &e), 0.0);
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        let a = ts(&["a", "b", "c", "d"]); // |a| = 4
+        let b = ts(&["c", "d"]); // |b| = 2, inter = 2
+        assert!((cosine(&a, &b) - 2.0 / (8.0f64).sqrt()).abs() < 1e-12);
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+        assert!((dice(&a, &b) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((overlap(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_ordering_invariant() {
+        // For any pair: jaccard <= dice <= overlap and jaccard <= cosine <= overlap.
+        let a = ts(&["a", "b", "c", "e", "f"]);
+        let b = ts(&["b", "c", "d"]);
+        let (j, d, c, o) = (jaccard(&a, &b), dice(&a, &b), cosine(&a, &b), overlap(&a, &b));
+        assert!(j <= d && d <= o);
+        assert!(j <= c && c <= o);
+    }
+
+    #[test]
+    fn from_text_matches_manual() {
+        let s = TokenSet::from_text("The quick, the dead");
+        assert_eq!(s.items(), &["dead", "quick", "the"]);
+    }
+}

@@ -1,0 +1,155 @@
+//! TF-IDF weighting over a token corpus.
+//!
+//! Two consumers in the reproduction:
+//! - the DITTO-style matcher summarizes long attribute values by keeping the
+//!   highest-TF-IDF non-stopword tokens (Section IV-A, method overview), and
+//! - sentence embeddings pool token vectors weighted by IDF so that salient
+//!   tokens dominate, mimicking what trained sentence encoders learn.
+
+use rustc_hash::FxHashMap;
+
+/// Corpus-level document-frequency statistics for IDF computation.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdfModel {
+    doc_freq: FxHashMap<String, u32>,
+    n_docs: u32,
+}
+
+impl TfIdfModel {
+    /// Empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one document given as its (possibly repeating) tokens.
+    pub fn add_document<'a, I>(&mut self, tokens: I)
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        self.n_docs += 1;
+        let mut seen: Vec<&str> = tokens.into_iter().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        for t in seen {
+            *self.doc_freq.entry(t.to_owned()).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of documents added.
+    pub fn n_docs(&self) -> u32 {
+        self.n_docs
+    }
+
+    /// Smoothed inverse document frequency:
+    /// `ln((1 + N) / (1 + df)) + 1`, which is strictly positive so every
+    /// token keeps some weight.
+    pub fn idf(&self, token: &str) -> f64 {
+        let df = self.doc_freq.get(token).copied().unwrap_or(0) as f64;
+        ((1.0 + self.n_docs as f64) / (1.0 + df)).ln() + 1.0
+    }
+
+    /// TF-IDF weights of a document's tokens: raw term frequency × IDF.
+    pub fn weights(&self, tokens: &[String]) -> Vec<(String, f64)> {
+        let mut tf: FxHashMap<&str, u32> = FxHashMap::default();
+        for t in tokens {
+            *tf.entry(t.as_str()).or_insert(0) += 1;
+        }
+        let mut out: Vec<(String, f64)> = tf
+            .into_iter()
+            .map(|(t, f)| (t.to_owned(), f as f64 * self.idf(t)))
+            .collect();
+        // Deterministic order: weight desc, then token asc.
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0))
+        });
+        out
+    }
+
+    /// The `k` highest-TF-IDF tokens of a document, excluding `stopwords`
+    /// (DITTO's long-value summarization).
+    pub fn summarize(&self, tokens: &[String], k: usize, stopwords: &[&str]) -> Vec<String> {
+        self.weights(tokens)
+            .into_iter()
+            .filter(|(t, _)| !stopwords.contains(&t.as_str()))
+            .take(k)
+            .map(|(t, _)| t)
+            .collect()
+    }
+}
+
+/// Small English stopword list adequate for product/bibliographic text.
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in",
+    "is", "it", "of", "on", "or", "that", "the", "this", "to", "with",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        crate::tokenize::tokens(s)
+    }
+
+    fn model(docs: &[&str]) -> TfIdfModel {
+        let mut m = TfIdfModel::new();
+        for d in docs {
+            let t = toks(d);
+            m.add_document(t.iter().map(|s| s.as_str()));
+        }
+        m
+    }
+
+    #[test]
+    fn rare_tokens_get_higher_idf() {
+        let m = model(&["apple phone", "apple tablet", "banana laptop"]);
+        assert!(m.idf("banana") > m.idf("apple"));
+        assert!(m.idf("unseen") > m.idf("banana"));
+    }
+
+    #[test]
+    fn idf_is_positive() {
+        let m = model(&["x x x", "x", "x"]);
+        assert!(m.idf("x") > 0.0);
+    }
+
+    #[test]
+    fn weights_rank_distinctive_tokens_first() {
+        let m = model(&["the red phone", "the blue phone", "the green tablet"]);
+        let w = m.weights(&toks("the red phone"));
+        assert_eq!(w[0].0, "red");
+        assert_eq!(w.last().unwrap().0, "the");
+    }
+
+    #[test]
+    fn term_frequency_matters() {
+        let m = model(&["a b", "c d"]);
+        let w = m.weights(&toks("b b c"));
+        // b appears twice with same idf as c -> ranks first.
+        assert_eq!(w[0].0, "b");
+    }
+
+    #[test]
+    fn summarize_respects_k_and_stopwords() {
+        let m = model(&["the ultra rare widget", "common thing", "common stuff"]);
+        let s = m.summarize(&toks("the ultra rare widget the the"), 2, STOPWORDS);
+        assert_eq!(s.len(), 2);
+        assert!(!s.contains(&"the".to_owned()));
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let m = model(&["x y"]);
+        let w1 = m.weights(&toks("alpha beta"));
+        let w2 = m.weights(&toks("beta alpha"));
+        assert_eq!(w1, w2);
+        assert_eq!(w1[0].0, "alpha"); // equal weights -> lexicographic
+    }
+
+    #[test]
+    fn empty_document_yields_empty_weights() {
+        let m = model(&["a"]);
+        assert!(m.weights(&[]).is_empty());
+        assert!(m.summarize(&[], 5, STOPWORDS).is_empty());
+    }
+}

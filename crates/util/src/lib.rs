@@ -1,0 +1,67 @@
+//! Shared utilities for the record-linkage benchmark re-evaluation workspace.
+//!
+//! This crate deliberately stays tiny: a deterministic random-number façade,
+//! summary statistics, top-k selection, and the few pieces of dense linear
+//! algebra the complexity measures need. Everything downstream (similarity
+//! measures, matchers, blocking, the difficulty measures themselves) builds
+//! on these primitives, so they are written for determinism first: every
+//! experiment in the paper reproduction is seeded.
+
+pub mod linalg;
+pub mod rng;
+pub mod select;
+pub mod stats;
+
+pub use rng::Prng;
+
+/// Workspace-wide error type.
+///
+/// The library is computation-heavy rather than IO-heavy, so a small
+/// enumeration with an escape hatch for formatted messages is sufficient and
+/// keeps every public `Result` self-describing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// An input collection was empty where at least one element is required.
+    EmptyInput(&'static str),
+    /// Two collections that must agree in length did not.
+    LengthMismatch { expected: usize, actual: usize, what: &'static str },
+    /// A parameter was outside its documented domain.
+    InvalidParameter(String),
+    /// A model was used before `fit` (or an equivalent) succeeded.
+    NotFitted(&'static str),
+    /// Numerical failure (singular matrix, non-convergence, NaN).
+    Numeric(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::EmptyInput(what) => write!(f, "empty input: {what}"),
+            Error::LengthMismatch { expected, actual, what } => {
+                write!(f, "length mismatch for {what}: expected {expected}, got {actual}")
+            }
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::NotFitted(what) => write!(f, "{what} used before fitting"),
+            Error::Numeric(msg) => write!(f, "numeric failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = Error::LengthMismatch { expected: 3, actual: 2, what: "labels" };
+        assert!(e.to_string().contains("labels"));
+        assert!(e.to_string().contains('3'));
+        let e = Error::EmptyInput("pairs");
+        assert!(e.to_string().contains("pairs"));
+    }
+}

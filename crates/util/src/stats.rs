@@ -1,0 +1,213 @@
+//! Summary statistics over `f64` slices.
+//!
+//! Used by the complexity measures (means/variances per class), the
+//! synthetic-data calibration, and the experiment harness (averaging blocking
+//! repetitions). All functions treat the slice as a population unless noted.
+
+/// Arithmetic mean; `0.0` for an empty slice (callers that must distinguish
+/// emptiness check `is_empty` first — the measures always guard).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; `0.0` for slices with fewer than two elements.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Minimum (NaN-free input assumed); `None` when empty.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::min)
+}
+
+/// Maximum (NaN-free input assumed); `None` when empty.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::max)
+}
+
+/// Linear-interpolation quantile, `q` in `[0, 1]`; `None` when empty.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median via [`quantile`].
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Harmonic mean of two non-negative numbers; `0.0` when the sum is zero.
+/// This is exactly the F-measure combination rule.
+pub fn harmonic_mean2(a: f64, b: f64) -> f64 {
+    if a + b == 0.0 {
+        0.0
+    } else {
+        2.0 * a * b / (a + b)
+    }
+}
+
+/// Shannon entropy (natural log) of a discrete distribution given as
+/// non-negative weights; weights are normalized internally.
+pub fn entropy(weights: &[f64]) -> f64 {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    weights
+        .iter()
+        .filter(|&&w| w > 0.0)
+        .map(|&w| {
+            let p = w / total;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Running summary accumulator for single-pass statistics (Welford).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean so far (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance so far.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation so far.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert_eq!(min(&xs), Some(1.0));
+        assert_eq!(max(&xs), Some(4.0));
+    }
+
+    #[test]
+    fn empty_and_singleton_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert_eq!(min(&[]), None);
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(median(&xs), Some(2.5));
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert!((quantile(&xs, 0.25).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_matches_f1_formula() {
+        assert_eq!(harmonic_mean2(0.0, 0.0), 0.0);
+        assert_eq!(harmonic_mean2(1.0, 1.0), 1.0);
+        let f1 = harmonic_mean2(0.5, 1.0);
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[1.0]), 0.0);
+        let e = entropy(&[1.0, 1.0]);
+        assert!((e - std::f64::consts::LN_2).abs() < 1e-12);
+        // Skew lowers entropy.
+        assert!(entropy(&[9.0, 1.0]) < e);
+    }
+
+    #[test]
+    fn summary_matches_batch() {
+        let xs = [0.5, 1.5, -2.0, 7.25, 3.0];
+        let mut s = Summary::new();
+        for &x in &xs {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((s.variance() - variance(&xs)).abs() < 1e-12);
+        assert_eq!(s.min(), Some(-2.0));
+        assert_eq!(s.max(), Some(7.25));
+    }
+}

@@ -1,0 +1,56 @@
+//! Full four-measure benchmark assessment (the paper's central workflow):
+//! degree of linearity + complexity measures a-priori, NLB/LBM over the
+//! complete matcher roster a-posteriori, and the combined verdict.
+//!
+//! Pass a benchmark id as the first argument (default `Ds7`, the trivially
+//! easy restaurant benchmark):
+//!
+//! ```text
+//! cargo run --release -p rlb-core --example assess_benchmark -- Ds6
+//! ```
+
+use rlb_core::{assess, run_roster, RosterConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let id = std::env::args().nth(1).unwrap_or_else(|| "Ds7".to_string());
+    let profile = rlb_core::established_profiles()
+        .into_iter()
+        .find(|p| p.id == id)
+        .unwrap_or_else(|| panic!("unknown benchmark id {id} (use Ds1..Ds7, Dd1..Dd4, Dt1, Dt2)"));
+    let task = rlb_core::generate_task(&profile);
+    println!("assessing {} ({})…", profile.id, profile.stands_for);
+
+    println!("running the 23-configuration matcher roster (this takes a minute)…");
+    let runs = run_roster(&task, &RosterConfig::default())?;
+    for run in &runs {
+        match run.f1 {
+            Some(f1) => println!("  {:28} F1 = {:.3}", run.name, f1),
+            None => println!("  {:28} -  (insufficient memory)", run.name),
+        }
+    }
+
+    let a = assess(&task, &runs)?;
+    println!("\n==== assessment of {} ====", a.name);
+    println!(
+        "degree of linearity : {:.3} (easy ≥ 0.800 → {})",
+        a.linearity.max_f1(),
+        a.flags.by_linearity
+    );
+    println!(
+        "mean complexity     : {:.3} (easy < 0.400 → {})",
+        a.complexity.mean(),
+        a.flags.by_complexity
+    );
+    let p = a.practical.expect("roster provided");
+    println!("non-linear boost    : {:+.1}% (easy < 5% → {})", p.nlb * 100.0, a.flags.by_nlb);
+    println!("learning margin     : {:.1}% (easy < 5% → {})", p.lbm * 100.0, a.flags.by_lbm);
+    println!(
+        "verdict             : {}",
+        if a.challenging() {
+            "CHALLENGING — suitable for benchmarking learning-based matchers"
+        } else {
+            "easy — not suitable for differentiating complex matchers"
+        }
+    );
+    Ok(())
+}

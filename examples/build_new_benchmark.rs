@@ -1,0 +1,62 @@
+//! The Section-VI methodology end to end: take a raw dataset pair with
+//! complete ground truth, tune a blocker for ≥ 90% recall while maximizing
+//! precision, split the candidates 3:1:1, and re-assess the difficulty.
+//!
+//! ```text
+//! cargo run --release -p rlb-core --example build_new_benchmark -- Dn2
+//! ```
+
+use rlb_blocking::TunerConfig;
+use rlb_core::{assess, build_benchmark, degree_of_linearity};
+use rlb_data::DatasetStats;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let id = std::env::args().nth(1).unwrap_or_else(|| "Dn2".to_string());
+    let profile = rlb_core::raw_pair_profiles()
+        .into_iter()
+        .find(|p| p.id == id)
+        .unwrap_or_else(|| panic!("unknown raw pair {id} (use Dn1..Dn8)"));
+
+    // Step 0: the raw dataset pair with complete ground truth.
+    let raw = rlb_core::generate_raw_pair(&profile);
+    println!(
+        "{}: {} = {} records, {} = {} records, |M| = {} true duplicates",
+        profile.id,
+        profile.left_name,
+        raw.left.len(),
+        profile.right_name,
+        raw.right.len(),
+        raw.matches.len()
+    );
+
+    // Steps 1–3: tuned blocking + labelled 3:1:1 split.
+    let built = build_benchmark(&raw, &TunerConfig::default(), 42);
+    let b = &built.blocking;
+    println!(
+        "tuned blocker: attr = {}, cleaning = {}, K = {}, indexed = {:?}",
+        b.attr_name, b.clean, b.k, b.side
+    );
+    println!(
+        "blocking quality: PC = {:.3}, PQ = {:.3}, |C| = {}, |P| = {}",
+        b.metrics.pc, b.metrics.pq, b.metrics.candidates, b.metrics.matching_candidates
+    );
+    println!("{}", DatasetStats::of(&built.task));
+
+    // Step 4: difficulty re-assessment (a-priori part).
+    let lin = degree_of_linearity(&built.task);
+    let a = assess(&built.task, &[])?;
+    println!(
+        "difficulty: linearity = {:.3}, mean complexity = {:.3}",
+        lin.max_f1(),
+        a.complexity.mean()
+    );
+    println!(
+        "a-priori verdict: {}",
+        if a.flags.by_linearity || a.flags.by_complexity {
+            "easy — consider a stricter recall floor or a harder source pair"
+        } else {
+            "promising — run the matcher roster for the full four-measure verdict"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! Cross-crate integration tests: dataset generation → difficulty measures
+//! → matchers, exercising the public API the way the experiment harness
+//! does.
+
+use rlb_core::{assess, degree_of_linearity, evaluate, MatcherFamily};
+use rlb_matchers::{Esde, EsdeVariant, Magellan, MagellanModel};
+
+#[test]
+fn all_established_profiles_generate_valid_tasks() {
+    for profile in rlb_core::established_profiles() {
+        let task = rlb_core::generate_task(&profile);
+        assert_eq!(task.validate(), Ok(()), "{}", profile.id);
+        assert_eq!(task.total_pairs(), profile.labeled_pairs, "{}", profile.id);
+        let ir = task.imbalance_ratio();
+        assert!(
+            (ir - profile.positive_fraction).abs() < 0.02,
+            "{}: IR {ir} vs profile {}",
+            profile.id,
+            profile.positive_fraction
+        );
+        // The 3:1:1 split.
+        let train_frac = task.train.len() as f64 / task.total_pairs() as f64;
+        assert!((train_frac - 0.6).abs() < 0.02, "{}", profile.id);
+    }
+}
+
+#[test]
+fn ds7_is_trivially_easy_and_ds6_is_not() {
+    let profiles = rlb_core::established_profiles();
+    let by_id = |id: &str| {
+        rlb_core::generate_task(profiles.iter().find(|p| p.id == id).expect("id"))
+    };
+    let easy = degree_of_linearity(&by_id("Ds7"));
+    let hard = degree_of_linearity(&by_id("Ds6"));
+    assert!(easy.max_f1() > 0.95, "Ds7 linearity {}", easy.max_f1());
+    assert!(hard.max_f1() < 0.8, "Ds6 linearity {}", hard.max_f1());
+}
+
+#[test]
+fn assessment_pipeline_flags_easy_and_hard_correctly() {
+    let profiles = rlb_core::established_profiles();
+    let task = rlb_core::generate_task(profiles.iter().find(|p| p.id == "Ds7").expect("Ds7"));
+    // A small roster is enough for the practical measures.
+    let mut sa = Esde::new(EsdeVariant::SA);
+    let sa_f1 = evaluate(&mut sa, &task).expect("esde runs").f1;
+    let mut rf = Magellan::new(MagellanModel::RandomForest, 7);
+    let rf_f1 = evaluate(&mut rf, &task).expect("magellan runs").f1;
+    let runs = vec![
+        rlb_core::MatcherRun { name: "SA-ESDE".into(), family: MatcherFamily::Linear, f1: Some(sa_f1) },
+        rlb_core::MatcherRun {
+            name: "Magellan-RF".into(),
+            family: MatcherFamily::NonLinearMl,
+            f1: Some(rf_f1),
+        },
+    ];
+    let a = assess(&task, &runs).expect("assessable");
+    assert!(!a.challenging(), "Ds7 must be easy; flags {:?}", a.flags);
+    assert!(a.flags.by_linearity, "Ds7 is linearly separable");
+}
+
+#[test]
+fn dirty_tasks_preserve_schema_agnostic_difficulty() {
+    // The dirty construction moves values between attributes but does not
+    // change the token multiset, so the schema-agnostic linearity stays
+    // close to the structured counterpart's (paper Fig. 1, Ds1 vs Dd1).
+    let profiles = rlb_core::established_profiles();
+    let by_id = |id: &str| {
+        rlb_core::generate_task(profiles.iter().find(|p| p.id == id).expect("id"))
+    };
+    let structured = degree_of_linearity(&by_id("Ds1")).max_f1();
+    let dirty = degree_of_linearity(&by_id("Dd1")).max_f1();
+    assert!((structured - dirty).abs() < 0.1, "Ds1 {structured} vs Dd1 {dirty}");
+}
+
+#[test]
+fn schema_based_linear_matcher_suffers_from_dirt() {
+    let profiles = rlb_core::established_profiles();
+    let by_id = |id: &str| {
+        rlb_core::generate_task(profiles.iter().find(|p| p.id == id).expect("id"))
+    };
+    let run = |task: &rlb_core::MatchingTask| {
+        let mut m = Esde::new(EsdeVariant::SB);
+        evaluate(&mut m, task).expect("esde").f1
+    };
+    let clean_f1 = run(&by_id("Ds1"));
+    let dirty_f1 = run(&by_id("Dd1"));
+    assert!(
+        dirty_f1 <= clean_f1 + 0.02,
+        "dirt should not help a schema-based matcher: {clean_f1} vs {dirty_f1}"
+    );
+}
+
+#[test]
+fn esde_variants_rank_easy_below_perfect_on_hard() {
+    let profiles = rlb_core::established_profiles();
+    let hard = rlb_core::generate_task(profiles.iter().find(|p| p.id == "Ds4").expect("Ds4"));
+    for variant in EsdeVariant::all() {
+        let mut m = Esde::new(variant);
+        let f1 = evaluate(&mut m, &hard).expect("esde").f1;
+        assert!(
+            f1 < 0.9,
+            "{} should stay below 0.9 on the hard benchmark, got {f1}",
+            variant.name()
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests over the core invariants of the difficulty
+//! framework: similarity bounds, threshold-sweep optimality, metric
+//! identities, and distance-space properties.
+
+use proptest::prelude::*;
+use rlb_matchers::esde::sweep_threshold;
+use rlb_ml::metrics::{confusion, f1_score};
+use rlb_textsim::sets::{cosine, dice, jaccard, overlap};
+use rlb_textsim::TokenSet;
+
+fn token_vec() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-z]{1,6}", 0..12)
+}
+
+proptest! {
+    // --- token-set similarities -----------------------------------------
+
+    #[test]
+    fn similarities_bounded_and_symmetric(a in token_vec(), b in token_vec()) {
+        let ta = TokenSet::new(a);
+        let tb = TokenSet::new(b);
+        for f in [cosine, jaccard, dice, overlap] {
+            let ab = f(&ta, &tb);
+            let ba = f(&tb, &ta);
+            prop_assert!((0.0..=1.0).contains(&ab));
+            prop_assert!((ab - ba).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn similarity_ordering(a in token_vec(), b in token_vec()) {
+        let ta = TokenSet::new(a);
+        let tb = TokenSet::new(b);
+        // jaccard <= dice <= overlap and jaccard <= cosine <= overlap.
+        let (j, d, c, o) = (jaccard(&ta, &tb), dice(&ta, &tb), cosine(&ta, &tb), overlap(&ta, &tb));
+        prop_assert!(j <= d + 1e-12);
+        prop_assert!(d <= o + 1e-12);
+        prop_assert!(j <= c + 1e-12);
+        prop_assert!(c <= o + 1e-12);
+    }
+
+    #[test]
+    fn identity_similarity_is_one(a in prop::collection::vec("[a-z]{1,6}", 1..12)) {
+        let ta = TokenSet::new(a);
+        for f in [cosine, jaccard, dice, overlap] {
+            prop_assert!((f(&ta, &ta) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    // --- edit similarities ------------------------------------------------
+
+    #[test]
+    fn edit_similarities_bounded(a in "[a-zA-Z0-9 ]{0,12}", b in "[a-zA-Z0-9 ]{0,12}") {
+        for f in [
+            rlb_textsim::edit::levenshtein,
+            rlb_textsim::edit::jaro,
+            rlb_textsim::edit::jaro_winkler,
+        ] {
+            let v = f(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&v), "{a:?} vs {b:?}: {v}");
+        }
+    }
+
+    #[test]
+    fn levenshtein_triangle_inequality(
+        a in "[a-z]{0,8}",
+        b in "[a-z]{0,8}",
+        c in "[a-z]{0,8}",
+    ) {
+        use rlb_textsim::edit::levenshtein_distance as lev;
+        prop_assert!(lev(&a, &c) <= lev(&a, &b) + lev(&b, &c));
+    }
+
+    // --- threshold sweep (Algorithms 1 & 2 inner loop) --------------------
+
+    #[test]
+    fn sweep_threshold_is_optimal_over_grid(
+        data in prop::collection::vec((0.0f64..1.0, any::<bool>()), 1..60)
+    ) {
+        let scores: Vec<f64> = data.iter().map(|(s, _)| *s).collect();
+        let labels: Vec<bool> = data.iter().map(|(_, l)| *l).collect();
+        let (best_f1, best_t) = sweep_threshold(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&best_f1));
+        // No grid threshold beats the reported best.
+        for step in 1..100 {
+            let t = step as f64 / 100.0;
+            let preds: Vec<bool> = scores.iter().map(|&s| t <= s).collect();
+            prop_assert!(f1_score(&preds, &labels) <= best_f1 + 1e-12);
+        }
+        // The reported threshold reproduces the reported F1.
+        if best_f1 > 0.0 {
+            let preds: Vec<bool> = scores.iter().map(|&s| best_t <= s).collect();
+            prop_assert!((f1_score(&preds, &labels) - best_f1).abs() < 1e-12);
+        }
+    }
+
+    // --- classification metrics -------------------------------------------
+
+    #[test]
+    fn confusion_counts_partition_the_data(
+        data in prop::collection::vec((any::<bool>(), any::<bool>()), 0..100)
+    ) {
+        let preds: Vec<bool> = data.iter().map(|(p, _)| *p).collect();
+        let labels: Vec<bool> = data.iter().map(|(_, l)| *l).collect();
+        let c = confusion(&preds, &labels);
+        prop_assert_eq!(c.tp + c.fp + c.tn + c.fn_, data.len());
+        let m = c.metrics();
+        for v in [m.precision, m.recall, m.f1, m.accuracy] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        // F1 is the harmonic mean identity.
+        if m.precision + m.recall > 0.0 {
+            let hm = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+            prop_assert!((m.f1 - hm).abs() < 1e-12);
+        }
+    }
+
+    // --- Gower distance -----------------------------------------------------
+
+    #[test]
+    fn gower_is_a_bounded_pseudometric(
+        points in prop::collection::vec(
+            prop::collection::vec(0.0f64..1.0, 2..=2), 2..30
+        )
+    ) {
+        let g = rlb_textsim::gower::GowerSpace::fit(&points).expect("non-empty");
+        for a in &points {
+            prop_assert!(g.distance(a, a).abs() < 1e-12);
+            for b in &points {
+                let d = g.distance(a, b);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&d));
+                prop_assert!((d - g.distance(b, a)).abs() < 1e-12);
+            }
+        }
+    }
+
+    // --- embeddings ----------------------------------------------------------
+
+    #[test]
+    fn embeddings_are_unit_or_zero(token in "[a-z0-9]{0,10}") {
+        let e = rlb_embed::HashedEmbedder::new(32, 7);
+        let v = e.token(&token);
+        let n = rlb_util::linalg::norm_f32(&v);
+        prop_assert!(n.abs() < 1e-4 || (n - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn vector_similarities_bounded(
+        a in prop::collection::vec(-1.0f32..1.0, 8..=8),
+        b in prop::collection::vec(-1.0f32..1.0, 8..=8),
+    ) {
+        for f in [rlb_embed::cosine_sim, rlb_embed::euclidean_sim, rlb_embed::wasserstein_sim] {
+            let v = f(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // --- generator invariants (fewer cases: each builds a dataset) ---------
+
+    #[test]
+    fn generated_tasks_always_validate(seed in 0u64..500, noise in 0.0f64..0.9) {
+        let profile = rlb_synth::BenchmarkProfile {
+            id: "prop",
+            stands_for: "proptest",
+            domain: rlb_synth::Domain::Product,
+            left_size: 60,
+            right_size: 80,
+            n_matches: 40,
+            labeled_pairs: 150,
+            positive_fraction: 0.2,
+            knobs: rlb_synth::DifficultyKnobs {
+                match_noise: noise,
+                hard_negative_fraction: 0.4,
+                anchor_attrs: 1,
+                dirty: seed % 2 == 0,
+                style_noise: 0.03,
+                right_terse: false,
+                base_missing: 0.2,
+            },
+            seed,
+        };
+        let task = rlb_synth::generate_task(&profile);
+        prop_assert_eq!(task.validate(), Ok(()));
+        prop_assert_eq!(task.total_pairs(), 150);
+        let pos = task.all_pairs().filter(|lp| lp.is_match).count();
+        prop_assert_eq!(pos, 30);
+    }
+}
