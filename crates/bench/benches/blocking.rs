@@ -1,12 +1,11 @@
-//! Criterion benches for the blocking substrate: retrieval cost vs `K`,
+//! Timing benches for the blocking substrate: retrieval cost vs `K`,
 //! token/q-gram baselines, and the blocker hyperparameter ablation
 //! (DESIGN.md §6: how the recall floor drives candidate-set hardness).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlb_bench::timing::{group, Harness};
 use rlb_blocking::{Blocker, EmbeddingNnBlocker, IndexSide, QGramBlocker, TokenBlocker};
 use rlb_synth::{generate_raw_pair, Domain, RawPairProfile};
 use std::hint::black_box;
-use std::time::Duration;
 
 fn reference_pair() -> rlb_synth::RawDatasetPair {
     generate_raw_pair(&RawPairProfile {
@@ -26,53 +25,37 @@ fn reference_pair() -> rlb_synth::RawDatasetPair {
     })
 }
 
-fn bench_embedding_retrieval(c: &mut Criterion) {
-    let raw = reference_pair();
-    let mut group = c.benchmark_group("embedding_nn_retrieval");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(10);
+fn bench_embedding_retrieval(h: &mut Harness, raw: &rlb_synth::RawDatasetPair) {
+    group("embedding_nn_retrieval");
     for k in [1usize, 4, 16] {
-        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
-            let blocker = EmbeddingNnBlocker::default();
-            b.iter(|| {
-                black_box(blocker.retrieve(&raw.left, &raw.right, IndexSide::Right, k))
-            })
+        let blocker = EmbeddingNnBlocker::default();
+        h.bench(&format!("k/{k}"), || {
+            black_box(blocker.retrieve(&raw.left, &raw.right, IndexSide::Right, k))
         });
     }
-    group.finish();
 }
 
-fn bench_classical_blockers(c: &mut Criterion) {
-    let raw = reference_pair();
-    let mut group = c.benchmark_group("classical_blockers");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(10);
-    group.bench_function("token", |b| {
-        let blocker = TokenBlocker::new();
-        b.iter(|| black_box(blocker.candidates(&raw.left, &raw.right)))
+fn bench_classical_blockers(h: &mut Harness, raw: &rlb_synth::RawDatasetPair) {
+    group("classical_blockers");
+    let token = TokenBlocker::new();
+    h.bench("token", || {
+        black_box(token.candidates(&raw.left, &raw.right))
     });
-    group.bench_function("token_cleaned", |b| {
-        let mut blocker = TokenBlocker::new();
-        blocker.clean = true;
-        b.iter(|| black_box(blocker.candidates(&raw.left, &raw.right)))
+    let mut cleaned = TokenBlocker::new();
+    cleaned.clean = true;
+    h.bench("token_cleaned", || {
+        black_box(cleaned.candidates(&raw.left, &raw.right))
     });
-    group.bench_function("qgram3", |b| {
-        let blocker = QGramBlocker::new(3);
-        b.iter(|| black_box(blocker.candidates(&raw.left, &raw.right)))
+    let qgram = QGramBlocker::new(3);
+    h.bench("qgram3", || {
+        black_box(qgram.candidates(&raw.left, &raw.right))
     });
-    group.finish();
 }
 
-fn bench_tuner_recall_floor(c: &mut Criterion) {
+fn bench_tuner_recall_floor(h: &mut Harness, raw: &rlb_synth::RawDatasetPair) {
     // Ablation: the recall floor controls the grid search's effort and the
     // resulting benchmark hardness (Section VI step 2).
-    let raw = reference_pair();
-    let mut group = c.benchmark_group("tuner_recall_floor");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(10);
+    group("tuner_recall_floor");
     for floor in [0.8f64, 0.9] {
         let cfg = rlb_blocking::TunerConfig {
             min_recall: floor,
@@ -80,23 +63,21 @@ fn bench_tuner_recall_floor(c: &mut Criterion) {
             reps: 1,
             ..Default::default()
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{floor:.1}")),
-            &cfg,
-            |b, cfg| {
-                b.iter(|| {
-                    black_box(rlb_blocking::tune(&raw.left, &raw.right, &raw.matches, cfg))
-                })
-            },
-        );
+        h.bench(&format!("floor/{floor:.1}"), || {
+            black_box(rlb_blocking::tune(
+                &raw.left,
+                &raw.right,
+                &raw.matches,
+                &cfg,
+            ))
+        });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_embedding_retrieval,
-    bench_classical_blockers,
-    bench_tuner_recall_floor
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    let raw = reference_pair();
+    bench_embedding_retrieval(&mut h, &raw);
+    bench_classical_blockers(&mut h, &raw);
+    bench_tuner_recall_floor(&mut h, &raw);
+}

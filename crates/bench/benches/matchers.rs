@@ -1,18 +1,17 @@
-//! Criterion benches for matcher training/prediction — one per family of
+//! Timing benches for matcher training/prediction — one per family of
 //! Table IV — plus the schema-agnostic vs schema-based ESDE ablation
 //! (DESIGN.md §6).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlb_bench::timing::{group, Harness};
 use rlb_matchers::deep::{DeepConfig, DeepMatcherSim};
 use rlb_matchers::{evaluate, Esde, EsdeVariant, Magellan, MagellanModel, ZeroEr};
 use rlb_synth::{BenchmarkProfile, DifficultyKnobs, Domain};
 use std::hint::black_box;
-use std::time::Duration;
 
 fn reference_task() -> rlb_data::MatchingTask {
     rlb_synth::generate_task(&BenchmarkProfile {
         id: "bench",
-        stands_for: "criterion",
+        stands_for: "timing bench",
         domain: Domain::Product,
         left_size: 300,
         right_size: 400,
@@ -26,76 +25,53 @@ fn reference_task() -> rlb_data::MatchingTask {
 
 /// Ablation: token vs q-gram vs embedding features, schema-agnostic vs
 /// schema-based — the six ESDE variants on one task.
-fn bench_esde_variants(c: &mut Criterion) {
-    let task = reference_task();
-    let mut group = c.benchmark_group("esde_fit_predict");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(10);
+fn bench_esde_variants(h: &mut Harness, task: &rlb_data::MatchingTask) {
+    group("esde_fit_predict");
     for variant in EsdeVariant::all() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(variant.name()),
-            &variant,
-            |b, &v| {
-                b.iter(|| {
-                    let mut m = Esde::new(v);
-                    black_box(evaluate(&mut m, &task).unwrap())
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_magellan(c: &mut Criterion) {
-    let task = reference_task();
-    let mut group = c.benchmark_group("magellan_fit_predict");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(10);
-    for model in [MagellanModel::LogisticRegression, MagellanModel::RandomForest] {
-        group.bench_with_input(BenchmarkId::from_parameter(model.name()), &model, |b, &m| {
-            b.iter(|| {
-                let mut matcher = Magellan::new(m, 7);
-                black_box(evaluate(&mut matcher, &task).unwrap())
-            })
+        h.bench(variant.name(), || {
+            let mut m = Esde::new(variant);
+            black_box(evaluate(&mut m, task).unwrap())
         });
     }
-    group.finish();
 }
 
-fn bench_zeroer(c: &mut Criterion) {
-    let task = reference_task();
-    let mut group = c.benchmark_group("zeroer_fit_predict");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(10);
-    group.bench_function("zeroer", |b| {
-        b.iter(|| {
-            let mut m = ZeroEr::new();
-            black_box(evaluate(&mut m, &task).unwrap())
-        })
+fn bench_magellan(h: &mut Harness, task: &rlb_data::MatchingTask) {
+    group("magellan_fit_predict");
+    for model in [
+        MagellanModel::LogisticRegression,
+        MagellanModel::RandomForest,
+    ] {
+        h.bench(model.name(), || {
+            let mut matcher = Magellan::new(model, 7);
+            black_box(evaluate(&mut matcher, task).unwrap())
+        });
+    }
+}
+
+fn bench_zeroer(h: &mut Harness, task: &rlb_data::MatchingTask) {
+    group("zeroer_fit_predict");
+    h.bench("zeroer", || {
+        let mut m = ZeroEr::new();
+        black_box(evaluate(&mut m, task).unwrap())
     });
-    group.finish();
 }
 
-fn bench_deep(c: &mut Criterion) {
-    let task = reference_task();
-    let mut group = c.benchmark_group("deep_matcher_epochs");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(10);
+fn bench_deep(h: &mut Harness, task: &rlb_data::MatchingTask) {
+    group("deep_matcher_epochs");
     // Ablation: the epoch budget — the paper's headline hyperparameter.
     for epochs in [5usize, 15] {
-        group.bench_with_input(BenchmarkId::from_parameter(epochs), &epochs, |b, &e| {
-            b.iter(|| {
-                let mut m = DeepMatcherSim::new(DeepConfig::with_epochs(e));
-                black_box(evaluate(&mut m, &task).unwrap())
-            })
+        h.bench(&format!("epochs/{epochs}"), || {
+            let mut m = DeepMatcherSim::new(DeepConfig::with_epochs(epochs));
+            black_box(evaluate(&mut m, task).unwrap())
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_esde_variants, bench_magellan, bench_zeroer, bench_deep);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    let task = reference_task();
+    bench_esde_variants(&mut h, &task);
+    bench_magellan(&mut h, &task);
+    bench_zeroer(&mut h, &task);
+    bench_deep(&mut h, &task);
+}

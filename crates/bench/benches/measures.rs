@@ -1,20 +1,23 @@
-//! Criterion benches for the difficulty measures: the degree of linearity
+//! Timing benches for the difficulty measures: the degree of linearity
 //! (Figure 1/4 computation) and the 17 complexity measures (Figure 2/5
 //! computation), plus an ablation of the complexity subsample cap — the
 //! main runtime lever DESIGN.md calls out.
+//!
+//! Also the parallel-runtime acceptance check: `degree_of_linearity` on a
+//! 10k-labelled-pair task must beat the sequential path ≥ 2× on 4+ cores
+//! while producing a byte-identical report.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlb_bench::timing::{group, Harness};
 use rlb_complexity::ComplexityConfig;
-use rlb_core::degree_of_linearity;
+use rlb_core::{degree_of_linearity, degree_of_linearity_sequential};
 use rlb_matchers::features::TaskViews;
 use rlb_synth::{BenchmarkProfile, DifficultyKnobs, Domain};
 use std::hint::black_box;
-use std::time::Duration;
 
 fn reference_task(pairs: usize) -> rlb_data::MatchingTask {
     rlb_synth::generate_task(&BenchmarkProfile {
         id: "bench",
-        stands_for: "criterion",
+        stands_for: "timing bench",
         domain: Domain::Product,
         left_size: 400,
         right_size: 500,
@@ -26,21 +29,56 @@ fn reference_task(pairs: usize) -> rlb_data::MatchingTask {
     })
 }
 
-fn bench_linearity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("degree_of_linearity");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(10);
+fn bench_linearity(h: &mut Harness) {
+    group("degree_of_linearity");
     for pairs in [500usize, 1000, 2000] {
         let task = reference_task(pairs);
-        group.bench_with_input(BenchmarkId::from_parameter(pairs), &task, |b, t| {
-            b.iter(|| black_box(degree_of_linearity(t)))
+        h.bench(&format!("pairs/{pairs}"), || {
+            black_box(degree_of_linearity(&task))
         });
     }
-    group.finish();
 }
 
-fn bench_complexity(c: &mut Criterion) {
+fn bench_parallel_speedup(h: &mut Harness) {
+    group("degree_of_linearity parallel vs sequential (10k pairs)");
+    let task = reference_task(10_000);
+    let seq_report = degree_of_linearity_sequential(&task);
+    let par_report = degree_of_linearity(&task);
+    assert_eq!(
+        (
+            seq_report.f1_cosine.to_bits(),
+            seq_report.t_cosine.to_bits(),
+            seq_report.f1_jaccard.to_bits(),
+            seq_report.t_jaccard.to_bits(),
+        ),
+        (
+            par_report.f1_cosine.to_bits(),
+            par_report.t_cosine.to_bits(),
+            par_report.f1_jaccard.to_bits(),
+            par_report.t_jaccard.to_bits(),
+        ),
+        "parallel and sequential reports must be byte-identical"
+    );
+    let seq = h.bench("sequential", || {
+        black_box(degree_of_linearity_sequential(&task))
+    });
+    let par = h.bench("parallel", || black_box(degree_of_linearity(&task)));
+    let cores = rlb_util::par::thread_count();
+    let speedup = par.speedup_over(&seq);
+    let verdict = if cores < 4 {
+        "n/a (needs 4+ cores)"
+    } else if speedup >= 2.0 {
+        "PASS"
+    } else {
+        "FAIL"
+    };
+    println!(
+        "  reports identical; speedup {speedup:.2}x on {cores} threads \
+         (target >= 2x on 4+ cores): {verdict}"
+    );
+}
+
+fn bench_complexity(h: &mut Harness) {
     let task = reference_task(1500);
     let views = TaskViews::build(&task);
     let feats: Vec<Vec<f64>> = task
@@ -52,32 +90,35 @@ fn bench_complexity(c: &mut Criterion) {
         .collect();
     let labels: Vec<bool> = task.all_pairs().map(|lp| lp.is_match).collect();
 
-    let mut group = c.benchmark_group("complexity_measures");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(10);
+    group("complexity_measures");
     // Ablation: the O(n²) subsample cap trades fidelity for runtime.
     for cap in [250usize, 500, 1000] {
-        let cfg = ComplexityConfig { max_points: cap, ..Default::default() };
-        group.bench_with_input(BenchmarkId::new("cap", cap), &cfg, |b, cfg| {
-            b.iter(|| black_box(rlb_complexity::compute(&feats, &labels, cfg).unwrap()))
+        let cfg = ComplexityConfig {
+            max_points: cap,
+            ..Default::default()
+        };
+        h.bench(&format!("cap/{cap}"), || {
+            black_box(rlb_complexity::compute(&feats, &labels, &cfg).unwrap())
         });
     }
-    group.finish();
 }
 
-fn bench_pair_featurization(c: &mut Criterion) {
+fn bench_pair_featurization(h: &mut Harness) {
     let task = reference_task(2000);
     let views = TaskViews::build(&task);
     let pairs: Vec<_> = task.all_pairs().map(|lp| lp.pair).collect();
-    c.bench_function("cs_js_featurization_2000_pairs", |b| {
-        b.iter(|| {
-            for &p in &pairs {
-                black_box(views.cs_js(p));
-            }
-        })
+    group("featurization");
+    h.bench("cs_js_featurization_2000_pairs", || {
+        for &p in &pairs {
+            black_box(views.cs_js(p));
+        }
     });
 }
 
-criterion_group!(benches, bench_linearity, bench_complexity, bench_pair_featurization);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_linearity(&mut h);
+    bench_parallel_speedup(&mut h);
+    bench_complexity(&mut h);
+    bench_pair_featurization(&mut h);
+}

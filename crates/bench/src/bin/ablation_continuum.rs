@@ -25,13 +25,25 @@ fn main() {
         .unwrap_or_else(|| panic!("unknown raw pair {id}"));
     let raw = rlb_core::generate_raw_pair(&profile);
 
-    let header: Vec<String> =
-        ["recall floor", "K", "PC", "PQ", "|C|", "IR", "linearity", "complexity"]
-            .map(String::from)
-            .to_vec();
+    let header: Vec<String> = [
+        "recall floor",
+        "K",
+        "PC",
+        "PQ",
+        "|C|",
+        "IR",
+        "linearity",
+        "complexity",
+    ]
+    .map(String::from)
+    .to_vec();
     let mut rows = Vec::new();
     for floor in [0.70, 0.80, 0.90, 0.95] {
-        let tuner = TunerConfig { min_recall: floor, reps: 1, ..Default::default() };
+        let tuner = TunerConfig {
+            min_recall: floor,
+            reps: 1,
+            ..Default::default()
+        };
         let built = build_benchmark(&raw, &tuner, profile.seed ^ 0x5EED);
         let lin = degree_of_linearity(&built.task);
         let views = TaskViews::build(&built.task);

@@ -45,17 +45,21 @@ fn measure(noise: f64, hard: f64) -> Vec<String> {
         feats.push(vec![c, j]);
         labels.push(lp.is_match);
     }
-    let cx = rlb_complexity::compute(&feats, &labels, &ComplexityConfig::default())
-        .expect("valid task");
+    let cx =
+        rlb_complexity::compute(&feats, &labels, &ComplexityConfig::default()).expect("valid task");
 
     // Compact roster: best linear candidate vs two non-linear ones.
     let mut runs = Vec::new();
     for (name, family, f1) in [
         ("SA-ESDE", MatcherFamily::Linear, {
-            evaluate(&mut Esde::new(EsdeVariant::SA), &task).expect("esde").f1
+            evaluate(&mut Esde::new(EsdeVariant::SA), &task)
+                .expect("esde")
+                .f1
         }),
         ("SAS-ESDE", MatcherFamily::Linear, {
-            evaluate(&mut Esde::new(EsdeVariant::SAS), &task).expect("esde").f1
+            evaluate(&mut Esde::new(EsdeVariant::SAS), &task)
+                .expect("esde")
+                .f1
         }),
         ("Magellan-RF", MatcherFamily::NonLinearMl, {
             evaluate(&mut Magellan::new(MagellanModel::RandomForest, 7), &task)
@@ -74,7 +78,11 @@ fn measure(noise: f64, hard: f64) -> Vec<String> {
             .f1
         }),
     ] {
-        runs.push(MatcherRun { name: name.into(), family, f1: Some(f1) });
+        runs.push(MatcherRun {
+            name: name.into(),
+            family,
+            f1: Some(f1),
+        });
     }
     let p = rlb_core::practical_measures(&runs);
     vec![
@@ -88,10 +96,16 @@ fn measure(noise: f64, hard: f64) -> Vec<String> {
 }
 
 fn main() {
-    let header: Vec<String> =
-        ["match noise", "hard negatives", "linearity", "complexity", "NLB", "LBM"]
-            .map(String::from)
-            .to_vec();
+    let header: Vec<String> = [
+        "match noise",
+        "hard negatives",
+        "linearity",
+        "complexity",
+        "NLB",
+        "LBM",
+    ]
+    .map(String::from)
+    .to_vec();
     let mut rows = Vec::new();
     println!("Hardness ablation — class overlap drives all four measures\n");
     for (noise, hard) in [(0.1, 0.1), (0.1, 0.6), (0.4, 0.4), (0.6, 0.1), (0.6, 0.6)] {

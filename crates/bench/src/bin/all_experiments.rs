@@ -10,8 +10,8 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "table2", "table3", "fig1", "fig2", "table4", "fig3", "table5", "table7", "fig4",
-        "fig5", "table6", "fig6",
+        "table2", "table3", "fig1", "fig2", "table4", "fig3", "table5", "table7", "fig4", "fig5",
+        "table6", "fig6",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

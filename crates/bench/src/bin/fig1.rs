@@ -6,8 +6,9 @@ use rlb_bench::runner::established_tasks;
 use rlb_core::degree_of_linearity;
 
 fn main() {
-    let header: Vec<String> =
-        ["D", "F1max_CS", "t_CS", "F1max_JS", "t_JS", "max"].map(String::from).to_vec();
+    let header: Vec<String> = ["D", "F1max_CS", "t_CS", "F1max_JS", "t_JS", "max"]
+        .map(String::from)
+        .to_vec();
     let mut rows = Vec::new();
     for task in established_tasks() {
         let r = degree_of_linearity(&task);

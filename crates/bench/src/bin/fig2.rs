@@ -36,7 +36,9 @@ fn main() {
     }
     let mut mean_row = vec!["mean".to_string()];
     mean_row.extend(
-        columns.iter().map(|c| format!("{:.3}", c.iter().sum::<f64>() / c.len() as f64)),
+        columns
+            .iter()
+            .map(|c| format!("{:.3}", c.iter().sum::<f64>() / c.len() as f64)),
     );
     rows.push(mean_row);
     println!("Figure 2 — Complexity measures per established dataset\n");

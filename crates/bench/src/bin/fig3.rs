@@ -7,7 +7,12 @@ use rlb_core::{assess, practical_measures};
 
 fn main() {
     let header: Vec<String> = [
-        "D", "best linear", "best non-linear", "NLB", "LBM", "challenging?",
+        "D",
+        "best linear",
+        "best non-linear",
+        "NLB",
+        "LBM",
+        "challenging?",
     ]
     .map(String::from)
     .to_vec();
@@ -26,7 +31,11 @@ fn main() {
             percent(p.best_nonlinear),
             percent(p.nlb),
             percent(p.lbm),
-            if a.challenging() { "YES".into() } else { format!("no {}", easy_reason(&a)) },
+            if a.challenging() {
+                "YES".into()
+            } else {
+                format!("no {}", easy_reason(&a))
+            },
         ]);
     }
     println!("Figure 3 — NLB and LBM per established dataset\n");

@@ -6,7 +6,12 @@ use rlb_core::{assess, practical_measures};
 
 fn main() {
     let header: Vec<String> = [
-        "D", "best linear", "best non-linear", "NLB", "LBM", "challenging?",
+        "D",
+        "best linear",
+        "best non-linear",
+        "NLB",
+        "LBM",
+        "challenging?",
     ]
     .map(String::from)
     .to_vec();
@@ -25,7 +30,11 @@ fn main() {
             percent(p.best_nonlinear),
             percent(p.nlb),
             percent(p.lbm),
-            if a.challenging() { "YES".into() } else { "no".into() },
+            if a.challenging() {
+                "YES".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     println!("Figure 6 — NLB and LBM per new dataset\n");

@@ -1,7 +1,7 @@
 //! Calibration probe for single new-benchmark profiles (dev tool).
 use rlb_blocking::TunerConfig;
-use rlb_core::{build_benchmark, degree_of_linearity};
 use rlb_complexity::ComplexityConfig;
+use rlb_core::{build_benchmark, degree_of_linearity};
 use rlb_matchers::features::TaskViews;
 
 fn main() {
@@ -9,22 +9,40 @@ fn main() {
     let id = args.get(1).map(String::as_str).unwrap_or("Dn7");
     let noise: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(-1.0);
     let missing: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(-1.0);
-    let mut profile = rlb_core::raw_pair_profiles().into_iter().find(|p| p.id == id).unwrap();
-    if noise >= 0.0 { profile.match_noise = noise; }
-    if missing >= 0.0 { profile.missing_boost = missing; }
-    if let Some(seed) = args.get(4).and_then(|s| s.parse().ok()) { profile.seed = seed; }
+    let mut profile = rlb_core::raw_pair_profiles()
+        .into_iter()
+        .find(|p| p.id == id)
+        .unwrap();
+    if noise >= 0.0 {
+        profile.match_noise = noise;
+    }
+    if missing >= 0.0 {
+        profile.missing_boost = missing;
+    }
+    if let Some(seed) = args.get(4).and_then(|s| s.parse().ok()) {
+        profile.seed = seed;
+    }
     let raw = rlb_core::generate_raw_pair(&profile);
     let built = build_benchmark(&raw, &TunerConfig::default(), profile.seed ^ 0x5EED);
     let lin = degree_of_linearity(&built.task);
     let views = TaskViews::build(&built.task);
-    let mut feats = vec![]; let mut labels = vec![];
+    let mut feats = vec![];
+    let mut labels = vec![];
     for lp in built.task.all_pairs() {
         let [c, j] = views.cs_js(lp.pair);
-        feats.push(vec![c, j]); labels.push(lp.is_match);
+        feats.push(vec![c, j]);
+        labels.push(lp.is_match);
     }
     let cx = rlb_complexity::compute(&feats, &labels, &ComplexityConfig::default()).unwrap();
-    println!("{id} noise={} missing={}: K={} PC={:.3} PQ={:.3} |C|={} lin={:.3} complexity={:.3}",
-        profile.match_noise, profile.missing_boost, built.blocking.k,
-        built.blocking.metrics.pc, built.blocking.metrics.pq, built.blocking.metrics.candidates,
-        lin.max_f1(), cx.mean());
+    println!(
+        "{id} noise={} missing={}: K={} PC={:.3} PQ={:.3} |C|={} lin={:.3} complexity={:.3}",
+        profile.match_noise,
+        profile.missing_boost,
+        built.blocking.k,
+        built.blocking.metrics.pc,
+        built.blocking.metrics.pq,
+        built.blocking.metrics.candidates,
+        lin.max_f1(),
+        cx.mean()
+    );
 }

@@ -4,9 +4,14 @@ use rlb_bench::fmt::render_table;
 use rlb_matchers::taxonomy::{taxonomy, EmbeddingContext, SchemaAwareness, SimilarityContext};
 
 fn main() {
-    let header: Vec<String> = ["DL-based algorithm", "Token embedding context", "Schema awareness", "Entity similarity context"]
-        .map(String::from)
-        .to_vec();
+    let header: Vec<String> = [
+        "DL-based algorithm",
+        "Token embedding context",
+        "Schema awareness",
+        "Entity similarity context",
+    ]
+    .map(String::from)
+    .to_vec();
     let rows: Vec<Vec<String>> = taxonomy()
         .into_iter()
         .map(|r| {

@@ -9,8 +9,18 @@ fn main() {
     let profiles = established_profiles();
     let tasks = established_tasks();
     let header: Vec<String> = [
-        "D", "stands for", "|D1|", "|D2|", "|A|", "|Itr|", "|Ptr|", "|Ntr|", "|Ite|", "|Pte|",
-        "|Nte|", "IR",
+        "D",
+        "stands for",
+        "|D1|",
+        "|D2|",
+        "|A|",
+        "|Itr|",
+        "|Ptr|",
+        "|Ntr|",
+        "|Ite|",
+        "|Pte|",
+        "|Nte|",
+        "IR",
     ]
     .map(String::from)
     .to_vec();

@@ -27,9 +27,18 @@ fn main() {
 
     println!("Table IV — F1 per method and established dataset (hyphen = insufficient memory)\n");
     for (panel, family) in [
-        ("(a) DL-based matching algorithms", MatcherFamily::DeepLearning),
-        ("(b) Non-neural, non-linear ML-based matching algorithms", MatcherFamily::NonLinearMl),
-        ("(c) Non-neural, linear supervised matching algorithms", MatcherFamily::Linear),
+        (
+            "(a) DL-based matching algorithms",
+            MatcherFamily::DeepLearning,
+        ),
+        (
+            "(b) Non-neural, non-linear ML-based matching algorithms",
+            MatcherFamily::NonLinearMl,
+        ),
+        (
+            "(c) Non-neural, linear supervised matching algorithms",
+            MatcherFamily::Linear,
+        ),
     ] {
         let rows: Vec<Vec<String>> = order
             .iter()

@@ -25,9 +25,18 @@ fn main() {
 
     println!("Table VI — F1 per method and new dataset (hyphen = insufficient memory)\n");
     for (panel, family) in [
-        ("(a) DL-based matching algorithms", MatcherFamily::DeepLearning),
-        ("(b) Non-neural, non-linear ML-based matching algorithms", MatcherFamily::NonLinearMl),
-        ("(c) Non-neural, linear supervised matching algorithms", MatcherFamily::Linear),
+        (
+            "(a) DL-based matching algorithms",
+            MatcherFamily::DeepLearning,
+        ),
+        (
+            "(b) Non-neural, non-linear ML-based matching algorithms",
+            MatcherFamily::NonLinearMl,
+        ),
+        (
+            "(c) Non-neural, linear supervised matching algorithms",
+            MatcherFamily::Linear,
+        ),
     ] {
         let rows: Vec<Vec<String>> = order
             .iter()

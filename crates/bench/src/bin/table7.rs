@@ -19,17 +19,30 @@ fn main() {
     });
 
     // The paper's pairings: same raw origin.
-    let pairings = [("Dt1", "Dn1"), ("Ds1", "Dn3"), ("Ds2", "Dn8"), ("Ds4", "Dn7"), ("Ds6", "Dn2")];
-    let header: Vec<String> =
-        ["existing", "PC", "PQ", "IR", "new", "PC", "PQ", "IR"].map(String::from).to_vec();
+    let pairings = [
+        ("Dt1", "Dn1"),
+        ("Ds1", "Dn3"),
+        ("Ds2", "Dn8"),
+        ("Ds4", "Dn7"),
+        ("Ds6", "Dn2"),
+    ];
+    let header: Vec<String> = ["existing", "PC", "PQ", "IR", "new", "PC", "PQ", "IR"]
+        .map(String::from)
+        .to_vec();
     let mut rows = Vec::new();
     for (old_id, new_id) in pairings {
-        let task = established.iter().find(|t| t.name == old_id).expect("known id");
+        let task = established
+            .iter()
+            .find(|t| t.name == old_id)
+            .expect("known id");
         let profile = profiles.iter().find(|p| p.id == old_id).expect("known id");
         let positives = task.all_pairs().filter(|lp| lp.is_match).count();
         let pc_old = positives as f64 / profile.n_matches as f64;
         let pq_old = task.imbalance_ratio();
-        let s = summaries.iter().find(|s| s.name == new_id).expect("known id");
+        let s = summaries
+            .iter()
+            .find(|s| s.name == new_id)
+            .expect("known id");
         rows.push(vec![
             old_id.to_string(),
             ratio(pc_old),

@@ -4,10 +4,19 @@
 //! conclusion verdicts reuse its numbers. Results land in
 //! `target/rlb-results/<key>.json`; delete the directory to force
 //! recomputation.
+//!
+//! Every artifact is wrapped in an envelope carrying a format fingerprint.
+//! A stale artifact written by an older build (different JSON layout,
+//! different cached types) is detected, reported, and recomputed instead of
+//! being silently reused across code changes.
 
-use serde::de::DeserializeOwned;
-use serde::Serialize;
+use rlb_util::json::{FromJson, ToJson, Value};
 use std::path::PathBuf;
+
+/// Cache-format fingerprint. Bump whenever the layout of any cached type or
+/// the JSON codec changes so stale artifacts miss instead of deserializing
+/// into wrong data.
+pub const CACHE_FINGERPRINT: &str = "rlb-cache-v2";
 
 /// Directory used for cached results.
 pub fn cache_dir() -> PathBuf {
@@ -18,23 +27,51 @@ pub fn cache_dir() -> PathBuf {
 /// Loads `key` from the cache, or computes and stores it.
 pub fn with_cache<T, F>(key: &str, compute: F) -> T
 where
-    T: Serialize + DeserializeOwned,
+    T: ToJson + FromJson,
     F: FnOnce() -> T,
 {
     let dir = cache_dir();
     let path = dir.join(format!("{key}.json"));
-    if let Ok(bytes) = std::fs::read(&path) {
-        if let Ok(value) = serde_json::from_slice::<T>(&bytes) {
-            eprintln!("[cache] reused {}", path.display());
-            return value;
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        match Value::parse(&text) {
+            Ok(envelope) => {
+                let fingerprint = envelope.get("fingerprint").and_then(Value::as_str);
+                if fingerprint == Some(CACHE_FINGERPRINT) {
+                    if let Some(Ok(value)) = envelope.get("value").map(T::from_json) {
+                        eprintln!("[cache] reused {}", path.display());
+                        return value;
+                    }
+                    eprintln!(
+                        "[cache] miss: {} does not decode as the expected type — recomputing",
+                        path.display()
+                    );
+                } else {
+                    eprintln!(
+                        "[cache] miss: {} has fingerprint {:?}, expected {CACHE_FINGERPRINT:?} — recomputing",
+                        path.display(),
+                        fingerprint.unwrap_or("<none>")
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "[cache] miss: {} is not valid JSON ({e}) — recomputing",
+                    path.display()
+                );
+            }
         }
     }
     let value = compute();
     if std::fs::create_dir_all(&dir).is_ok() {
-        if let Ok(json) = serde_json::to_vec_pretty(&value) {
-            if std::fs::write(&path, json).is_ok() {
-                eprintln!("[cache] wrote {}", path.display());
-            }
+        let envelope = Value::Obj(vec![
+            (
+                "fingerprint".to_string(),
+                Value::Str(CACHE_FINGERPRINT.to_string()),
+            ),
+            ("value".to_string(), value.to_json()),
+        ]);
+        if std::fs::write(&path, envelope.to_json_string_pretty()).is_ok() {
+            eprintln!("[cache] wrote {}", path.display());
         }
     }
     value
@@ -60,5 +97,34 @@ mod tests {
         assert_eq!(b, vec![1, 2, 3], "second call must come from cache");
         assert_eq!(calls, 1);
         let _ = std::fs::remove_file(cache_dir().join(format!("{key}.json")));
+    }
+
+    #[test]
+    fn stale_fingerprint_forces_recompute() {
+        let key = format!("unit-test-stale-{}", std::process::id());
+        let path = cache_dir().join(format!("{key}.json"));
+        std::fs::create_dir_all(cache_dir()).unwrap();
+        // An artifact written by a hypothetical older build: right shape,
+        // wrong fingerprint.
+        std::fs::write(&path, r#"{"fingerprint":"rlb-cache-v1","value":[7,7,7]}"#).unwrap();
+        let v: Vec<u32> = with_cache(&key, || vec![1, 2]);
+        assert_eq!(v, vec![1, 2], "stale artifact must not be reused");
+        // The recompute must have rewritten the envelope with the current
+        // fingerprint, so a second call now hits.
+        let again: Vec<u32> = with_cache(&key, || vec![9]);
+        assert_eq!(again, vec![1, 2]);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn pre_envelope_artifacts_miss() {
+        let key = format!("unit-test-legacy-{}", std::process::id());
+        let path = cache_dir().join(format!("{key}.json"));
+        std::fs::create_dir_all(cache_dir()).unwrap();
+        // The pre-fingerprint format stored the bare value.
+        std::fs::write(&path, "[3,3,3]").unwrap();
+        let v: Vec<u32> = with_cache(&key, || vec![4, 4]);
+        assert_eq!(v, vec![4, 4]);
+        let _ = std::fs::remove_file(path);
     }
 }

@@ -19,7 +19,11 @@ pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
             if c > 0 {
                 line.push_str("  ");
             }
-            line.push_str(&format!("{:width$}", cell, width = widths.get(c).copied().unwrap_or(0)));
+            line.push_str(&format!(
+                "{:width$}",
+                cell,
+                width = widths.get(c).copied().unwrap_or(0)
+            ));
         }
         line.trim_end().to_string()
     };

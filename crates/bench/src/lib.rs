@@ -2,16 +2,15 @@
 //! evaluation (Sections V and VI).
 //!
 //! One binary per artifact (`cargo run --release -p rlb-bench --bin
-//! table4`), a combined `all_experiments` driver, and Criterion benches for
-//! the runtime of the core computations. Expensive intermediate results
-//! (the matcher sweeps behind Tables IV/VI and the blocking tuning behind
-//! Table V) are cached as JSON under `target/rlb-results/` so the figure
-//! binaries can reuse them.
+//! table4`), a combined `all_experiments` driver, and in-tree timing benches
+//! ([`timing`]) for the runtime of the core computations. Expensive
+//! intermediate results (the matcher sweeps behind Tables IV/VI and the
+//! blocking tuning behind Table V) are cached as JSON under
+//! `target/rlb-results/` so the figure binaries can reuse them.
 
 pub mod cache;
 pub mod fmt;
 pub mod runner;
+pub mod timing;
 
-pub use runner::{
-    established_tasks, new_benchmarks, new_tasks, roster_for, NewBenchmarkSummary,
-};
+pub use runner::{established_tasks, new_benchmarks, new_tasks, roster_for, NewBenchmarkSummary};

@@ -6,15 +6,15 @@ use rlb_blocking::TunerConfig;
 use rlb_core::{build_benchmark, run_roster, MatcherRun, RosterConfig};
 use rlb_data::MatchingTask;
 use rlb_synth::{established_profiles, generate_raw_pair, generate_task, raw_pair_profiles};
-use serde::{Deserialize, Serialize};
 
-/// Generates all 13 established benchmark stand-ins (deterministic, fast).
+/// Generates all 13 established benchmark stand-ins (deterministic; one
+/// worker per profile, each generator is seeded independently).
 pub fn established_tasks() -> Vec<MatchingTask> {
-    established_profiles().iter().map(generate_task).collect()
+    rlb_util::par::par_map(&established_profiles(), generate_task)
 }
 
 /// Summary of one Section-VI benchmark build — the Table V row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NewBenchmarkSummary {
     /// Benchmark id (`Dn1..Dn8`).
     pub name: String,
@@ -58,6 +58,29 @@ pub struct NewBenchmarkSummary {
     pub imbalance_ratio: f64,
 }
 
+rlb_util::impl_json!(NewBenchmarkSummary {
+    name,
+    left_name,
+    right_name,
+    left_size,
+    right_size,
+    total_matches,
+    attributes,
+    pc,
+    pq,
+    candidates,
+    matching_candidates,
+    attr,
+    clean,
+    k,
+    indexed,
+    train_instances,
+    test_instances,
+    train_positives,
+    test_positives,
+    imbalance_ratio,
+});
+
 /// Builds the 8 new benchmarks (blocking + tuning + split). Deterministic
 /// and cached (the grid search over a 64-neighbour retrieval per
 /// configuration is the expensive step; the labelled tasks serialize fine).
@@ -67,40 +90,37 @@ pub fn new_benchmarks() -> Vec<(NewBenchmarkSummary, MatchingTask)> {
 
 fn build_new_benchmarks() -> Vec<(NewBenchmarkSummary, MatchingTask)> {
     let tuner = TunerConfig::default();
-    raw_pair_profiles()
-        .iter()
-        .map(|profile| {
-            let raw = generate_raw_pair(profile);
-            let built = build_benchmark(&raw, &tuner, profile.seed ^ 0x5EED);
-            let stats = rlb_data::DatasetStats::of(&built.task);
-            let summary = NewBenchmarkSummary {
-                name: profile.id.to_string(),
-                left_name: profile.left_name.to_string(),
-                right_name: profile.right_name.to_string(),
-                left_size: profile.left_size,
-                right_size: profile.right_size,
-                total_matches: built.total_matches,
-                attributes: stats.attributes,
-                pc: built.blocking.metrics.pc,
-                pq: built.blocking.metrics.pq,
-                candidates: built.blocking.metrics.candidates,
-                matching_candidates: built.blocking.metrics.matching_candidates,
-                attr: built.blocking.attr_name.clone(),
-                clean: built.blocking.clean,
-                k: built.blocking.k,
-                indexed: match built.blocking.side {
-                    rlb_blocking::IndexSide::Left => "D1".to_string(),
-                    rlb_blocking::IndexSide::Right => "D2".to_string(),
-                },
-                train_instances: stats.train_instances,
-                test_instances: stats.test_instances,
-                train_positives: stats.train_positives,
-                test_positives: stats.test_positives,
-                imbalance_ratio: stats.imbalance_ratio,
-            };
-            (summary, built.task)
-        })
-        .collect()
+    rlb_util::par::par_map(&raw_pair_profiles(), |profile| {
+        let raw = generate_raw_pair(profile);
+        let built = build_benchmark(&raw, &tuner, profile.seed ^ 0x5EED);
+        let stats = rlb_data::DatasetStats::of(&built.task);
+        let summary = NewBenchmarkSummary {
+            name: profile.id.to_string(),
+            left_name: profile.left_name.to_string(),
+            right_name: profile.right_name.to_string(),
+            left_size: profile.left_size,
+            right_size: profile.right_size,
+            total_matches: built.total_matches,
+            attributes: stats.attributes,
+            pc: built.blocking.metrics.pc,
+            pq: built.blocking.metrics.pq,
+            candidates: built.blocking.metrics.candidates,
+            matching_candidates: built.blocking.metrics.matching_candidates,
+            attr: built.blocking.attr_name.clone(),
+            clean: built.blocking.clean,
+            k: built.blocking.k,
+            indexed: match built.blocking.side {
+                rlb_blocking::IndexSide::Left => "D1".to_string(),
+                rlb_blocking::IndexSide::Right => "D2".to_string(),
+            },
+            train_instances: stats.train_instances,
+            test_instances: stats.test_instances,
+            train_positives: stats.train_positives,
+            test_positives: stats.test_positives,
+            imbalance_ratio: stats.imbalance_ratio,
+        };
+        (summary, built.task)
+    })
 }
 
 /// The tasks only (no summaries).
@@ -113,7 +133,10 @@ pub fn new_tasks() -> Vec<MatchingTask> {
 pub fn roster_for(group: &str, task: &MatchingTask) -> Vec<MatcherRun> {
     let key = format!("roster-{group}-{}", task.name);
     with_cache(&key, || {
-        eprintln!("[sweep] running 23 matcher configurations on {} …", task.name);
+        eprintln!(
+            "[sweep] running 23 matcher configurations on {} …",
+            task.name
+        );
         run_roster(task, &RosterConfig::default()).expect("roster run failed")
     })
 }

@@ -9,7 +9,9 @@ use rlb_textsim::tfidf::STOPWORDS;
 /// enough to conflate inflections without a full stemmer).
 pub fn stem(token: &str) -> String {
     let t = token;
-    for suffix in ["ingly", "edly", "ings", "ing", "edly", "ied", "ies", "ed", "es", "s"] {
+    for suffix in [
+        "ingly", "edly", "ings", "ing", "edly", "ied", "ies", "ed", "es", "s",
+    ] {
         if let Some(stripped) = t.strip_suffix(suffix) {
             // Keep at least 3 characters so short tokens survive.
             if stripped.len() >= 3 {

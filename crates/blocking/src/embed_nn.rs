@@ -42,7 +42,12 @@ pub struct EmbeddingNnBlocker {
 
 impl Default for EmbeddingNnBlocker {
     fn default() -> Self {
-        EmbeddingNnBlocker { attribute: None, clean: false, dim: 32, perturb_seed: 0 }
+        EmbeddingNnBlocker {
+            attribute: None,
+            clean: false,
+            dim: 32,
+            perturb_seed: 0,
+        }
     }
 }
 
@@ -80,7 +85,12 @@ impl Retrieval {
 
 impl EmbeddingNnBlocker {
     /// Embeds one record under this configuration.
-    fn embed(&self, embedder: &HashedEmbedder, record: &Record, rng: Option<&mut Prng>) -> Vec<f32> {
+    fn embed(
+        &self,
+        embedder: &HashedEmbedder,
+        record: &Record,
+        rng: Option<&mut Prng>,
+    ) -> Vec<f32> {
         let text = match self.attribute {
             Some(a) => record.value(a).to_string(),
             None => record.full_text(),
@@ -111,8 +121,7 @@ impl EmbeddingNnBlocker {
         k_max: usize,
     ) -> Retrieval {
         let embedder = HashedEmbedder::new(self.dim, 0xB10C);
-        let mut perturb =
-            (self.perturb_seed != 0).then(|| Prng::seed_from_u64(self.perturb_seed));
+        let mut perturb = (self.perturb_seed != 0).then(|| Prng::seed_from_u64(self.perturb_seed));
         let mut embed_all = |records: &[Record]| -> Vec<Vec<f32>> {
             records
                 .iter()
@@ -133,7 +142,11 @@ impl EmbeddingNnBlocker {
                 top.into_sorted().into_iter().map(|(_, i)| i).collect()
             })
             .collect();
-        Retrieval { side, ranked, k_max }
+        Retrieval {
+            side,
+            ranked,
+            k_max,
+        }
     }
 }
 
@@ -144,10 +157,19 @@ mod tests {
     fn sources() -> (Source, Source) {
         let mut left = Source::new("L", vec!["name".into()]);
         let mut right = Source::new("R", vec!["name".into()]);
-        for name in ["acme widget pro", "zenbrook speaker ultra", "kordia laptop fast"] {
+        for name in [
+            "acme widget pro",
+            "zenbrook speaker ultra",
+            "kordia laptop fast",
+        ] {
             left.push(vec![name.into()]);
         }
-        for name in ["acme wdget pro", "zenbrook speakers", "kordia laptops", "unrelated junk"] {
+        for name in [
+            "acme wdget pro",
+            "zenbrook speakers",
+            "kordia laptops",
+            "unrelated junk",
+        ] {
             right.push(vec![name.into()]);
         }
         (left, right)
@@ -159,7 +181,10 @@ mod tests {
         let blocker = EmbeddingNnBlocker::default();
         let ret = blocker.retrieve(&l, &r, IndexSide::Right, 2);
         let c1 = ret.candidates(1);
-        assert!(c1.contains(&PairRef::new(0, 0)), "typo'd duplicate found at K=1");
+        assert!(
+            c1.contains(&PairRef::new(0, 0)),
+            "typo'd duplicate found at K=1"
+        );
         assert!(c1.contains(&PairRef::new(1, 1)));
         assert!(c1.contains(&PairRef::new(2, 2)));
         assert_eq!(c1.len(), 3);
@@ -190,15 +215,19 @@ mod tests {
     fn perturbation_changes_rankings_slightly() {
         let (l, r) = sources();
         let det = EmbeddingNnBlocker::default();
-        let mut pert = EmbeddingNnBlocker::default();
-        pert.perturb_seed = 7;
+        let pert = EmbeddingNnBlocker {
+            perturb_seed: 7,
+            ..Default::default()
+        };
         let a = det.retrieve(&l, &r, IndexSide::Right, 4);
         let b = pert.retrieve(&l, &r, IndexSide::Right, 4);
         // Same top matches survive a small perturbation…
         assert_eq!(a.candidates(1), b.candidates(1));
         // …and two different perturbation seeds stay deterministic per seed.
-        let mut pert2 = EmbeddingNnBlocker::default();
-        pert2.perturb_seed = 7;
+        let pert2 = EmbeddingNnBlocker {
+            perturb_seed: 7,
+            ..Default::default()
+        };
         let c = pert2.retrieve(&l, &r, IndexSide::Right, 4);
         assert_eq!(b.candidates(4), c.candidates(4));
     }
@@ -210,8 +239,10 @@ mod tests {
         left.push(vec!["alpha".into(), "common".into()]);
         right.push(vec!["beta".into(), "common".into()]);
         right.push(vec!["alpha".into(), "other".into()]);
-        let mut blocker = EmbeddingNnBlocker::default();
-        blocker.attribute = Some(0);
+        let blocker = EmbeddingNnBlocker {
+            attribute: Some(0),
+            ..Default::default()
+        };
         let ret = blocker.retrieve(&left, &right, IndexSide::Right, 1);
         assert_eq!(ret.candidates(1), vec![PairRef::new(0, 1)]);
     }

@@ -2,7 +2,7 @@
 //! quality (PQ, precision).
 
 use rlb_data::PairRef;
-use rustc_hash::FxHashSet;
+use rlb_util::hash::FxHashSet;
 
 /// PC / PQ plus the raw counts Table V reports.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,9 +21,22 @@ pub struct BlockingMetrics {
 pub fn blocking_metrics(candidates: &[PairRef], matches: &[PairRef]) -> BlockingMetrics {
     let truth: FxHashSet<PairRef> = matches.iter().copied().collect();
     let hit = candidates.iter().filter(|p| truth.contains(p)).count();
-    let pc = if matches.is_empty() { 0.0 } else { hit as f64 / matches.len() as f64 };
-    let pq = if candidates.is_empty() { 0.0 } else { hit as f64 / candidates.len() as f64 };
-    BlockingMetrics { pc, pq, candidates: candidates.len(), matching_candidates: hit }
+    let pc = if matches.is_empty() {
+        0.0
+    } else {
+        hit as f64 / matches.len() as f64
+    };
+    let pq = if candidates.is_empty() {
+        0.0
+    } else {
+        hit as f64 / candidates.len() as f64
+    };
+    BlockingMetrics {
+        pc,
+        pq,
+        candidates: candidates.len(),
+        matching_candidates: hit,
+    }
 }
 
 #[cfg(test)]

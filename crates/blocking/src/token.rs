@@ -2,7 +2,7 @@
 
 use crate::Blocker;
 use rlb_data::{PairRef, Source};
-use rustc_hash::FxHashMap;
+use rlb_util::hash::FxHashMap;
 use std::collections::BTreeSet;
 
 /// Standard token blocking: every pair of records sharing at least one
@@ -18,7 +18,10 @@ pub struct TokenBlocker {
 impl TokenBlocker {
     /// Schema-agnostic, uncleaned token blocker.
     pub fn new() -> Self {
-        TokenBlocker { clean: false, attribute: None }
+        TokenBlocker {
+            clean: false,
+            attribute: None,
+        }
     }
 
     fn keys(&self, record: &rlb_data::Record) -> Vec<String> {

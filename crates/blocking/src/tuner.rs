@@ -32,7 +32,13 @@ pub struct TunerConfig {
 
 impl Default for TunerConfig {
     fn default() -> Self {
-        TunerConfig { min_recall: 0.9, k_max: 64, reps: 3, dim: 32, base_seed: 0xB10C_5EED }
+        TunerConfig {
+            min_recall: 0.9,
+            k_max: 64,
+            reps: 3,
+            dim: 32,
+            base_seed: 0xB10C_5EED,
+        }
     }
 }
 
@@ -88,9 +94,7 @@ pub fn tune(
                         IndexSide::Right => (m.left as usize, m.right),
                         IndexSide::Left => (m.right as usize, m.left),
                     };
-                    if let Some(rank) =
-                        retrieval.ranked[q].iter().position(|&i| i == target)
-                    {
+                    if let Some(rank) = retrieval.ranked[q].iter().position(|&i| i == target) {
                         hits_at[rank + 1] += 1;
                     }
                 }
@@ -98,8 +102,8 @@ pub fn tune(
                 let mut cum = 0usize;
                 let mut chosen_k = None;
                 let mut best_pc_k = (0.0f64, 1usize);
-                for k in 1..=cfg.k_max {
-                    cum += hits_at[k];
+                for (k, &hits) in hits_at.iter().enumerate().skip(1) {
+                    cum += hits;
                     let pc = cum as f64 / matches.len().max(1) as f64;
                     if pc >= cfg.min_recall {
                         chosen_k = Some(k);
@@ -209,7 +213,7 @@ mod tests {
             anchor_attrs: 1,
             style_noise: 0.03,
             missing_boost: 0.0,
-        match_scramble: 0.0,
+            match_scramble: 0.0,
             seed: 77,
         };
         generate_raw_pair(&p)
@@ -218,33 +222,44 @@ mod tests {
     #[test]
     fn tuner_reaches_recall_floor_on_clean_data() {
         let raw = small_raw(0.1);
-        let cfg = TunerConfig { reps: 1, k_max: 16, ..Default::default() };
+        let cfg = TunerConfig {
+            reps: 1,
+            k_max: 16,
+            ..Default::default()
+        };
         let choice = tune(&raw.left, &raw.right, &raw.matches, &cfg);
         assert!(choice.metrics.pc >= 0.9, "pc {}", choice.metrics.pc);
-        assert!(choice.k <= 4, "clean data should need small K, got {}", choice.k);
+        assert!(
+            choice.k <= 4,
+            "clean data should need small K, got {}",
+            choice.k
+        );
         assert!(choice.metrics.pq > 0.2, "pq {}", choice.metrics.pq);
     }
 
     #[test]
     fn noisier_data_needs_larger_k() {
-        let cfg = TunerConfig { reps: 1, k_max: 32, ..Default::default() };
+        let cfg = TunerConfig {
+            reps: 1,
+            k_max: 32,
+            ..Default::default()
+        };
         let easy = small_raw(0.05);
         let hard = small_raw(0.7);
         let ce = tune(&easy.left, &easy.right, &easy.matches, &cfg);
         let ch = tune(&hard.left, &hard.right, &hard.matches, &cfg);
-        assert!(
-            ch.k > ce.k,
-            "hard K {} should exceed easy K {}",
-            ch.k,
-            ce.k
-        );
+        assert!(ch.k > ce.k, "hard K {} should exceed easy K {}", ch.k, ce.k);
         assert!(ch.metrics.pq < ce.metrics.pq);
     }
 
     #[test]
     fn candidate_count_matches_k_times_queries() {
         let raw = small_raw(0.3);
-        let cfg = TunerConfig { reps: 1, k_max: 16, ..Default::default() };
+        let cfg = TunerConfig {
+            reps: 1,
+            k_max: 16,
+            ..Default::default()
+        };
         let choice = tune(&raw.left, &raw.right, &raw.matches, &cfg);
         let queries = match choice.side {
             IndexSide::Right => raw.left.len(),
@@ -256,7 +271,11 @@ mod tests {
     #[test]
     fn averaged_metrics_stay_in_range() {
         let raw = small_raw(0.4);
-        let cfg = TunerConfig { reps: 3, k_max: 16, ..Default::default() };
+        let cfg = TunerConfig {
+            reps: 3,
+            k_max: 16,
+            ..Default::default()
+        };
         let choice = tune(&raw.left, &raw.right, &raw.matches, &cfg);
         assert!((0.0..=1.0).contains(&choice.metrics.pc));
         assert!((0.0..=1.0).contains(&choice.metrics.pq));
@@ -265,7 +284,11 @@ mod tests {
     #[test]
     fn deterministic() {
         let raw = small_raw(0.3);
-        let cfg = TunerConfig { reps: 2, k_max: 8, ..Default::default() };
+        let cfg = TunerConfig {
+            reps: 2,
+            k_max: 8,
+            ..Default::default()
+        };
         let a = tune(&raw.left, &raw.right, &raw.matches, &cfg);
         let b = tune(&raw.left, &raw.right, &raw.matches, &cfg);
         assert_eq!(a.k, b.k);

@@ -27,7 +27,9 @@ mod tests {
     use super::*;
 
     fn labels(pos: usize, neg: usize) -> Vec<bool> {
-        std::iter::repeat(true).take(pos).chain(std::iter::repeat(false).take(neg)).collect()
+        std::iter::repeat_n(true, pos)
+            .chain(std::iter::repeat_n(false, neg))
+            .collect()
     }
 
     #[test]
@@ -65,6 +67,9 @@ mod tests {
 
     #[test]
     fn symmetric_in_class_roles() {
-        assert_eq!(class_balance(&labels(20, 80)), class_balance(&labels(80, 20)));
+        assert_eq!(
+            class_balance(&labels(20, 80)),
+            class_balance(&labels(80, 20))
+        );
     }
 }

@@ -10,8 +10,18 @@ use rlb_util::linalg::{mean2, scatter2, Sym2};
 /// coordinate axes, which keeps the measure well-defined for ablations.
 pub fn feature_measures(xs: &[Vec<f64>], ys: &[bool]) -> (f64, f64, f64, f64) {
     let dim = xs[0].len();
-    let pos: Vec<&Vec<f64>> = xs.iter().zip(ys).filter(|(_, &y)| y).map(|(x, _)| x).collect();
-    let neg: Vec<&Vec<f64>> = xs.iter().zip(ys).filter(|(_, &y)| !y).map(|(x, _)| x).collect();
+    let pos: Vec<&Vec<f64>> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(_, &y)| y)
+        .map(|(x, _)| x)
+        .collect();
+    let neg: Vec<&Vec<f64>> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(_, &y)| !y)
+        .map(|(x, _)| x)
+        .collect();
 
     let f1 = f1_measure(&pos, &neg, xs, dim);
     let f1v = if dim == 2 { f1v_2d(&pos, &neg) } else { f1 };
@@ -38,7 +48,13 @@ fn f1_measure(pos: &[&Vec<f64>], neg: &[&Vec<f64>], all: &[Vec<f64>], dim: usize
             cp.len() as f64 * (mp - mu) * (mp - mu) + cn.len() as f64 * (mn - mu) * (mn - mu);
         let within: f64 = cp.iter().map(|x| (x - mp) * (x - mp)).sum::<f64>()
             + cn.iter().map(|x| (x - mn) * (x - mn)).sum::<f64>();
-        let r = if within > 0.0 { between / within } else if between > 0.0 { f64::INFINITY } else { 0.0 };
+        let r = if within > 0.0 {
+            between / within
+        } else if between > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
         best_r = best_r.max(r);
     }
     1.0 / (1.0 + best_r)
@@ -48,9 +64,7 @@ fn f1_measure(pos: &[&Vec<f64>], neg: &[&Vec<f64>], all: &[Vec<f64>], dim: usize
 /// `dF = (w·(μ₁−μ₀))² / (w^T W w)` with `w = W⁻¹ (μ₁−μ₀)`;
 /// `f1v = 1 / (1 + dF)`.
 fn f1v_2d(pos: &[&Vec<f64>], neg: &[&Vec<f64>]) -> f64 {
-    let to2 = |pts: &[&Vec<f64>]| -> Vec<[f64; 2]> {
-        pts.iter().map(|p| [p[0], p[1]]).collect()
-    };
+    let to2 = |pts: &[&Vec<f64>]| -> Vec<[f64; 2]> { pts.iter().map(|p| [p[0], p[1]]).collect() };
     let p2 = to2(pos);
     let n2 = to2(neg);
     let mp = mean2(&p2);
@@ -68,7 +82,13 @@ fn f1v_2d(pos: &[&Vec<f64>], neg: &[&Vec<f64>]) -> f64 {
     let wvec = w.solve(diff);
     let denom = w.quad(wvec);
     let numer = (wvec[0] * diff[0] + wvec[1] * diff[1]).powi(2);
-    let df = if denom > 1e-15 { numer / denom } else if numer > 0.0 { 1e15 } else { 0.0 };
+    let df = if denom > 1e-15 {
+        numer / denom
+    } else if numer > 0.0 {
+        1e15
+    } else {
+        0.0
+    };
     1.0 / (1.0 + df)
 }
 
@@ -78,8 +98,14 @@ fn f2_measure(pos: &[&Vec<f64>], neg: &[&Vec<f64>], dim: usize) -> f64 {
     for d in 0..dim {
         let cp = column(pos, d);
         let cn = column(neg, d);
-        let (minp, maxp) = (rlb_util::stats::min(&cp).unwrap(), rlb_util::stats::max(&cp).unwrap());
-        let (minn, maxn) = (rlb_util::stats::min(&cn).unwrap(), rlb_util::stats::max(&cn).unwrap());
+        let (minp, maxp) = (
+            rlb_util::stats::min(&cp).unwrap(),
+            rlb_util::stats::max(&cp).unwrap(),
+        );
+        let (minn, maxn) = (
+            rlb_util::stats::min(&cn).unwrap(),
+            rlb_util::stats::max(&cn).unwrap(),
+        );
         let overlap = (maxp.min(maxn) - minp.max(minn)).max(0.0);
         let range = maxp.max(maxn) - minp.min(minn);
         vol *= if range > 0.0 { overlap / range } else { 0.0 };
@@ -96,8 +122,12 @@ fn f3_measure(pos: &[&Vec<f64>], neg: &[&Vec<f64>], dim: usize) -> f64 {
     for d in 0..dim {
         let cp = column(pos, d);
         let cn = column(neg, d);
-        let lo = rlb_util::stats::min(&cp).unwrap().max(rlb_util::stats::min(&cn).unwrap());
-        let hi = rlb_util::stats::max(&cp).unwrap().min(rlb_util::stats::max(&cn).unwrap());
+        let lo = rlb_util::stats::min(&cp)
+            .unwrap()
+            .max(rlb_util::stats::min(&cn).unwrap());
+        let hi = rlb_util::stats::max(&cp)
+            .unwrap()
+            .min(rlb_util::stats::max(&cn).unwrap());
         let overlapping = cp
             .iter()
             .chain(cn.iter())
@@ -114,8 +144,18 @@ mod tests {
     use super::*;
 
     fn split<'a>(xs: &'a [Vec<f64>], ys: &[bool]) -> (Vec<&'a Vec<f64>>, Vec<&'a Vec<f64>>) {
-        let pos = xs.iter().zip(ys).filter(|(_, &y)| y).map(|(x, _)| x).collect();
-        let neg = xs.iter().zip(ys).filter(|(_, &y)| !y).map(|(x, _)| x).collect();
+        let pos = xs
+            .iter()
+            .zip(ys)
+            .filter(|(_, &y)| y)
+            .map(|(x, _)| x)
+            .collect();
+        let neg = xs
+            .iter()
+            .zip(ys)
+            .filter(|(_, &y)| !y)
+            .map(|(x, _)| x)
+            .collect();
         (pos, neg)
     }
 
@@ -194,7 +234,10 @@ mod tests {
             ys.push(i % 2 == 0);
         }
         let (f1, f1v, _, _) = feature_measures(&xs, &ys);
-        assert!(f1v < f1, "directional measure should see the separation: f1v {f1v} vs f1 {f1}");
+        assert!(
+            f1v < f1,
+            "directional measure should see the separation: f1v {f1v} vs f1 {f1}"
+        );
         assert!(f1 > 0.5, "axis-parallel Fisher should look complex: {f1}");
         assert!(f1v < 0.15, "directional Fisher should look simple: {f1v}");
     }

@@ -29,7 +29,6 @@ mod network;
 
 use rlb_textsim::gower::GowerSpace;
 use rlb_util::{Error, Prng, Result};
-use serde::{Deserialize, Serialize};
 
 /// Configuration for the complexity computation.
 #[derive(Debug, Clone, Copy)]
@@ -48,12 +47,17 @@ pub struct ComplexityConfig {
 
 impl Default for ComplexityConfig {
     fn default() -> Self {
-        ComplexityConfig { epsilon: 0.15, n4_ratio: 1.0, max_points: 1500, seed: 0xC0_11EC7 }
+        ComplexityConfig {
+            epsilon: 0.15,
+            n4_ratio: 1.0,
+            max_points: 1500,
+            seed: 0xC0_11EC7,
+        }
     }
 }
 
 /// All 17 measure values.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComplexityReport {
     /// Maximum Fisher's discriminant ratio.
     pub f1: f64,
@@ -90,6 +94,26 @@ pub struct ComplexityReport {
     /// Imbalance ratio.
     pub c2: f64,
 }
+
+rlb_util::impl_json!(ComplexityReport {
+    f1,
+    f1v,
+    f2,
+    f3,
+    l1,
+    l2,
+    n1,
+    n2,
+    n3,
+    n4,
+    t1,
+    lsc,
+    den,
+    cls,
+    hub,
+    c1,
+    c2,
+});
 
 impl ComplexityReport {
     /// `(name, value)` pairs in Table-I order.
@@ -143,10 +167,14 @@ pub fn compute(
     }
     let dim = features[0].len();
     if dim == 0 || features.iter().any(|f| f.len() != dim) {
-        return Err(Error::InvalidParameter("ragged or empty feature matrix".into()));
+        return Err(Error::InvalidParameter(
+            "ragged or empty feature matrix".into(),
+        ));
     }
     if labels.iter().all(|&l| l) || labels.iter().all(|&l| !l) {
-        return Err(Error::InvalidParameter("both classes must be present".into()));
+        return Err(Error::InvalidParameter(
+            "both classes must be present".into(),
+        ));
     }
 
     // Class-balance measures use the *full* class proportions.
@@ -220,7 +248,12 @@ pub(crate) mod testdata {
 
     /// Similarity-style 2-D data: positives clustered high, negatives low,
     /// with controllable overlap.
-    pub fn separated(n: usize, overlap: f64, pos_frac: f64, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+    pub fn separated(
+        n: usize,
+        overlap: f64,
+        pos_frac: f64,
+        seed: u64,
+    ) -> (Vec<Vec<f64>>, Vec<bool>) {
         let mut rng = Prng::seed_from_u64(seed);
         let spread = 0.05 + 0.25 * overlap;
         let gap = 0.6 * (1.0 - overlap);
@@ -228,7 +261,11 @@ pub(crate) mod testdata {
         let mut ys = Vec::new();
         for _ in 0..n {
             let pos = rng.chance(pos_frac);
-            let c = if pos { 0.5 + gap / 2.0 } else { 0.5 - gap / 2.0 };
+            let c = if pos {
+                0.5 + gap / 2.0
+            } else {
+                0.5 - gap / 2.0
+            };
             xs.push(vec![
                 rng.normal_with(c, spread).clamp(0.0, 1.0),
                 rng.normal_with(c, spread).clamp(0.0, 1.0),
@@ -302,7 +339,10 @@ mod tests {
     #[test]
     fn subsampling_is_deterministic_and_stratified() {
         let (xs, ys) = separated(2000, 0.4, 0.2, 6);
-        let cfg = ComplexityConfig { max_points: 500, ..Default::default() };
+        let cfg = ComplexityConfig {
+            max_points: 500,
+            ..Default::default()
+        };
         let a = compute(&xs, &ys, &cfg).unwrap();
         let b = compute(&xs, &ys, &cfg).unwrap();
         assert_eq!(a, b);
@@ -317,8 +357,7 @@ mod tests {
     fn report_mean_is_average_of_values() {
         let (xs, ys) = separated(200, 0.5, 0.3, 8);
         let r = compute(&xs, &ys, &ComplexityConfig::default()).unwrap();
-        let manual: f64 =
-            r.values().iter().map(|(_, v)| v).sum::<f64>() / r.values().len() as f64;
+        let manual: f64 = r.values().iter().map(|(_, v)| v).sum::<f64>() / r.values().len() as f64;
         assert!((r.mean() - manual).abs() < 1e-12);
     }
 }

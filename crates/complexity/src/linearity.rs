@@ -65,6 +65,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let (xs, ys) = separated(200, 0.5, 0.3, 4);
-        assert_eq!(linearity_measures(&xs, &ys, 9), linearity_measures(&xs, &ys, 9));
+        assert_eq!(
+            linearity_measures(&xs, &ys, 9),
+            linearity_measures(&xs, &ys, 9)
+        );
     }
 }

@@ -25,12 +25,13 @@ pub fn neighborhood_measures(
     rng: &mut Prng,
 ) -> NeighborhoodMeasures {
     let n = xs.len();
-    // Nearest neighbour overall / same class / other class per point.
-    let mut nn_any = vec![usize::MAX; n];
-    let mut nn_intra_d = vec![f64::INFINITY; n];
-    let mut nn_extra_d = vec![f64::INFINITY; n];
-    for i in 0..n {
+    // Nearest neighbour overall / same class / other class per point — each
+    // point scans its distance row independently, so rows run in parallel.
+    let nn = rlb_util::par::par_map_range(n, |i| {
+        let mut any = usize::MAX;
         let mut best = f64::INFINITY;
+        let mut intra = f64::INFINITY;
+        let mut extra = f64::INFINITY;
         for j in 0..n {
             if i == j {
                 continue;
@@ -38,17 +39,21 @@ pub fn neighborhood_measures(
             let d = dists[i][j];
             if d < best {
                 best = d;
-                nn_any[i] = j;
+                any = j;
             }
             if ys[i] == ys[j] {
-                if d < nn_intra_d[i] {
-                    nn_intra_d[i] = d;
+                if d < intra {
+                    intra = d;
                 }
-            } else if d < nn_extra_d[i] {
-                nn_extra_d[i] = d;
+            } else if d < extra {
+                extra = d;
             }
         }
-    }
+        (any, intra, extra)
+    });
+    let nn_any: Vec<usize> = nn.iter().map(|&(a, _, _)| a).collect();
+    let nn_intra_d: Vec<f64> = nn.iter().map(|&(_, d, _)| d).collect();
+    let nn_extra_d: Vec<f64> = nn.iter().map(|&(_, _, d)| d).collect();
 
     let n1 = n1_mst(ys, dists);
     let n2 = {
@@ -57,7 +62,11 @@ pub fn neighborhood_measures(
         if intra + extra == 0.0 {
             0.0
         } else {
-            let r = if extra > 0.0 { intra / extra } else { f64::INFINITY };
+            let r = if extra > 0.0 {
+                intra / extra
+            } else {
+                f64::INFINITY
+            };
             r / (1.0 + r)
         }
     };
@@ -69,7 +78,14 @@ pub fn neighborhood_measures(
     let t1 = t1_hyperspheres(dists, &nn_extra_d);
     let lsc = lsc_measure(dists, &nn_extra_d);
 
-    NeighborhoodMeasures { n1, n2, n3, n4, t1, lsc }
+    NeighborhoodMeasures {
+        n1,
+        n2,
+        n3,
+        n4,
+        t1,
+        lsc,
+    }
 }
 
 /// `n1`: fraction of points incident to an MST edge connecting the two
@@ -168,15 +184,14 @@ fn n4_interpolated(
 /// contained in another is absorbed.
 fn t1_hyperspheres(dists: &[Vec<f64>], radius: &[f64]) -> f64 {
     let n = radius.len();
-    let mut kept = 0usize;
-    for i in 0..n {
+    let kept: usize = rlb_util::par::par_map_range(n, |i| {
         let absorbed = (0..n).any(|j| {
             j != i && radius[j].is_finite() && dists[i][j] + radius[i] <= radius[j] + 1e-12
         });
-        if !absorbed {
-            kept += 1;
-        }
-    }
+        usize::from(!absorbed)
+    })
+    .into_iter()
+    .sum();
     kept as f64 / n as f64
 }
 
@@ -184,14 +199,15 @@ fn t1_hyperspheres(dists: &[Vec<f64>], radius: &[f64]) -> f64 {
 /// strictly closer to `x` than its nearest enemy.
 fn lsc_measure(dists: &[Vec<f64>], nn_extra_d: &[f64]) -> f64 {
     let n = nn_extra_d.len();
-    let mut total = 0usize;
-    for i in 0..n {
+    let total: usize = rlb_util::par::par_map_range(n, |i| {
         let r = nn_extra_d[i];
         if !r.is_finite() {
-            continue;
+            return 0;
         }
-        total += (0..n).filter(|&j| j != i && dists[i][j] < r).count();
-    }
+        (0..n).filter(|&j| j != i && dists[i][j] < r).count()
+    })
+    .into_iter()
+    .sum();
     1.0 - total as f64 / (n * n) as f64
 }
 

@@ -24,7 +24,11 @@ pub fn network_measures(ys: &[bool], dists: &[Vec<f64>], epsilon: f64) -> (f64, 
 
     // den = 1 − 2E / (n(n−1)).
     let possible = n * (n - 1) / 2;
-    let den = if possible == 0 { 1.0 } else { 1.0 - edges as f64 / possible as f64 };
+    let den = if possible == 0 {
+        1.0
+    } else {
+        1.0 - edges as f64 / possible as f64
+    };
 
     // cls = 1 − mean local clustering coefficient.
     let mut cls_sum = 0.0;
@@ -137,7 +141,10 @@ mod tests {
     fn larger_epsilon_means_denser_graph() {
         let mut rng = rlb_util::Prng::seed_from_u64(2);
         let xs: Vec<Vec<f64>> = (0..80).map(|_| vec![rng.f64()]).collect();
-        let ys = vec![true; 40].into_iter().chain(vec![false; 40]).collect::<Vec<_>>();
+        let ys = vec![true; 40]
+            .into_iter()
+            .chain(vec![false; 40])
+            .collect::<Vec<_>>();
         let (den_small, _, _) = graph_for(&xs, &ys, 0.05);
         let (den_large, _, _) = graph_for(&xs, &ys, 0.5);
         assert!(den_large < den_small, "{den_large} vs {den_small}");

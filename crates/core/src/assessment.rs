@@ -15,7 +15,6 @@ use rlb_complexity::{ComplexityConfig, ComplexityReport};
 use rlb_data::MatchingTask;
 use rlb_matchers::features::TaskViews;
 use rlb_util::Result;
-use serde::{Deserialize, Serialize};
 
 /// Thresholds used by the verdict (the paper's Section V / Figure 3
 /// discussion).
@@ -26,7 +25,7 @@ pub const COMPLEXITY_EASY: f64 = 0.4;
 pub const MARGIN_EASY: f64 = 0.05;
 
 /// Which individual measures mark the benchmark easy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EasyFlags {
     /// Degree of linearity ≥ 0.8.
     pub by_linearity: bool,
@@ -45,8 +44,15 @@ impl EasyFlags {
     }
 }
 
+rlb_util::impl_json!(EasyFlags {
+    by_linearity,
+    by_complexity,
+    by_nlb,
+    by_lbm
+});
+
 /// Full assessment of one benchmark.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Assessment {
     /// Benchmark name.
     pub name: String,
@@ -66,6 +72,14 @@ impl Assessment {
         self.flags.challenging()
     }
 }
+
+rlb_util::impl_json!(Assessment {
+    name,
+    linearity,
+    complexity,
+    practical,
+    flags
+});
 
 /// Computes the a-priori measures and, given matcher runs, the a-posteriori
 /// ones, then applies the verdict.
@@ -92,7 +106,13 @@ pub fn assess(task: &MatchingTask, runs: &[MatcherRun]) -> Result<Assessment> {
         by_nlb: practical.is_some_and(|p| p.nlb < MARGIN_EASY),
         by_lbm: practical.is_some_and(|p| p.lbm < MARGIN_EASY),
     };
-    Ok(Assessment { name: task.name.clone(), linearity, complexity, practical, flags })
+    Ok(Assessment {
+        name: task.name.clone(),
+        linearity,
+        complexity,
+        practical,
+        flags,
+    })
 }
 
 #[cfg(test)]
@@ -126,7 +146,11 @@ mod tests {
 
     fn runs(linear: f64, nonlinear: f64) -> Vec<MatcherRun> {
         vec![
-            MatcherRun { name: "lin".into(), family: MatcherFamily::Linear, f1: Some(linear) },
+            MatcherRun {
+                name: "lin".into(),
+                family: MatcherFamily::Linear,
+                f1: Some(linear),
+            },
             MatcherRun {
                 name: "dl".into(),
                 family: MatcherFamily::DeepLearning,
@@ -174,13 +198,16 @@ mod tests {
     fn assessment_serializes_roundtrip() {
         let t = task(0.4, 0.4, 5);
         let a = assess(&t, &[]).unwrap();
-        let json = serde_json::to_string(&a).unwrap();
+        let json = rlb_util::json::to_string(&a);
         assert!(json.contains("\"lsc\""));
-        let back: Assessment = serde_json::from_str(&json).unwrap();
-        // JSON round-trips floats to within an ulp, not exactly.
+        let back: Assessment = rlb_util::json::from_str(&json).unwrap();
+        // The in-tree writer emits shortest round-tripping floats, so the
+        // measures come back bit-exact.
         for ((n1, v1), (n2, v2)) in back.complexity.values().iter().zip(a.complexity.values()) {
             assert_eq!(*n1, n2);
-            assert!((v1 - v2).abs() < 1e-12, "{n1}: {v1} vs {v2}");
+            assert_eq!(v1.to_bits(), v2.to_bits(), "{n1}: {v1} vs {v2}");
         }
+        assert_eq!(back.flags, a.flags);
+        assert!(back.practical.is_none());
     }
 }

@@ -9,8 +9,8 @@
 use rlb_blocking::{tune, BlockerChoice, TunerConfig};
 use rlb_data::{split_pairs, LabeledPair, MatchingTask, SplitRatio};
 use rlb_synth::RawDatasetPair;
+use rlb_util::hash::FxHashSet;
 use rlb_util::Prng;
-use rustc_hash::FxHashSet;
 
 /// A benchmark produced by the methodology, plus the Table-V bookkeeping.
 #[derive(Debug, Clone)]
@@ -35,7 +35,10 @@ pub fn build_benchmark(
     let labeled: Vec<LabeledPair> = blocking
         .candidates
         .iter()
-        .map(|&pair| LabeledPair { pair, is_match: truth.contains(&pair) })
+        .map(|&pair| LabeledPair {
+            pair,
+            is_match: truth.contains(&pair),
+        })
         .collect();
     let mut rng = Prng::seed_from_u64(split_seed);
     let (train, val, test) = split_pairs(labeled, SplitRatio::PAPER, &mut rng);
@@ -47,7 +50,11 @@ pub fn build_benchmark(
         val,
         test,
     };
-    BuiltBenchmark { task, blocking, total_matches: raw.matches.len() }
+    BuiltBenchmark {
+        task,
+        blocking,
+        total_matches: raw.matches.len(),
+    }
 }
 
 #[cfg(test)]
@@ -69,13 +76,17 @@ mod tests {
             anchor_attrs: 1,
             style_noise: 0.03,
             missing_boost: 0.0,
-        match_scramble: 0.0,
+            match_scramble: 0.0,
             seed,
         })
     }
 
     fn tuner() -> TunerConfig {
-        TunerConfig { reps: 1, k_max: 16, ..Default::default() }
+        TunerConfig {
+            reps: 1,
+            k_max: 16,
+            ..Default::default()
+        }
     }
 
     #[test]

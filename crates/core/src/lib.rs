@@ -31,7 +31,7 @@ pub mod roster;
 
 pub use assessment::{assess, Assessment, EasyFlags};
 pub use builder::{build_benchmark, BuiltBenchmark};
-pub use linearity::{degree_of_linearity, LinearityReport};
+pub use linearity::{degree_of_linearity, degree_of_linearity_sequential, LinearityReport};
 pub use practical::{practical_measures, MatcherFamily, MatcherRun, PracticalMeasures};
 pub use roster::{full_roster, run_roster, RosterConfig};
 

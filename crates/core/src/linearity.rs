@@ -8,10 +8,9 @@
 use rlb_data::MatchingTask;
 use rlb_matchers::esde::sweep_threshold;
 use rlb_matchers::features::TaskViews;
-use serde::{Deserialize, Serialize};
 
 /// Output of Algorithm 1 for both similarity measures.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearityReport {
     /// `F1max_CS` — best F1 achievable by thresholding the Cosine
     /// similarity.
@@ -25,6 +24,13 @@ pub struct LinearityReport {
     pub t_jaccard: f64,
 }
 
+rlb_util::impl_json!(LinearityReport {
+    f1_cosine,
+    t_cosine,
+    f1_jaccard,
+    t_jaccard
+});
+
 impl LinearityReport {
     /// The larger of the two degrees — what the paper compares against its
     /// informal 0.8 "easy" bar.
@@ -34,20 +40,44 @@ impl LinearityReport {
 }
 
 /// Runs Algorithm 1 on a task (all three splits merged).
+///
+/// The per-pair CS/JS scoring — the dominant cost on large candidate sets —
+/// runs on all cores via [`rlb_util::par`]; the output is byte-identical to
+/// [`degree_of_linearity_sequential`] because pair order is preserved and
+/// each pair's score is computed exactly the same way.
 pub fn degree_of_linearity(task: &MatchingTask) -> LinearityReport {
     let views = TaskViews::build(task);
-    let mut cs = Vec::with_capacity(task.total_pairs());
-    let mut js = Vec::with_capacity(task.total_pairs());
-    let mut labels = Vec::with_capacity(task.total_pairs());
-    for lp in task.all_pairs() {
-        let [c, j] = views.cs_js(lp.pair);
-        cs.push(c);
-        js.push(j);
+    let pairs: Vec<rlb_data::LabeledPair> = task.all_pairs().copied().collect();
+    let scores = rlb_util::par::par_map(&pairs, |lp| views.cs_js(lp.pair));
+    report_from_scores(&pairs, &scores)
+}
+
+/// Single-threaded Algorithm 1 — the baseline the in-tree timing harness
+/// compares [`degree_of_linearity`] against. Produces byte-identical output.
+pub fn degree_of_linearity_sequential(task: &MatchingTask) -> LinearityReport {
+    let views = TaskViews::build(task);
+    let pairs: Vec<rlb_data::LabeledPair> = task.all_pairs().copied().collect();
+    let scores: Vec<[f64; 2]> = pairs.iter().map(|lp| views.cs_js(lp.pair)).collect();
+    report_from_scores(&pairs, &scores)
+}
+
+fn report_from_scores(pairs: &[rlb_data::LabeledPair], scores: &[[f64; 2]]) -> LinearityReport {
+    let mut cs = Vec::with_capacity(pairs.len());
+    let mut js = Vec::with_capacity(pairs.len());
+    let mut labels = Vec::with_capacity(pairs.len());
+    for (lp, [c, j]) in pairs.iter().zip(scores) {
+        cs.push(*c);
+        js.push(*j);
         labels.push(lp.is_match);
     }
     let (f1_cosine, t_cosine) = sweep_threshold(&cs, &labels);
     let (f1_jaccard, t_jaccard) = sweep_threshold(&js, &labels);
-    LinearityReport { f1_cosine, t_cosine, f1_jaccard, t_jaccard }
+    LinearityReport {
+        f1_cosine,
+        t_cosine,
+        f1_jaccard,
+        t_jaccard,
+    }
 }
 
 /// Schema-aware degree of linearity — the variant the paper explored in
@@ -75,8 +105,16 @@ pub fn degree_of_linearity_schema_aware(task: &MatchingTask) -> (usize, Linearit
         }
         let (f1_cosine, t_cosine) = sweep_threshold(&cs, &labels);
         let (f1_jaccard, t_jaccard) = sweep_threshold(&js, &labels);
-        let report = LinearityReport { f1_cosine, t_cosine, f1_jaccard, t_jaccard };
-        if best.as_ref().is_none_or(|(_, b)| report.max_f1() > b.max_f1()) {
+        let report = LinearityReport {
+            f1_cosine,
+            t_cosine,
+            f1_jaccard,
+            t_jaccard,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|(_, b)| report.max_f1() > b.max_f1())
+        {
             best = Some((a, report));
         }
     }

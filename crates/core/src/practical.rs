@@ -1,10 +1,10 @@
 //! A-posteriori measures: **non-linear boost** (NLB) and **learning-based
 //! margin** (LBM) over a set of matcher results (Section III-C).
 
-use serde::{Deserialize, Serialize};
+use rlb_util::json::{FromJson, JsonError, ToJson, Value};
 
 /// Which of the paper's three families a matcher belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MatcherFamily {
     /// Non-neural linear supervised (the six ESDE variants).
     Linear,
@@ -14,9 +14,33 @@ pub enum MatcherFamily {
     DeepLearning,
 }
 
+impl ToJson for MatcherFamily {
+    fn to_json(&self) -> Value {
+        Value::Str(
+            match self {
+                MatcherFamily::Linear => "Linear",
+                MatcherFamily::NonLinearMl => "NonLinearMl",
+                MatcherFamily::DeepLearning => "DeepLearning",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for MatcherFamily {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("Linear") => Ok(MatcherFamily::Linear),
+            Some("NonLinearMl") => Ok(MatcherFamily::NonLinearMl),
+            Some("DeepLearning") => Ok(MatcherFamily::DeepLearning),
+            other => Err(JsonError::new(format!("unknown matcher family {other:?}"))),
+        }
+    }
+}
+
 /// One matcher's outcome on one benchmark. `f1 = None` renders as the
 /// hyphen of Tables IV/VI (insufficient memory).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MatcherRun {
     /// Display name, e.g. `"EMTransformer-R (40)"`.
     pub name: String,
@@ -26,8 +50,10 @@ pub struct MatcherRun {
     pub f1: Option<f64>,
 }
 
+rlb_util::impl_json!(MatcherRun { name, family, f1 });
+
 /// The two aggregate practical measures.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PracticalMeasures {
     /// Best F1 among the linear matchers.
     pub best_linear: f64,
@@ -40,6 +66,14 @@ pub struct PracticalMeasures {
     /// `LBM = 1 − max F1(all)`.
     pub lbm: f64,
 }
+
+rlb_util::impl_json!(PracticalMeasures {
+    best_linear,
+    best_nonlinear,
+    best_overall,
+    nlb,
+    lbm
+});
 
 /// Aggregates a roster of runs into NLB and LBM. Runs with `f1 = None` are
 /// skipped (they contribute no maximum, as in the paper's tables).
@@ -67,7 +101,11 @@ mod tests {
     use super::*;
 
     fn run(name: &str, family: MatcherFamily, f1: Option<f64>) -> MatcherRun {
-        MatcherRun { name: name.into(), family, f1 }
+        MatcherRun {
+            name: name.into(),
+            family,
+            f1,
+        }
     }
 
     #[test]
@@ -76,7 +114,11 @@ mod tests {
             run("SA-ESDE", MatcherFamily::Linear, Some(0.60)),
             run("SB-ESDE", MatcherFamily::Linear, Some(0.68)),
             run("Magellan-RF", MatcherFamily::NonLinearMl, Some(0.70)),
-            run("EMTransformer-R (40)", MatcherFamily::DeepLearning, Some(0.85)),
+            run(
+                "EMTransformer-R (40)",
+                MatcherFamily::DeepLearning,
+                Some(0.85),
+            ),
         ];
         let m = practical_measures(&runs);
         assert_eq!(m.best_linear, 0.68);

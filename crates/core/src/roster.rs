@@ -22,19 +22,29 @@ pub struct RosterConfig {
 
 impl Default for RosterConfig {
     fn default() -> Self {
-        RosterConfig { dl_epochs: [15, 40], seed: 0x505E_7 }
+        RosterConfig {
+            dl_epochs: [15, 40],
+            seed: 0x505E7,
+        }
     }
 }
 
 /// Builds the complete matcher line-up:
 /// 12 DL configurations (5 methods × 2 epoch budgets, GNEM/HierMatcher use
 /// 10 instead of 15 as in the paper), Magellan × 4, ZeroER, 6 ESDE.
-pub fn full_roster(cfg: &RosterConfig) -> Vec<(MatcherFamily, Box<dyn Matcher>)> {
+pub fn full_roster(cfg: &RosterConfig) -> Vec<(MatcherFamily, Box<dyn Matcher + Send>)> {
     let [e_short, e_long] = cfg.dl_epochs;
-    let dc = |epochs: usize| DeepConfig { epochs, seed: cfg.seed, max_train: 6000 };
-    let mut v: Vec<(MatcherFamily, Box<dyn Matcher>)> = Vec::new();
+    let dc = |epochs: usize| DeepConfig {
+        epochs,
+        seed: cfg.seed,
+        max_train: 6000,
+    };
+    let mut v: Vec<(MatcherFamily, Box<dyn Matcher + Send>)> = Vec::new();
     for epochs in [e_short, e_long] {
-        v.push((MatcherFamily::DeepLearning, Box::new(DeepMatcherSim::new(dc(epochs)))));
+        v.push((
+            MatcherFamily::DeepLearning,
+            Box::new(DeepMatcherSim::new(dc(epochs))),
+        ));
     }
     for epochs in [e_short, e_long] {
         v.push((
@@ -52,13 +62,22 @@ pub fn full_roster(cfg: &RosterConfig) -> Vec<(MatcherFamily, Box<dyn Matcher>)>
     }
     // GNEM and HierMatcher default to 10 epochs in their papers.
     for epochs in [e_short.min(10), e_long] {
-        v.push((MatcherFamily::DeepLearning, Box::new(GnemSim::new(dc(epochs)))));
+        v.push((
+            MatcherFamily::DeepLearning,
+            Box::new(GnemSim::new(dc(epochs))),
+        ));
     }
     for epochs in [e_short.min(10), e_long] {
-        v.push((MatcherFamily::DeepLearning, Box::new(HierMatcherSim::new(dc(epochs)))));
+        v.push((
+            MatcherFamily::DeepLearning,
+            Box::new(HierMatcherSim::new(dc(epochs))),
+        ));
     }
     for model in MagellanModel::all() {
-        v.push((MatcherFamily::NonLinearMl, Box::new(Magellan::new(model, cfg.seed))));
+        v.push((
+            MatcherFamily::NonLinearMl,
+            Box::new(Magellan::new(model, cfg.seed)),
+        ));
     }
     v.push((MatcherFamily::NonLinearMl, Box::new(ZeroEr::new())));
     for variant in EsdeVariant::all() {
@@ -70,22 +89,28 @@ pub fn full_roster(cfg: &RosterConfig) -> Vec<(MatcherFamily, Box<dyn Matcher>)>
 /// Runs the whole roster on one task. A matcher that fails with the
 /// capacity sentinel yields `f1 = None` (the "-" of the paper's tables);
 /// any other error propagates.
-pub fn run_roster(
-    task: &MatchingTask,
-    cfg: &RosterConfig,
-) -> rlb_util::Result<Vec<MatcherRun>> {
-    let mut out = Vec::new();
-    for (family, mut matcher) in full_roster(cfg) {
+///
+/// The 23 configurations are independent (each owns its matcher, the task is
+/// shared read-only), so they run in parallel via [`rlb_util::par`]; results
+/// come back in roster order.
+pub fn run_roster(task: &MatchingTask, cfg: &RosterConfig) -> rlb_util::Result<Vec<MatcherRun>> {
+    let results = rlb_util::par::par_map_vec(full_roster(cfg), |(family, mut matcher)| {
         let name = matcher.name();
         match evaluate(matcher.as_mut(), task) {
-            Ok(metrics) => out.push(MatcherRun { name, family, f1: Some(metrics.f1) }),
-            Err(e) if is_insufficient_memory(&e) => {
-                out.push(MatcherRun { name, family, f1: None })
-            }
-            Err(e) => return Err(e),
+            Ok(metrics) => Ok(MatcherRun {
+                name,
+                family,
+                f1: Some(metrics.f1),
+            }),
+            Err(e) if is_insufficient_memory(&e) => Ok(MatcherRun {
+                name,
+                family,
+                f1: None,
+            }),
+            Err(e) => Err(e),
         }
-    }
-    Ok(out)
+    });
+    results.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -96,9 +121,18 @@ mod tests {
     fn roster_has_the_paper_line_up() {
         let roster = full_roster(&RosterConfig::default());
         assert_eq!(roster.len(), 12 + 4 + 1 + 6);
-        let dl = roster.iter().filter(|(f, _)| *f == MatcherFamily::DeepLearning).count();
-        let ml = roster.iter().filter(|(f, _)| *f == MatcherFamily::NonLinearMl).count();
-        let lin = roster.iter().filter(|(f, _)| *f == MatcherFamily::Linear).count();
+        let dl = roster
+            .iter()
+            .filter(|(f, _)| *f == MatcherFamily::DeepLearning)
+            .count();
+        let ml = roster
+            .iter()
+            .filter(|(f, _)| *f == MatcherFamily::NonLinearMl)
+            .count();
+        let lin = roster
+            .iter()
+            .filter(|(f, _)| *f == MatcherFamily::Linear)
+            .count();
         assert_eq!((dl, ml, lin), (12, 5, 6));
     }
 

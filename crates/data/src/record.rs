@@ -1,12 +1,11 @@
 //! Records and sources.
 
 use rlb_textsim::TokenSet;
-use serde::{Deserialize, Serialize};
 
 /// One entity description: a dense vector of attribute values aligned with
 /// the owning [`Source`]'s attribute list. The empty string denotes a
 /// missing value.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Record {
     /// Source-local identifier (stable across serialization).
     pub id: u32,
@@ -58,8 +57,10 @@ impl Record {
     }
 }
 
+rlb_util::impl_json!(Record { id, values });
+
 /// One duplicate-free database participating in record linkage.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Source {
     /// Human-readable name (e.g. `"Abt"`, `"DBLP"`).
     pub name: String,
@@ -73,7 +74,11 @@ pub struct Source {
 impl Source {
     /// Empty source with the given schema.
     pub fn new(name: impl Into<String>, attributes: Vec<String>) -> Self {
-        Source { name: name.into(), attributes, records: Vec::new() }
+        Source {
+            name: name.into(),
+            attributes,
+            records: Vec::new(),
+        }
     }
 
     /// Appends a record built from attribute values, assigning the next id.
@@ -116,13 +121,21 @@ impl Source {
     }
 }
 
+rlb_util::impl_json!(Source {
+    name,
+    attributes,
+    records
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn sample_source() -> Source {
-        let mut s =
-            Source::new("Products", vec!["title".into(), "brand".into(), "price".into()]);
+        let mut s = Source::new(
+            "Products",
+            vec!["title".into(), "brand".into(), "price".into()],
+        );
         s.push(vec!["iPhone 13".into(), "Apple".into(), "799".into()]);
         s.push(vec!["Galaxy S21".into(), "".into(), "749".into()]);
         s
@@ -177,10 +190,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let s = sample_source();
-        let json = serde_json::to_string(&s).unwrap();
-        let back: Source = serde_json::from_str(&json).unwrap();
+        let json = rlb_util::json::to_string(&s);
+        let back: Source = rlb_util::json::from_str(&json).unwrap();
         assert_eq!(s, back);
     }
 }

@@ -21,7 +21,11 @@ pub struct SplitRatio {
 
 impl SplitRatio {
     /// The paper's 3:1:1 convention.
-    pub const PAPER: SplitRatio = SplitRatio { train: 3, val: 1, test: 1 };
+    pub const PAPER: SplitRatio = SplitRatio {
+        train: 3,
+        val: 1,
+        test: 1,
+    };
 
     fn total(&self) -> u32 {
         self.train + self.val + self.test
@@ -49,8 +53,7 @@ pub fn split_pairs(
     let n = pairs.len();
     let t = ratio.total() as f64;
     let train_end = ((ratio.train as f64 / t) * n as f64).round() as usize;
-    let val_end =
-        (((ratio.train + ratio.val) as f64 / t) * n as f64).round() as usize;
+    let val_end = (((ratio.train + ratio.val) as f64 / t) * n as f64).round() as usize;
     let train_end = train_end.min(n);
     let val_end = val_end.clamp(train_end, n);
     let test = pairs.split_off(val_end);
@@ -63,7 +66,9 @@ mod tests {
     use super::*;
 
     fn pairs(n: usize) -> Vec<LabeledPair> {
-        (0..n).map(|i| LabeledPair::new(i as u32, i as u32, i % 4 == 0)).collect()
+        (0..n)
+            .map(|i| LabeledPair::new(i as u32, i as u32, i % 4 == 0))
+            .collect()
     }
 
     #[test]
@@ -117,8 +122,15 @@ mod tests {
     #[test]
     fn custom_ratio() {
         let mut rng = Prng::seed_from_u64(4);
-        let (tr, va, te) =
-            split_pairs(pairs(100), SplitRatio { train: 8, val: 1, test: 1 }, &mut rng);
+        let (tr, va, te) = split_pairs(
+            pairs(100),
+            SplitRatio {
+                train: 8,
+                val: 1,
+                test: 1,
+            },
+            &mut rng,
+        );
         assert_eq!(tr.len(), 80);
         assert_eq!(va.len(), 10);
         assert_eq!(te.len(), 10);
@@ -128,6 +140,14 @@ mod tests {
     #[should_panic(expected = "ratio")]
     fn zero_ratio_panics() {
         let mut rng = Prng::seed_from_u64(5);
-        split_pairs(pairs(10), SplitRatio { train: 0, val: 0, test: 0 }, &mut rng);
+        split_pairs(
+            pairs(10),
+            SplitRatio {
+                train: 0,
+                val: 0,
+                test: 0,
+            },
+            &mut rng,
+        );
     }
 }

@@ -1,12 +1,11 @@
 //! Dataset characteristic statistics — the columns of Table III / Table V.
 
 use crate::task::MatchingTask;
-use serde::{Deserialize, Serialize};
 
 /// Summary characteristics of a matching benchmark, as reported in the
 /// paper's Table III: source sizes, arity, per-split instance counts and the
 /// imbalance ratio.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetStats {
     /// Benchmark name.
     pub name: String,
@@ -52,6 +51,20 @@ impl DatasetStats {
         }
     }
 }
+
+rlb_util::impl_json!(DatasetStats {
+    name,
+    left_records,
+    right_records,
+    attributes,
+    train_instances,
+    train_positives,
+    train_negatives,
+    test_instances,
+    test_positives,
+    test_negatives,
+    imbalance_ratio,
+});
 
 impl std::fmt::Display for DatasetStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -125,10 +138,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let s = DatasetStats::of(&task());
-        let back: DatasetStats =
-            serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        let back: DatasetStats = rlb_util::json::from_str(&rlb_util::json::to_string(&s)).unwrap();
         assert_eq!(s, back);
     }
 }

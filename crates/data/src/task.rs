@@ -1,10 +1,9 @@
 //! Matching tasks: candidate pairs plus labelled splits (Problem 1).
 
 use crate::record::{Record, Source};
-use serde::{Deserialize, Serialize};
 
 /// A candidate pair referencing one record in each source by id.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PairRef {
     /// Record id in the left source.
     pub left: u32,
@@ -19,8 +18,10 @@ impl PairRef {
     }
 }
 
+rlb_util::impl_json!(PairRef { left, right });
+
 /// A candidate pair with its ground-truth label.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LabeledPair {
     /// The pair of record ids.
     pub pair: PairRef,
@@ -31,13 +32,18 @@ pub struct LabeledPair {
 impl LabeledPair {
     /// Convenience constructor.
     pub fn new(left: u32, right: u32, is_match: bool) -> Self {
-        LabeledPair { pair: PairRef::new(left, right), is_match }
+        LabeledPair {
+            pair: PairRef::new(left, right),
+            is_match,
+        }
     }
 }
 
+rlb_util::impl_json!(LabeledPair { pair, is_match });
+
 /// A complete matching benchmark: two sources and the three labelled pair
 /// sets `T` (train), `V` (validation) and `C` (test), mutually exclusive.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MatchingTask {
     /// Benchmark identifier (e.g. `"Ds1"`, `"Dn4"`).
     pub name: String,
@@ -62,7 +68,10 @@ impl MatchingTask {
     /// All labelled pairs (`T ∪ V ∪ C`) in train→val→test order — the
     /// merged set `D` that Algorithm 1 operates on.
     pub fn all_pairs(&self) -> impl Iterator<Item = &LabeledPair> {
-        self.train.iter().chain(self.val.iter()).chain(self.test.iter())
+        self.train
+            .iter()
+            .chain(self.val.iter())
+            .chain(self.test.iter())
     }
 
     /// Total number of labelled pairs.
@@ -91,9 +100,11 @@ impl MatchingTask {
     /// violation description, if any.
     pub fn validate(&self) -> Result<(), String> {
         let mut seen = std::collections::BTreeSet::new();
-        for (split, name) in
-            [(&self.train, "train"), (&self.val, "val"), (&self.test, "test")]
-        {
+        for (split, name) in [
+            (&self.train, "train"),
+            (&self.val, "val"),
+            (&self.test, "test"),
+        ] {
             for lp in split {
                 if lp.pair.left as usize >= self.left.len() {
                     return Err(format!("{name}: left id {} out of range", lp.pair.left));
@@ -112,6 +123,15 @@ impl MatchingTask {
         Ok(())
     }
 }
+
+rlb_util::impl_json!(MatchingTask {
+    name,
+    left,
+    right,
+    train,
+    val,
+    test
+});
 
 #[cfg(test)]
 mod tests {
@@ -194,11 +214,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let t = tiny_task();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: MatchingTask = serde_json::from_str(&json).unwrap();
+        let json = rlb_util::json::to_string(&t);
+        let back: MatchingTask = rlb_util::json::from_str(&json).unwrap();
         assert_eq!(back.name, t.name);
         assert_eq!(back.total_pairs(), t.total_pairs());
+        assert_eq!(back.train, t.train);
+        assert_eq!(back.left.records, t.left.records);
     }
 }

@@ -49,12 +49,18 @@ impl ContextualEncoder {
             Variant::Bert => HashedEmbedder::new(96, 0xBE27),
             Variant::Roberta => HashedEmbedder::new(128, 0x40BE_27A0),
         };
-        ContextualEncoder { base, max_tokens: 256 }
+        ContextualEncoder {
+            base,
+            max_tokens: 256,
+        }
     }
 
     /// Encoder over a custom base embedder (used in tests and ablations).
     pub fn with_base(base: HashedEmbedder) -> Self {
-        ContextualEncoder { base, max_tokens: 256 }
+        ContextualEncoder {
+            base,
+            max_tokens: 256,
+        }
     }
 
     /// Output dimensionality.
@@ -101,12 +107,12 @@ impl ContextualEncoder {
             .collect();
         // Salience-weighted pooling: weight grows with distance from the
         // centroid (distinctive tokens dominate), softmax-normalized.
-        let saliences: Vec<f32> = raw
-            .iter()
-            .map(|v| 1.0 - cosine_f32(v, &centroid))
-            .collect();
+        let saliences: Vec<f32> = raw.iter().map(|v| 1.0 - cosine_f32(v, &centroid)).collect();
         let max_s = saliences.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let exps: Vec<f32> = saliences.iter().map(|s| ((s - max_s) * 2.0).exp()).collect();
+        let exps: Vec<f32> = saliences
+            .iter()
+            .map(|s| ((s - max_s) * 2.0).exp())
+            .collect();
         let z: f32 = exps.iter().sum();
         let mut out = vec![0.0f32; dim];
         for (v, w) in mixed.iter().zip(&exps) {
@@ -148,7 +154,10 @@ mod tests {
         let r = ContextualEncoder::new(Variant::Roberta);
         assert_eq!(b.dim(), 96);
         assert_eq!(r.dim(), 128);
-        assert_ne!(b.encode_text("acme widget").len(), r.encode_text("acme widget").len());
+        assert_ne!(
+            b.encode_text("acme widget").len(),
+            r.encode_text("acme widget").len()
+        );
     }
 
     #[test]

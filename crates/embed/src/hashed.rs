@@ -1,6 +1,6 @@
 //! Static token embeddings via signed q-gram hashing (fastText substitute).
 
-use rustc_hash::FxHashMap;
+use rlb_util::hash::FxHashMap;
 
 /// Deterministic static token embedder.
 ///
@@ -26,7 +26,12 @@ impl HashedEmbedder {
     /// dimensionality.
     pub fn new(dim: usize, seed: u64) -> Self {
         assert!(dim > 0, "embedding dimension must be positive");
-        HashedEmbedder { dim, seed, q_lo: 3, q_hi: 5 }
+        HashedEmbedder {
+            dim,
+            seed,
+            q_lo: 3,
+            q_hi: 5,
+        }
     }
 
     /// Embedding dimensionality.
@@ -122,7 +127,10 @@ pub struct TokenCache {
 impl TokenCache {
     /// Wraps an embedder.
     pub fn new(embedder: HashedEmbedder) -> Self {
-        TokenCache { embedder, cache: FxHashMap::default() }
+        TokenCache {
+            embedder,
+            cache: FxHashMap::default(),
+        }
     }
 
     /// Embedding of `token`, computed once.
@@ -183,7 +191,10 @@ mod tests {
         let sim_typo = cosine_f32(&base, &typo);
         let sim_other = cosine_f32(&base, &other);
         assert!(sim_typo > 0.6, "typo sim {sim_typo}");
-        assert!(sim_typo > sim_other + 0.3, "typo {sim_typo} vs other {sim_other}");
+        assert!(
+            sim_typo > sim_other + 0.3,
+            "typo {sim_typo} vs other {sim_other}"
+        );
     }
 
     #[test]

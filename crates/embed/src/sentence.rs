@@ -27,7 +27,10 @@ impl SentenceEmbedder {
             let toks = rlb_textsim::tokens(doc);
             idf.add_document(toks.iter().map(|t| t.as_str()));
         }
-        SentenceEmbedder { base: HashedEmbedder::new(dim, seed), idf }
+        SentenceEmbedder {
+            base: HashedEmbedder::new(dim, seed),
+            idf,
+        }
     }
 
     /// Output dimensionality.

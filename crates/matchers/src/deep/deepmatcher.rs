@@ -88,7 +88,10 @@ impl Matcher for DeepMatcherSim {
 
     fn predict(&mut self, _task: &MatchingTask, pairs: &[PairRef]) -> Vec<bool> {
         let feats: Vec<Vec<f32>> = pairs.iter().map(|&p| self.features(p)).collect();
-        let net = self.net.as_mut().expect("DeepMatcherSim::predict before fit");
+        let net = self
+            .net
+            .as_mut()
+            .expect("DeepMatcherSim::predict before fit");
         net.predict_batch(&feats)
     }
 }
@@ -109,7 +112,10 @@ mod tests {
 
     #[test]
     fn name_carries_epochs() {
-        assert_eq!(DeepMatcherSim::new(DeepConfig::with_epochs(40)).name(), "DeepMatcher (40)");
+        assert_eq!(
+            DeepMatcherSim::new(DeepConfig::with_epochs(40)).name(),
+            "DeepMatcher (40)"
+        );
     }
 
     #[test]

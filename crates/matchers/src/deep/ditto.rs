@@ -65,11 +65,17 @@ impl DittoSim {
     fn knowledge(record: &Record) -> (TokenSet, TokenSet) {
         let toks = record.tokens();
         let numeric = TokenSet::new(
-            toks.iter().filter(|t| t.chars().all(|c| c.is_ascii_digit())).cloned(),
+            toks.iter()
+                .filter(|t| t.chars().all(|c| c.is_ascii_digit()))
+                .cloned(),
         );
-        let codes = TokenSet::new(toks.iter().filter(|t| {
-            t.chars().any(|c| c.is_ascii_digit()) && t.chars().any(|c| c.is_alphabetic())
-        }).cloned());
+        let codes = TokenSet::new(
+            toks.iter()
+                .filter(|t| {
+                    t.chars().any(|c| c.is_ascii_digit()) && t.chars().any(|c| c.is_alphabetic())
+                })
+                .cloned(),
+        );
         (numeric, codes)
     }
 
@@ -130,9 +136,8 @@ impl Matcher for DittoSim {
         let base = rlb_embed::HashedEmbedder::new(self.encoder.dim(), 0xD1770);
         self.align = CrossAlign::prepare(&|t| base.token(t), task);
 
-        let dim = 2 * self.encoder.dim() + 3
-            + CrossAlign::WIDTH
-            + if self.use_knowledge { 4 } else { 0 };
+        let dim =
+            2 * self.encoder.dim() + 3 + CrossAlign::WIDTH + if self.use_knowledge { 4 } else { 0 };
         let mut net = Mlp::new(dim, &[64], self.cfg.seed ^ 0xD177);
 
         // Training with feature-space augmentation.
@@ -158,8 +163,18 @@ impl Matcher for DittoSim {
         let val = subsample_train(&task.val, self.cfg.max_train / 2, &mut rng);
         let val_x: Vec<Vec<f32>> = val.iter().map(|lp| self.features(lp.pair)).collect();
         let val_y: Vec<bool> = val.iter().map(|lp| lp.is_match).collect();
-        let tc = TrainConfig { epochs: self.cfg.epochs, ..Default::default() };
-        net.train(&train_x, &train_y, &val_x, &val_y, &tc, self.cfg.seed ^ 0xA06)?;
+        let tc = TrainConfig {
+            epochs: self.cfg.epochs,
+            ..Default::default()
+        };
+        net.train(
+            &train_x,
+            &train_y,
+            &val_x,
+            &val_y,
+            &tc,
+            self.cfg.seed ^ 0xA06,
+        )?;
         self.net = Some(net);
         Ok(())
     }
@@ -210,6 +225,9 @@ mod tests {
 
     #[test]
     fn name_carries_epochs() {
-        assert_eq!(DittoSim::new(DeepConfig::with_epochs(40)).name(), "DITTO (40)");
+        assert_eq!(
+            DittoSim::new(DeepConfig::with_epochs(40)).name(),
+            "DITTO (40)"
+        );
     }
 }

@@ -37,7 +37,10 @@ impl EmTransformerSim {
     fn encode_records(&self, records: &[Record]) -> Vec<Vec<f32>> {
         // Heterogeneous: all attribute values concatenated into one
         // sequence, exactly the "[CLS] seq1 [SEP] seq2 [SEP]" preparation.
-        records.iter().map(|r| self.encoder.encode_text(&r.full_text())).collect()
+        records
+            .iter()
+            .map(|r| self.encoder.encode_text(&r.full_text()))
+            .collect()
     }
 
     /// Standard sequence-pair interaction features:
@@ -89,7 +92,10 @@ impl Matcher for EmTransformerSim {
 
     fn predict(&mut self, _task: &MatchingTask, pairs: &[PairRef]) -> Vec<bool> {
         let feats: Vec<Vec<f32>> = pairs.iter().map(|&p| self.features(p)).collect();
-        let net = self.net.as_mut().expect("EmTransformerSim::predict before fit");
+        let net = self
+            .net
+            .as_mut()
+            .expect("EmTransformerSim::predict before fit");
         net.predict_batch(&feats)
     }
 }
@@ -141,6 +147,9 @@ mod tests {
         let a = enc.encode_text(&s.record(0).full_text());
         let b = enc.encode_text(&s.record(1).full_text());
         let sim = rlb_util::linalg::cosine_f32(&a, &b);
-        assert!(sim > 0.999, "migration should not change the encoding: {sim}");
+        assert!(
+            sim > 0.999,
+            "migration should not change the encoding: {sim}"
+        );
     }
 }

@@ -14,8 +14,8 @@ use crate::Matcher;
 use rlb_data::{MatchingTask, PairRef, Record};
 use rlb_embed::contextual::{ContextualEncoder, Variant};
 use rlb_nn::{Mlp, TrainConfig};
+use rlb_util::hash::FxHashMap;
 use rlb_util::{Error, Prng, Result};
-use rustc_hash::FxHashMap;
 
 /// Capacity cap: the pair graph is materialized over every candidate pair,
 /// so very large tasks exhaust the simulated memory budget (GNEM shows "-"
@@ -52,7 +52,10 @@ impl GnemSim {
     }
 
     fn encode_records(&self, records: &[Record]) -> Vec<Vec<f32>> {
-        records.iter().map(|r| self.encoder.encode_text(&r.full_text())).collect()
+        records
+            .iter()
+            .map(|r| self.encoder.encode_text(&r.full_text()))
+            .collect()
     }
 
     fn local_features(&self, p: PairRef) -> Vec<f32> {
@@ -110,8 +113,11 @@ impl GnemSim {
     }
 
     fn global_features(&self, p: PairRef) -> Vec<f32> {
-        let [own, max_c, mean_c] =
-            self.competitor_stats.get(&p).copied().unwrap_or([0.0, 0.0, 0.0]);
+        let [own, max_c, mean_c] = self
+            .competitor_stats
+            .get(&p)
+            .copied()
+            .unwrap_or([0.0, 0.0, 0.0]);
         // Squash logits so the second stage trains on a bounded scale.
         let s = |x: f32| 1.0 / (1.0 + (-x).exp());
         vec![s(own), s(max_c), s(mean_c), s(own) - s(max_c)]
@@ -144,11 +150,21 @@ impl Matcher for GnemSim {
         let mut global = Mlp::new(4, &[8], self.cfg.seed ^ 0x6E42);
         let mut rng = Prng::seed_from_u64(self.cfg.seed);
         let train = super::subsample_train(&task.train, self.cfg.max_train, &mut rng);
-        let gx: Vec<Vec<f32>> = train.iter().map(|lp| self.global_features(lp.pair)).collect();
+        let gx: Vec<Vec<f32>> = train
+            .iter()
+            .map(|lp| self.global_features(lp.pair))
+            .collect();
         let gy: Vec<bool> = train.iter().map(|lp| lp.is_match).collect();
-        let vx: Vec<Vec<f32>> = task.val.iter().map(|lp| self.global_features(lp.pair)).collect();
+        let vx: Vec<Vec<f32>> = task
+            .val
+            .iter()
+            .map(|lp| self.global_features(lp.pair))
+            .collect();
         let vy: Vec<bool> = task.val.iter().map(|lp| lp.is_match).collect();
-        let tc = TrainConfig { epochs: self.cfg.epochs.min(20), ..Default::default() };
+        let tc = TrainConfig {
+            epochs: self.cfg.epochs.min(20),
+            ..Default::default()
+        };
         global.train(&gx, &gy, &vx, &vy, &tc, self.cfg.seed ^ 0x6E43)?;
         self.global = Some(global);
         Ok(())
@@ -201,6 +217,9 @@ mod tests {
 
     #[test]
     fn name_carries_epochs() {
-        assert_eq!(GnemSim::new(DeepConfig::with_epochs(10)).name(), "GNEM (10)");
+        assert_eq!(
+            GnemSim::new(DeepConfig::with_epochs(10)).name(),
+            "GNEM (10)"
+        );
     }
 }

@@ -169,7 +169,10 @@ impl Matcher for HierMatcherSim {
 
     fn predict(&mut self, _task: &MatchingTask, pairs: &[PairRef]) -> Vec<bool> {
         let feats: Vec<Vec<f32>> = pairs.iter().map(|&p| self.features(p)).collect();
-        let net = self.net.as_mut().expect("HierMatcherSim::predict before fit");
+        let net = self
+            .net
+            .as_mut()
+            .expect("HierMatcherSim::predict before fit");
         net.predict_batch(&feats)
     }
 }
@@ -236,6 +239,9 @@ mod tests {
 
     #[test]
     fn name_carries_epochs() {
-        assert_eq!(HierMatcherSim::new(DeepConfig::with_epochs(40)).name(), "HierMatcher (40)");
+        assert_eq!(
+            HierMatcherSim::new(DeepConfig::with_epochs(40)).name(),
+            "HierMatcher (40)"
+        );
     }
 }

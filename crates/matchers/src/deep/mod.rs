@@ -60,7 +60,11 @@ pub struct DeepConfig {
 impl DeepConfig {
     /// Budget of `epochs` with defaults otherwise.
     pub fn with_epochs(epochs: usize) -> Self {
-        DeepConfig { epochs, seed: 0xD33D, max_train: 6000 }
+        DeepConfig {
+            epochs,
+            seed: 0xD33D,
+            max_train: 6000,
+        }
     }
 }
 
@@ -108,9 +112,8 @@ impl CrossAlign {
                             (t, w)
                         })
                         .collect();
-                    weighted.sort_by(|a, b| {
-                        b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0))
-                    });
+                    weighted
+                        .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
                     weighted.dedup_by(|a, b| a.0 == b.0);
                     weighted.truncate(ALIGN_TOKENS);
                     weighted
@@ -120,7 +123,10 @@ impl CrossAlign {
                 })
                 .collect()
         };
-        CrossAlign { left: build(&task.left.records), right: build(&task.right.records) }
+        CrossAlign {
+            left: build(&task.left.records),
+            right: build(&task.right.records),
+        }
     }
 
     /// Six alignment statistics for one pair: weighted mean row/column max
@@ -227,7 +233,11 @@ where
     let val = subsample_train(&task.val, cfg.max_train / 2, &mut rng);
     let val_x: Vec<Vec<f32>> = val.iter().map(|lp| featurize(lp.pair)).collect();
     let val_y: Vec<bool> = val.iter().map(|lp| lp.is_match).collect();
-    let tc = TrainConfig { epochs: cfg.epochs, learning_rate: 1e-2, ..Default::default() };
+    let tc = TrainConfig {
+        epochs: cfg.epochs,
+        learning_rate: 1e-2,
+        ..Default::default()
+    };
     net.train(&train_x, &train_y, &val_x, &val_y, &tc, cfg.seed ^ 0x7EA1)?;
     Ok(net)
 }
@@ -239,8 +249,9 @@ mod tests {
 
     #[test]
     fn subsample_preserves_class_balance() {
-        let pairs: Vec<LabeledPair> =
-            (0..1000).map(|i| LabeledPair::new(i, i, i % 10 == 0)).collect();
+        let pairs: Vec<LabeledPair> = (0..1000)
+            .map(|i| LabeledPair::new(i, i, i % 10 == 0))
+            .collect();
         let mut rng = Prng::seed_from_u64(1);
         let sub = subsample_train(&pairs, 200, &mut rng);
         assert_eq!(sub.len(), 200);
@@ -250,7 +261,9 @@ mod tests {
 
     #[test]
     fn subsample_below_cap_is_identity() {
-        let pairs: Vec<LabeledPair> = (0..50).map(|i| LabeledPair::new(i, i, i % 2 == 0)).collect();
+        let pairs: Vec<LabeledPair> = (0..50)
+            .map(|i| LabeledPair::new(i, i, i % 2 == 0))
+            .collect();
         let mut rng = Prng::seed_from_u64(2);
         assert_eq!(subsample_train(&pairs, 100, &mut rng), pairs);
     }

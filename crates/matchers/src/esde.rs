@@ -101,12 +101,19 @@ pub struct Esde {
 impl Esde {
     /// Unfitted matcher of the given variant.
     pub fn new(variant: EsdeVariant) -> Self {
-        Esde { variant, prepared: None, best_feature: 0, best_threshold: 0.5, fitted: false }
+        Esde {
+            variant,
+            prepared: None,
+            best_feature: 0,
+            best_threshold: 0.5,
+            fitted: false,
+        }
     }
 
     /// The `(feature index, threshold)` selected on the validation set.
     pub fn selected(&self) -> Option<(usize, f64)> {
-        self.fitted.then_some((self.best_feature, self.best_threshold))
+        self.fitted
+            .then_some((self.best_feature, self.best_threshold))
     }
 
     fn prepare(&self, task: &MatchingTask) -> Prepared {
@@ -122,7 +129,10 @@ impl Esde {
                         })
                         .collect()
                 };
-                Prepared::QGrams { left: build(&task.left.records), right: build(&task.right.records) }
+                Prepared::QGrams {
+                    left: build(&task.left.records),
+                    right: build(&task.right.records),
+                }
             }
             EsdeVariant::SBQ => {
                 let arity = task.left.arity().max(task.right.arity());
@@ -149,7 +159,10 @@ impl Esde {
             EsdeVariant::SAS => {
                 let embedder = fit_sentence_embedder(task);
                 let embed = |records: &[rlb_data::Record]| {
-                    records.iter().map(|r| embedder.encode(&r.full_text())).collect()
+                    records
+                        .iter()
+                        .map(|r| embedder.encode(&r.full_text()))
+                        .collect()
                 };
                 Prepared::Sentence {
                     left: embed(&task.left.records),
@@ -220,7 +233,10 @@ impl Esde {
     }
 
     fn feature_matrix(&self, pairs: &[LabeledPair]) -> (Vec<Vec<f64>>, Vec<bool>) {
-        let xs = pairs.iter().map(|lp| self.feature_vector(lp.pair)).collect();
+        let xs = pairs
+            .iter()
+            .map(|lp| self.feature_vector(lp.pair))
+            .collect();
         let ys = pairs.iter().map(|lp| lp.is_match).collect();
         (xs, ys)
     }
@@ -240,10 +256,15 @@ fn fit_sentence_embedder(task: &MatchingTask) -> SentenceEmbedder {
 /// Sweeps thresholds `0.01..=0.99` (step 0.01) and returns
 /// `(best F1, best threshold)` — the shared inner loop of Algorithms 1
 /// and 2. Ties prefer the lower threshold (reached first).
+///
+/// When no threshold achieves F1 > 0 (e.g. all-negative labels or empty
+/// input), the reported threshold is 0.01 — the lowest grid value — so
+/// callers always receive a threshold that lies inside the sweep range
+/// instead of the off-grid sentinel 0.0.
 pub fn sweep_threshold(scores: &[f64], labels: &[bool]) -> (f64, f64) {
     debug_assert_eq!(scores.len(), labels.len());
     let total_pos = labels.iter().filter(|&&y| y).count();
-    let mut best = (0.0f64, 0.0f64);
+    let mut best = (0.0f64, 0.01f64);
     for step in 1..100 {
         let t = step as f64 / 100.0;
         let mut tp = 0usize;
@@ -345,7 +366,30 @@ mod tests {
     fn sweep_threshold_handles_all_negative() {
         let (f1, t) = sweep_threshold(&[0.3, 0.4], &[false, false]);
         assert_eq!(f1, 0.0);
-        assert_eq!(t, 0.0);
+        assert_eq!(
+            t, 0.01,
+            "degenerate input must report an in-range threshold"
+        );
+    }
+
+    #[test]
+    fn sweep_threshold_degenerate_inputs_stay_in_sweep_range() {
+        // No threshold reaches F1 > 0 in any of these; the reported
+        // threshold must still be a grid value, never the old 0.0 sentinel.
+        let cases: [(&[f64], &[bool]); 3] = [
+            (&[], &[]),
+            (&[0.5, 0.7, 0.9], &[false, false, false]),
+            // Positives exist but score 0.0: never predicted at any t.
+            (&[0.0, 0.0], &[true, true]),
+        ];
+        for (scores, labels) in cases {
+            let (f1, t) = sweep_threshold(scores, labels);
+            assert_eq!(f1, 0.0, "scores {scores:?}");
+            assert!(
+                (0.01..=0.99).contains(&t),
+                "scores {scores:?}: threshold {t}"
+            );
+        }
     }
 
     #[test]

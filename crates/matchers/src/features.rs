@@ -13,15 +13,20 @@ pub struct RecordViews {
 }
 
 impl RecordViews {
-    /// Builds the views for every record of a source.
+    /// Builds the views for every record of a source. Tokenization is
+    /// independent per record, so records are processed in parallel; the
+    /// resulting vectors are in record order either way.
     pub fn build(records: &[Record], arity: usize) -> Self {
         let mut full = Vec::with_capacity(records.len());
         let mut per_attr = Vec::with_capacity(records.len());
-        for r in records {
-            full.push(r.token_set());
+        let views = rlb_util::par::par_map(records, |r| {
             let attrs: Vec<TokenSet> = (0..arity)
                 .map(|a| TokenSet::from_text(r.value(a)))
                 .collect();
+            (r.token_set(), attrs)
+        });
+        for (f, attrs) in views {
+            full.push(f);
             per_attr.push(attrs);
         }
         RecordViews { full, per_attr }

@@ -81,7 +81,13 @@ pub struct Magellan {
 impl Magellan {
     /// Unfitted matcher.
     pub fn new(model: MagellanModel, seed: u64) -> Self {
-        Magellan { model, seed, max_train: 6000, scaler: None, fitted: None }
+        Magellan {
+            model,
+            seed,
+            max_train: 6000,
+            scaler: None,
+            fitted: None,
+        }
     }
 
     fn featurize(&self, task: &MatchingTask, p: PairRef) -> Vec<f64> {
@@ -105,8 +111,10 @@ impl Matcher for Magellan {
         // Magellan trains on T; V is unused by the classical classifiers
         // (they have no epoch dimension to select over).
         let train = subsample(&task.train, self.max_train, self.seed);
-        let raw: Vec<Vec<f64>> =
-            train.iter().map(|lp| magellan_features(task, lp.pair)).collect();
+        let raw: Vec<Vec<f64>> = train
+            .iter()
+            .map(|lp| magellan_features(task, lp.pair))
+            .collect();
         let ys: Vec<bool> = train.iter().map(|lp| lp.is_match).collect();
         let scaler = StandardScaler::fit(&raw)?;
         let xs = scaler.transform_batch(&raw);
@@ -153,11 +161,7 @@ impl Matcher for Magellan {
 }
 
 /// Stratified subsample preserving the positive fraction.
-fn subsample(
-    pairs: &[rlb_data::LabeledPair],
-    cap: usize,
-    seed: u64,
-) -> Vec<rlb_data::LabeledPair> {
+fn subsample(pairs: &[rlb_data::LabeledPair], cap: usize, seed: u64) -> Vec<rlb_data::LabeledPair> {
     if pairs.len() <= cap {
         return pairs.to_vec();
     }

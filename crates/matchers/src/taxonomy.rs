@@ -48,11 +48,36 @@ pub fn taxonomy() -> Vec<TaxonomyRow> {
     use SchemaAwareness::*;
     use SimilarityContext::*;
     vec![
-        TaxonomyRow { algorithm: "DeepMatcher", context: Static, schema: Homogeneous, similarity: Local },
-        TaxonomyRow { algorithm: "EMTransformer", context: Dynamic, schema: Heterogeneous, similarity: Local },
-        TaxonomyRow { algorithm: "GNEM", context: Both, schema: Homogeneous, similarity: Global },
-        TaxonomyRow { algorithm: "DITTO", context: Dynamic, schema: Heterogeneous, similarity: Local },
-        TaxonomyRow { algorithm: "HierMatcher", context: Dynamic, schema: Heterogeneous, similarity: Local },
+        TaxonomyRow {
+            algorithm: "DeepMatcher",
+            context: Static,
+            schema: Homogeneous,
+            similarity: Local,
+        },
+        TaxonomyRow {
+            algorithm: "EMTransformer",
+            context: Dynamic,
+            schema: Heterogeneous,
+            similarity: Local,
+        },
+        TaxonomyRow {
+            algorithm: "GNEM",
+            context: Both,
+            schema: Homogeneous,
+            similarity: Global,
+        },
+        TaxonomyRow {
+            algorithm: "DITTO",
+            context: Dynamic,
+            schema: Heterogeneous,
+            similarity: Local,
+        },
+        TaxonomyRow {
+            algorithm: "HierMatcher",
+            context: Dynamic,
+            schema: Heterogeneous,
+            similarity: Local,
+        },
     ]
 }
 
@@ -66,12 +91,24 @@ mod tests {
         assert_eq!(rows.len(), 5);
         // Every taxonomy value appears at least once — the paper's claim
         // that the selection is representative.
-        assert!(rows.iter().any(|r| matches!(r.context, EmbeddingContext::Static)));
-        assert!(rows.iter().any(|r| matches!(r.context, EmbeddingContext::Dynamic)));
-        assert!(rows.iter().any(|r| matches!(r.schema, SchemaAwareness::Homogeneous)));
-        assert!(rows.iter().any(|r| matches!(r.schema, SchemaAwareness::Heterogeneous)));
-        assert!(rows.iter().any(|r| matches!(r.similarity, SimilarityContext::Local)));
-        assert!(rows.iter().any(|r| matches!(r.similarity, SimilarityContext::Global)));
+        assert!(rows
+            .iter()
+            .any(|r| matches!(r.context, EmbeddingContext::Static)));
+        assert!(rows
+            .iter()
+            .any(|r| matches!(r.context, EmbeddingContext::Dynamic)));
+        assert!(rows
+            .iter()
+            .any(|r| matches!(r.schema, SchemaAwareness::Homogeneous)));
+        assert!(rows
+            .iter()
+            .any(|r| matches!(r.schema, SchemaAwareness::Heterogeneous)));
+        assert!(rows
+            .iter()
+            .any(|r| matches!(r.similarity, SimilarityContext::Local)));
+        assert!(rows
+            .iter()
+            .any(|r| matches!(r.similarity, SimilarityContext::Global)));
     }
 
     #[test]

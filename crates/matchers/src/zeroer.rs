@@ -23,7 +23,11 @@ pub struct ZeroEr {
 impl ZeroEr {
     /// Unfitted matcher.
     pub fn new() -> Self {
-        ZeroEr { gmm: GaussianMixture::new(), max_fit: 30_000, fitted: false }
+        ZeroEr {
+            gmm: GaussianMixture::new(),
+            max_fit: 30_000,
+            fitted: false,
+        }
     }
 }
 
@@ -47,8 +51,7 @@ impl Matcher for ZeroEr {
             rng.shuffle(&mut pairs);
             pairs.truncate(self.max_fit);
         }
-        let xs: Vec<Vec<f64>> =
-            pairs.iter().map(|&p| magellan_features(task, p)).collect();
+        let xs: Vec<Vec<f64>> = pairs.iter().map(|&p| magellan_features(task, p)).collect();
         if xs.len() < 4 {
             return Err(Error::EmptyInput("ZeroER needs at least 4 candidate pairs"));
         }

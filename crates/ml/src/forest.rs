@@ -20,7 +20,12 @@ impl RandomForest {
     /// Forest with defaults matching scikit-learn's spirit (100 trees is
     /// overkill for ≤ 30-dimensional similarity features; 40 suffices).
     pub fn new(seed: u64) -> Self {
-        RandomForest { trees: Vec::new(), n_trees: 40, max_depth: 12, seed }
+        RandomForest {
+            trees: Vec::new(),
+            n_trees: 40,
+            max_depth: 12,
+            seed,
+        }
     }
 
     /// Trains the ensemble: each tree sees a bootstrap sample and considers

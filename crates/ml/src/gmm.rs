@@ -15,9 +15,9 @@ struct DiagGaussian {
 impl DiagGaussian {
     fn log_density(&self, x: &[f64]) -> f64 {
         let mut ll = 0.0;
-        for d in 0..self.mean.len() {
-            let v = self.var[d].max(1e-6);
-            let diff = x[d] - self.mean[d];
+        for ((&m, &var), &xd) in self.mean.iter().zip(&self.var).zip(x) {
+            let v = var.max(1e-6);
+            let diff = xd - m;
             ll += -0.5 * ((2.0 * std::f64::consts::PI * v).ln() + diff * diff / v);
         }
         ll
@@ -220,7 +220,11 @@ mod tests {
         let (xs, _) = sim_data(1000, 0.25, 3);
         let mut g = GaussianMixture::new();
         g.fit(&xs).unwrap();
-        assert!((g.prior_match() - 0.25).abs() < 0.1, "prior {}", g.prior_match());
+        assert!(
+            (g.prior_match() - 0.25).abs() < 0.1,
+            "prior {}",
+            g.prior_match()
+        );
     }
 
     #[test]
@@ -247,8 +251,7 @@ mod tests {
     #[test]
     fn overlapping_clusters_give_uncertain_posteriors() {
         let mut rng = Prng::seed_from_u64(4);
-        let xs: Vec<Vec<f64>> =
-            (0..200).map(|_| vec![rng.normal_with(0.5, 0.05)]).collect();
+        let xs: Vec<Vec<f64>> = (0..200).map(|_| vec![rng.normal_with(0.5, 0.05)]).collect();
         let mut g = GaussianMixture::new();
         g.fit(&xs).unwrap();
         let p = g.posterior(&[0.5]);

@@ -18,7 +18,11 @@ pub struct KnnClassifier {
 impl KnnClassifier {
     /// Classifier with the given `k` (clamped to ≥ 1).
     pub fn new(k: usize) -> Self {
-        KnnClassifier { xs: Vec::new(), ys: Vec::new(), k: k.max(1) }
+        KnnClassifier {
+            xs: Vec::new(),
+            ys: Vec::new(),
+            k: k.max(1),
+        }
     }
 
     /// Stores the training data.
@@ -54,8 +58,7 @@ impl KnnClassifier {
             return false;
         }
         let pos = neighbors.iter().filter(|&&i| self.ys[i]).count();
-        2 * pos > neighbors.len()
-            || (2 * pos == neighbors.len() && self.ys[neighbors[0]])
+        2 * pos > neighbors.len() || (2 * pos == neighbors.len() && self.ys[neighbors[0]])
     }
 
     /// Number of stored training points.

@@ -68,7 +68,9 @@ pub(crate) fn check_xy(xs: &[Vec<f64>], ys: &[bool]) -> rlb_util::Result<usize> 
         return Err(rlb_util::Error::EmptyInput("feature dimensions"));
     }
     if xs.iter().any(|x| x.len() != dim) {
-        return Err(rlb_util::Error::InvalidParameter("ragged feature matrix".into()));
+        return Err(rlb_util::Error::InvalidParameter(
+            "ragged feature matrix".into(),
+        ));
     }
     Ok(dim)
 }

@@ -142,7 +142,9 @@ mod tests {
         flat.class_weighted = false;
         flat.fit(&xs, &ys).unwrap();
         let rec = |m: &LogisticRegression| {
-            crate::metrics::confusion(&m.predict_batch(&xs), &ys).metrics().recall
+            crate::metrics::confusion(&m.predict_batch(&xs), &ys)
+                .metrics()
+                .recall
         };
         assert!(rec(&weighted) >= rec(&flat));
     }

@@ -30,7 +30,11 @@ pub struct BinaryMetrics {
 
 /// Computes confusion counts. Panics on length mismatch (caller bug).
 pub fn confusion(predicted: &[bool], actual: &[bool]) -> Confusion {
-    assert_eq!(predicted.len(), actual.len(), "prediction/label length mismatch");
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "prediction/label length mismatch"
+    );
     let mut c = Confusion::default();
     for (&p, &a) in predicted.iter().zip(actual) {
         match (p, a) {
@@ -64,7 +68,13 @@ impl Confusion {
         } else {
             (self.tp + self.tn) as f64 / total as f64
         };
-        BinaryMetrics { precision, recall, f1, accuracy, confusion: *self }
+        BinaryMetrics {
+            precision,
+            recall,
+            f1,
+            accuracy,
+            confusion: *self,
+        }
     }
 }
 
@@ -101,7 +111,15 @@ mod tests {
         let p = vec![true, true, false, false, true];
         let a = vec![true, false, true, false, true];
         let c = confusion(&p, &a);
-        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         let m = c.metrics();
         assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
         assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);

@@ -70,7 +70,12 @@ mod tests {
 
     #[test]
     fn standardizes_to_zero_mean_unit_var() {
-        let xs = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0], vec![4.0, 40.0]];
+        let xs = vec![
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ];
         let s = StandardScaler::fit(&xs).unwrap();
         let t = s.transform_batch(&xs);
         for d in 0..2 {

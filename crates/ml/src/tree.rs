@@ -139,8 +139,8 @@ fn best_split(
             }
             let right_n = n - left_n;
             let right_pos = total_pos - left_pos;
-            let weighted = (left_n / n) * gini(left_pos, left_n)
-                + (right_n / n) * gini(right_pos, right_n);
+            let weighted =
+                (left_n / n) * gini(left_pos, left_n) + (right_n / n) * gini(right_pos, right_n);
             let gain = parent_gini - weighted;
             if best.is_none_or(|(_, _, g)| gain > g) {
                 best = Some((f, (v + v_next) / 2.0, gain));
@@ -168,7 +168,12 @@ impl Classifier for DecisionTree {
         loop {
             match node {
                 Node::Leaf { prob } => return *prob,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     node = if x.get(*feature).copied().unwrap_or(0.0) <= *threshold {
                         left
                     } else {

@@ -61,7 +61,12 @@ struct Param {
 
 impl Param {
     fn new(len: usize) -> Self {
-        Param { value: vec![0.0; len], grad: vec![0.0; len], m: vec![0.0; len], v: vec![0.0; len] }
+        Param {
+            value: vec![0.0; len],
+            grad: vec![0.0; len],
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+        }
     }
 
     fn init_xavier(&mut self, fan_in: usize, fan_out: usize, rng: &mut Prng) {
@@ -92,7 +97,11 @@ impl Param {
 /// Common layer interface: forward caches what backward needs; backward
 /// accumulates parameter gradients and returns the input gradient; `step`
 /// applies one Adam update.
-pub trait Layer {
+///
+/// `Send` is a supertrait so models holding boxed layers can move across
+/// threads (the roster sweep trains matchers in parallel). Layers are plain
+/// weight/gradient buffers, so this costs implementors nothing.
+pub trait Layer: Send {
     /// Input dimensionality.
     fn input_dim(&self) -> usize;
     /// Output dimensionality.
@@ -154,10 +163,10 @@ impl Layer for DenseLayer {
         debug_assert_eq!(x.len(), self.in_dim);
         self.last_x = x.to_vec();
         let mut out = vec![0.0f32; self.out_dim];
-        for o in 0..self.out_dim {
+        for (o, out_o) in out.iter_mut().enumerate() {
             let row = &self.w.value[o * self.in_dim..(o + 1) * self.in_dim];
             let z = rlb_util::linalg::dot_f32(row, x) + self.b.value[o];
-            out[o] = self.act.apply(z);
+            *out_o = self.act.apply(z);
         }
         self.last_a = out.clone();
         out
@@ -166,8 +175,8 @@ impl Layer for DenseLayer {
     fn backward(&mut self, dy: &[f32]) -> Vec<f32> {
         debug_assert_eq!(dy.len(), self.out_dim);
         let mut dx = vec![0.0f32; self.in_dim];
-        for o in 0..self.out_dim {
-            let dz = dy[o] * self.act.derivative(self.last_a[o]);
+        for (o, &dy_o) in dy.iter().enumerate() {
+            let dz = dy_o * self.act.derivative(self.last_a[o]);
             self.b.grad[o] += dz;
             let row_g = &mut self.w.grad[o * self.in_dim..(o + 1) * self.in_dim];
             for (i, g) in row_g.iter_mut().enumerate() {
@@ -194,7 +203,11 @@ impl Layer for DenseLayer {
 
     fn set_params_flat(&mut self, flat: &[f32]) {
         let nw = self.w.value.len();
-        assert_eq!(flat.len(), nw + self.b.value.len(), "snapshot size mismatch");
+        assert_eq!(
+            flat.len(),
+            nw + self.b.value.len(),
+            "snapshot size mismatch"
+        );
         self.w.value.copy_from_slice(&flat[..nw]);
         self.b.value.copy_from_slice(&flat[nw..]);
     }
@@ -261,8 +274,9 @@ impl Layer for HighwayLayer {
             h[o] = (rlb_util::linalg::dot_f32(rh, x) + self.bh.value[o]).max(0.0);
             t[o] = sigmoid(rlb_util::linalg::dot_f32(rt, x) + self.bt.value[o]);
         }
-        let y: Vec<f32> =
-            (0..self.dim).map(|o| t[o] * h[o] + (1.0 - t[o]) * x[o]).collect();
+        let y: Vec<f32> = (0..self.dim)
+            .map(|o| t[o] * h[o] + (1.0 - t[o]) * x[o])
+            .collect();
         self.last_h = h;
         self.last_t = t;
         y
@@ -274,9 +288,9 @@ impl Layer for HighwayLayer {
         for i in 0..self.dim {
             dx[i] += dy[i] * (1.0 - self.last_t[i]);
         }
-        for o in 0..self.dim {
+        for (o, &dy_o) in dy.iter().enumerate() {
             // h path.
-            let dh = dy[o] * self.last_t[o];
+            let dh = dy_o * self.last_t[o];
             let dzh = if self.last_h[o] > 0.0 { dh } else { 0.0 };
             self.bh.grad[o] += dzh;
             let row_hg = &mut self.wh.grad[o * self.dim..(o + 1) * self.dim];
@@ -288,7 +302,7 @@ impl Layer for HighwayLayer {
                 *d += dzh * row_h[i];
             }
             // t path: d y_o / d t_o = h_o - x_o.
-            let dt = dy[o] * (self.last_h[o] - self.last_x[o]);
+            let dt = dy_o * (self.last_h[o] - self.last_x[o]);
             let dzt = dt * self.last_t[o] * (1.0 - self.last_t[o]);
             self.bt.grad[o] += dzt;
             let row_tg = &mut self.wt.grad[o * self.dim..(o + 1) * self.dim];

@@ -21,7 +21,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 15, learning_rate: 5e-3, batch_size: 32, class_weighted: true }
+        TrainConfig {
+            epochs: 15,
+            learning_rate: 5e-3,
+            batch_size: 32,
+            class_weighted: true,
+        }
     }
 }
 
@@ -57,11 +62,24 @@ impl Mlp {
         let mut layers: Vec<Box<dyn Layer>> = Vec::new();
         let mut dim = input_dim;
         for &h in hidden {
-            layers.push(Box::new(DenseLayer::new(dim, h, Activation::Relu, &mut rng)));
+            layers.push(Box::new(DenseLayer::new(
+                dim,
+                h,
+                Activation::Relu,
+                &mut rng,
+            )));
             dim = h;
         }
-        layers.push(Box::new(DenseLayer::new(dim, 1, Activation::Linear, &mut rng)));
-        Mlp { layers, step_count: 0 }
+        layers.push(Box::new(DenseLayer::new(
+            dim,
+            1,
+            Activation::Linear,
+            &mut rng,
+        )));
+        Mlp {
+            layers,
+            step_count: 0,
+        }
     }
 
     /// Builds DeepMatcher's classification module: `input → hidden` dense,
@@ -70,12 +88,20 @@ impl Mlp {
     pub fn highway_net(input_dim: usize, hidden: usize, seed: u64) -> Self {
         let mut rng = Prng::seed_from_u64(seed);
         let layers: Vec<Box<dyn Layer>> = vec![
-            Box::new(DenseLayer::new(input_dim, hidden, Activation::Relu, &mut rng)),
+            Box::new(DenseLayer::new(
+                input_dim,
+                hidden,
+                Activation::Relu,
+                &mut rng,
+            )),
             Box::new(HighwayLayer::new(hidden, &mut rng)),
             Box::new(HighwayLayer::new(hidden, &mut rng)),
             Box::new(DenseLayer::new(hidden, 1, Activation::Linear, &mut rng)),
         ];
-        Mlp { layers, step_count: 0 }
+        Mlp {
+            layers,
+            step_count: 0,
+        }
     }
 
     /// Input dimensionality.
@@ -153,7 +179,9 @@ impl Mlp {
         }
         let dim = self.input_dim();
         if train_x.iter().any(|x| x.len() != dim) {
-            return Err(Error::InvalidParameter("feature width != network input".into()));
+            return Err(Error::InvalidParameter(
+                "feature width != network input".into(),
+            ));
         }
         let n = train_x.len();
         let pos = train_y.iter().filter(|&&y| y).count().max(1);
@@ -167,7 +195,11 @@ impl Mlp {
         let mut rng = Prng::seed_from_u64(seed);
         let mut order: Vec<usize> = (0..n).collect();
         let mut best: Option<(f64, Vec<Vec<f32>>)> = None; // (val f1, snapshot)
-        let mut report = TrainReport { val_f1_per_epoch: Vec::new(), best_epoch: 0, best_val_f1: 0.0 };
+        let mut report = TrainReport {
+            val_f1_per_epoch: Vec::new(),
+            best_epoch: 0,
+            best_val_f1: 0.0,
+        };
 
         for epoch in 0..cfg.epochs {
             rng.shuffle(&mut order);
@@ -260,7 +292,10 @@ mod tests {
         let (xs, ys) = xor_data(400, 1);
         let (vx, vy) = xor_data(100, 2);
         let mut net = Mlp::new(2, &[16, 8], 3);
-        let cfg = TrainConfig { epochs: 40, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 40,
+            ..Default::default()
+        };
         let report = net.train(&xs, &ys, &vx, &vy, &cfg, 4).unwrap();
         assert!(report.best_val_f1 > 0.9, "val f1 {}", report.best_val_f1);
         let preds = net.predict_batch(&vx);
@@ -272,7 +307,10 @@ mod tests {
         let (xs, ys) = xor_data(400, 5);
         let (vx, vy) = xor_data(100, 6);
         let mut net = Mlp::highway_net(2, 16, 7);
-        let cfg = TrainConfig { epochs: 40, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 40,
+            ..Default::default()
+        };
         net.train(&xs, &ys, &vx, &vy, &cfg, 8).unwrap();
         let preds = net.predict_batch(&vx);
         assert!(rlb_ml_f1(&preds, &vy) > 0.85);
@@ -283,7 +321,10 @@ mod tests {
         let (xs, ys) = xor_data(200, 9);
         let (vx, vy) = xor_data(60, 10);
         let mut net = Mlp::new(2, &[12], 11);
-        let cfg = TrainConfig { epochs: 25, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 25,
+            ..Default::default()
+        };
         let report = net.train(&xs, &ys, &vx, &vy, &cfg, 12).unwrap();
         let final_f1 = {
             let preds = net.predict_batch(&vx);
@@ -302,7 +343,10 @@ mod tests {
         let (xs, ys) = xor_data(150, 13);
         let run = || {
             let mut net = Mlp::new(2, &[8], 14);
-            let cfg = TrainConfig { epochs: 5, ..Default::default() };
+            let cfg = TrainConfig {
+                epochs: 5,
+                ..Default::default()
+            };
             net.train(&xs, &ys, &[], &[], &cfg, 15).unwrap();
             net.predict_batch(&xs)
         };
@@ -326,7 +370,10 @@ mod tests {
     fn scores_are_probabilities() {
         let (xs, ys) = xor_data(100, 16);
         let mut net = Mlp::new(2, &[8], 17);
-        let cfg = TrainConfig { epochs: 3, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        };
         net.train(&xs, &ys, &[], &[], &cfg, 18).unwrap();
         for x in xs.iter().take(20) {
             let s = net.score(x);

@@ -111,8 +111,7 @@ pub fn corrupt_value(value: &str, params: &NoiseParams, rng: &mut Prng) -> Strin
     if rng.chance(params.missing_prob) {
         return String::new();
     }
-    let mut tokens: Vec<String> =
-        value.split_whitespace().map(|s| s.to_string()).collect();
+    let mut tokens: Vec<String> = value.split_whitespace().map(|s| s.to_string()).collect();
     // Token drops (keep at least one token).
     let mut i = 0;
     while i < tokens.len() {
@@ -133,8 +132,7 @@ pub fn corrupt_value(value: &str, params: &NoiseParams, rng: &mut Prng) -> Strin
     }
     // Typos and abbreviations.
     for t in tokens.iter_mut() {
-        if rng.chance(params.abbreviate_prob) && t.len() > 2 && t.chars().all(char::is_alphabetic)
-        {
+        if rng.chance(params.abbreviate_prob) && t.len() > 2 && t.chars().all(char::is_alphabetic) {
             let first = t.chars().next().expect("non-empty token");
             *t = format!("{first}.");
         } else if rng.chance(params.token_typo_prob) {
@@ -183,8 +181,7 @@ pub fn corrupt_record(
             continue;
         }
         if rng.chance(params.migrate_prob) && !out[a].is_empty() {
-            let mut toks: Vec<String> =
-                out[a].split_whitespace().map(|s| s.to_string()).collect();
+            let mut toks: Vec<String> = out[a].split_whitespace().map(|s| s.to_string()).collect();
             if toks.len() > 1 {
                 let moved = toks.remove(0);
                 out[a] = toks.join(" ");
@@ -203,7 +200,7 @@ pub fn corrupt_record(
 /// DeepMatcher "dirty" construction: every non-title value moves to the
 /// title with probability `prob` (0.5 in the paper), leaving its own
 /// attribute empty.
-pub fn dirty_misplace(values: &mut Vec<String>, title_idx: usize, prob: f64, rng: &mut Prng) {
+pub fn dirty_misplace(values: &mut [String], title_idx: usize, prob: f64, rng: &mut Prng) {
     for a in 0..values.len() {
         if a == title_idx || values[a].is_empty() {
             continue;
@@ -287,8 +284,11 @@ mod tests {
     #[test]
     fn anchors_survive_heavy_noise() {
         let mut rng = Prng::seed_from_u64(6);
-        let values: Vec<String> =
-            vec!["title words here".into(), "brandname".into(), "XK-4821".into()];
+        let values: Vec<String> = vec![
+            "title words here".into(),
+            "brandname".into(),
+            "XK-4821".into(),
+        ];
         let params = NoiseParams::from_level(1.0);
         for _ in 0..30 {
             let out = corrupt_record(&values, &[2], &params, &mut rng);
@@ -304,8 +304,7 @@ mod tests {
         let mut rng = Prng::seed_from_u64(7);
         let mut moved_any = false;
         for _ in 0..20 {
-            let mut values: Vec<String> =
-                vec!["title".into(), "brand".into(), "model".into()];
+            let mut values: Vec<String> = vec!["title".into(), "brand".into(), "model".into()];
             dirty_misplace(&mut values, 0, 0.5, &mut rng);
             let title_tokens = rlb_textsim::tokens(&values[0]);
             if values[1].is_empty() {
@@ -314,8 +313,10 @@ mod tests {
             }
             // Value is moved, never duplicated.
             let all = values.join(" ");
-            let count =
-                rlb_textsim::tokens(&all).iter().filter(|t| *t == "brand").count();
+            let count = rlb_textsim::tokens(&all)
+                .iter()
+                .filter(|t| *t == "brand")
+                .count();
             assert_eq!(count, 1);
         }
         assert!(moved_any);
@@ -341,7 +342,10 @@ mod tests {
     #[test]
     fn missing_prob_one_blanks_everything() {
         let mut rng = Prng::seed_from_u64(10);
-        let params = NoiseParams { missing_prob: 1.0, ..NoiseParams::CLEAN };
+        let params = NoiseParams {
+            missing_prob: 1.0,
+            ..NoiseParams::CLEAN
+        };
         assert_eq!(corrupt_value("some value", &params, &mut rng), "");
     }
 }

@@ -111,7 +111,9 @@ impl EntityFactory {
                 brand: vocab::BRANDS[i % vocab::BRANDS.len()].to_string(),
                 category: vocab::CATEGORIES[i % vocab::CATEGORIES.len()].to_string(),
                 name_stem: vocab::pseudo_word(&mut stem_rng, 2),
-                lines: (0..2).map(|_| vocab::pseudo_word(&mut stem_rng, 2)).collect(),
+                lines: (0..2)
+                    .map(|_| vocab::pseudo_word(&mut stem_rng, 2))
+                    .collect(),
                 code_prefix: {
                     let letters: Vec<char> = ('a'..='z').collect();
                     format!("{}{}", stem_rng.choose(&letters), stem_rng.choose(&letters))
@@ -125,7 +127,13 @@ impl EntityFactory {
             .collect();
         // Two pseudo-words per entity plus slack.
         let identity_pool = vocab::word_pool(seed ^ 0xD1CE, capacity * 2 + 64, 2);
-        EntityFactory { domain, families, identity_pool, rng, next_identity: 0 }
+        EntityFactory {
+            domain,
+            families,
+            identity_pool,
+            rng,
+            next_identity: 0,
+        }
     }
 
     /// The domain this factory generates for.
@@ -169,10 +177,7 @@ impl EntityFactory {
                 vec![title, fam.brand.clone(), code, price]
             }
             Domain::Bibliographic => {
-                let title = format!(
-                    "{} {} for {} {}",
-                    line, unique, fam.name_stem, fam.category
-                );
+                let title = format!("{} {} for {} {}", line, unique, fam.name_stem, fam.category);
                 let mut authors = fam.people.clone();
                 self.rng.shuffle(&mut authors);
                 authors.truncate(2 + self.rng.index(2));
@@ -234,7 +239,10 @@ impl EntityFactory {
                 vec![name, content]
             }
         };
-        Entity { family: family_idx, values }
+        Entity {
+            family: family_idx,
+            values,
+        }
     }
 
     /// Generates `count` entities.
@@ -304,7 +312,11 @@ mod tests {
         let es = EntityFactory::new(Domain::TextualProduct, 4, 20, 5).generate_all(10);
         for e in &es {
             let desc_tokens = rlb_textsim::tokens(&e.values[1]);
-            assert!(desc_tokens.len() >= 15, "description too short: {}", e.values[1]);
+            assert!(
+                desc_tokens.len() >= 15,
+                "description too short: {}",
+                e.values[1]
+            );
         }
     }
 }

@@ -4,8 +4,8 @@ use crate::corrupt::{corrupt_record, dirty_misplace, NoiseParams};
 use crate::entity::{Domain, EntityFactory};
 use crate::profile::{BenchmarkProfile, RawPairProfile};
 use rlb_data::{split_pairs, LabeledPair, MatchingTask, PairRef, Source, SplitRatio};
+use rlb_util::hash::FxHashMap;
 use rlb_util::Prng;
-use rustc_hash::FxHashMap;
 use std::collections::BTreeSet;
 
 /// Average entities per family; larger families mean more near-duplicate
@@ -39,7 +39,10 @@ fn shorten_long_text(values: &mut [String], domain: Domain, rng: &mut Prng) {
         Domain::TextualCompany => 0.65,
         _ => 0.55,
     };
-    let params = NoiseParams { token_drop_prob: drop, ..NoiseParams::CLEAN };
+    let params = NoiseParams {
+        token_drop_prob: drop,
+        ..NoiseParams::CLEAN
+    };
     values[attr] = crate::corrupt::corrupt_value(&values[attr], &params, rng);
 }
 
@@ -106,7 +109,10 @@ fn build_sources(
     match_scramble: f64,
     rng: &mut Prng,
 ) -> BuiltSources {
-    assert!(n_matches <= left_size.min(right_size), "matches exceed source sizes");
+    assert!(
+        n_matches <= left_size.min(right_size),
+        "matches exceed source sizes"
+    );
     let total_entities = left_size + right_size - n_matches;
     let family_count = (total_entities / FAMILY_SPREAD).max(2);
     let mut factory = EntityFactory::new(domain, family_count, total_entities, rng.next_u64());
@@ -148,8 +154,7 @@ fn build_sources(
                 } else {
                     pick_anchors(entities[i].values.len(), anchor_attrs, rng)
                 };
-                let mut values =
-                    corrupt_record(&entities[i].values, &anchors, &match_params, rng);
+                let mut values = corrupt_record(&entities[i].values, &anchors, &match_params, rng);
                 // Heterogeneous-source misalignment: scrambling moves values
                 // between attributes without changing the token set.
                 if rng.chance(match_scramble) {
@@ -181,7 +186,13 @@ fn build_sources(
         }
     }
     matches.sort();
-    BuiltSources { left, right, right_families, left_families, matches }
+    BuiltSources {
+        left,
+        right,
+        right_families,
+        left_families,
+        matches,
+    }
 }
 
 /// Generates an established-style benchmark: sources, pre-blocked labelled
@@ -217,8 +228,8 @@ pub fn generate_task(p: &BenchmarkProfile) -> MatchingTask {
     }
 
     // --- Labelled pair construction -------------------------------------
-    let n_pos = ((p.labeled_pairs as f64 * p.positive_fraction).round() as usize)
-        .min(built.matches.len());
+    let n_pos =
+        ((p.labeled_pairs as f64 * p.positive_fraction).round() as usize).min(built.matches.len());
     let n_neg = p.labeled_pairs - n_pos;
     let n_hard = (n_neg as f64 * p.knobs.hard_negative_fraction).round() as usize;
 
@@ -230,7 +241,10 @@ pub fn generate_task(p: &BenchmarkProfile) -> MatchingTask {
     let match_lookup: BTreeSet<PairRef> = built.matches.iter().copied().collect();
     for m in built.matches.iter().take(n_pos) {
         used.insert(*m);
-        labeled.push(LabeledPair { pair: *m, is_match: true });
+        labeled.push(LabeledPair {
+            pair: *m,
+            is_match: true,
+        });
     }
 
     // Hard negatives: same-family cross-source pairs.
@@ -245,7 +259,9 @@ pub fn generate_task(p: &BenchmarkProfile) -> MatchingTask {
         attempts += 1;
         let l = rng.index(built.left.len()) as u32;
         let fam = built.left_families[l as usize];
-        let Some(cands) = family_to_right.get(&fam) else { continue };
+        let Some(cands) = family_to_right.get(&fam) else {
+            continue;
+        };
         if cands.is_empty() {
             continue;
         }
@@ -254,7 +270,10 @@ pub fn generate_task(p: &BenchmarkProfile) -> MatchingTask {
         if match_lookup.contains(&pair) || !used.insert(pair) {
             continue;
         }
-        labeled.push(LabeledPair { pair, is_match: false });
+        labeled.push(LabeledPair {
+            pair,
+            is_match: false,
+        });
         hard_added += 1;
     }
 
@@ -267,7 +286,10 @@ pub fn generate_task(p: &BenchmarkProfile) -> MatchingTask {
         if match_lookup.contains(&pair) || !used.insert(pair) {
             continue;
         }
-        labeled.push(LabeledPair { pair, is_match: false });
+        labeled.push(LabeledPair {
+            pair,
+            is_match: false,
+        });
     }
 
     let mut split_rng = rng.fork(7);
@@ -339,7 +361,11 @@ mod tests {
         assert_eq!(t.right.len(), 150);
         assert_eq!(t.total_pairs(), 300);
         let stats = DatasetStats::of(&t);
-        assert!((stats.imbalance_ratio - 0.15).abs() < 0.02, "IR {}", stats.imbalance_ratio);
+        assert!(
+            (stats.imbalance_ratio - 0.15).abs() < 0.02,
+            "IR {}",
+            stats.imbalance_ratio
+        );
         assert_eq!(t.validate(), Ok(()));
     }
 
@@ -418,7 +444,10 @@ mod tests {
     fn all_established_profiles_generate_valid_tasks() {
         // Only the three smallest to keep unit-test time low; the full 13
         // are exercised by integration tests and the harness.
-        for p in established_profiles().into_iter().filter(|p| p.labeled_pairs <= 1000) {
+        for p in established_profiles()
+            .into_iter()
+            .filter(|p| p.labeled_pairs <= 1000)
+        {
             let t = generate_task(&p);
             assert_eq!(t.validate(), Ok(()), "{}", p.id);
             assert_eq!(t.total_pairs(), p.labeled_pairs, "{}", p.id);
@@ -454,10 +483,18 @@ mod tests {
         p.knobs.right_terse = true;
         let t = generate_task(&p);
         let left_tokens: f64 = rlb_util::stats::mean(
-            &t.left.records.iter().map(|r| r.tokens().len() as f64).collect::<Vec<_>>(),
+            &t.left
+                .records
+                .iter()
+                .map(|r| r.tokens().len() as f64)
+                .collect::<Vec<_>>(),
         );
         let right_tokens: f64 = rlb_util::stats::mean(
-            &t.right.records.iter().map(|r| r.tokens().len() as f64).collect::<Vec<_>>(),
+            &t.right
+                .records
+                .iter()
+                .map(|r| r.tokens().len() as f64)
+                .collect::<Vec<_>>(),
         );
         assert!(
             right_tokens < left_tokens * 0.75,

@@ -110,19 +110,101 @@ pub fn established_profiles() -> Vec<BenchmarkProfile> {
     };
 
     // Structured.
-    v.push(base("Ds1", "DBLP-ACM", Domain::Bibliographic, 1400, 1250, 900, 3600, 0.180, k(0.10, 0.10, 2, 0.00), 101));
-    v.push(base("Ds2", "DBLP-GoogleScholar", Domain::Bibliographic, 1400, 3200, 900, 4200, 0.186, k(0.15, 0.15, 2, 0.03), 102));
-    v.push(base("Ds3", "iTunes-Amazon", Domain::Product, 500, 500, 140, 540, 0.245, k(0.42, 0.45, 1, 0.12), 103));
-    v.push(base("Ds4", "Walmart-Amazon", Domain::Product, 1400, 3400, 800, 4000, 0.094, k(0.56, 0.60, 1, 0.45), 104));
-    v.push(base("Ds5", "BeerAdvo-RateBeer", Domain::Product, 450, 450, 68, 450, 0.150, k(0.22, 0.25, 1, 0.10), 105));
-    v.push(base("Ds6", "Amazon-Google", Domain::Product, 1200, 2800, 1000, 4400, 0.102, k(0.58, 0.62, 1, 0.50), 106));
-    v.push(base("Ds7", "Fodors-Zagats", Domain::Restaurant, 533, 331, 110, 946, 0.116, k(0.04, 0.05, 2, 0.00), 107));
+    v.push(base(
+        "Ds1",
+        "DBLP-ACM",
+        Domain::Bibliographic,
+        1400,
+        1250,
+        900,
+        3600,
+        0.180,
+        k(0.10, 0.10, 2, 0.00),
+        101,
+    ));
+    v.push(base(
+        "Ds2",
+        "DBLP-GoogleScholar",
+        Domain::Bibliographic,
+        1400,
+        3200,
+        900,
+        4200,
+        0.186,
+        k(0.15, 0.15, 2, 0.03),
+        102,
+    ));
+    v.push(base(
+        "Ds3",
+        "iTunes-Amazon",
+        Domain::Product,
+        500,
+        500,
+        140,
+        540,
+        0.245,
+        k(0.42, 0.45, 1, 0.12),
+        103,
+    ));
+    v.push(base(
+        "Ds4",
+        "Walmart-Amazon",
+        Domain::Product,
+        1400,
+        3400,
+        800,
+        4000,
+        0.094,
+        k(0.56, 0.60, 1, 0.45),
+        104,
+    ));
+    v.push(base(
+        "Ds5",
+        "BeerAdvo-RateBeer",
+        Domain::Product,
+        450,
+        450,
+        68,
+        450,
+        0.150,
+        k(0.22, 0.25, 1, 0.10),
+        105,
+    ));
+    v.push(base(
+        "Ds6",
+        "Amazon-Google",
+        Domain::Product,
+        1200,
+        2800,
+        1000,
+        4400,
+        0.102,
+        k(0.58, 0.62, 1, 0.50),
+        106,
+    ));
+    v.push(base(
+        "Ds7",
+        "Fodors-Zagats",
+        Domain::Restaurant,
+        533,
+        331,
+        110,
+        946,
+        0.116,
+        k(0.04, 0.05, 2, 0.00),
+        107,
+    ));
 
     // Dirty variants of the first four structured sets.
     for (i, src) in v.clone().iter().take(4).enumerate() {
         let mut p = src.clone();
         p.id = ["Dd1", "Dd2", "Dd3", "Dd4"][i];
-        p.stands_for = ["DBLP-ACM (dirty)", "DBLP-GoogleScholar (dirty)", "iTunes-Amazon (dirty)", "Walmart-Amazon (dirty)"][i];
+        p.stands_for = [
+            "DBLP-ACM (dirty)",
+            "DBLP-GoogleScholar (dirty)",
+            "iTunes-Amazon (dirty)",
+            "Walmart-Amazon (dirty)",
+        ][i];
         p.knobs.dirty = true;
         p.seed = 110 + i as u64;
         v.push(p);
@@ -212,30 +294,135 @@ pub struct RawPairProfile {
 
 /// The eight raw dataset pairs of Table V (downscaled stand-ins).
 pub fn raw_pair_profiles() -> Vec<RawPairProfile> {
-    let p = |id, ln, rn, domain, ls, rs, m, noise, anchors, missing, scramble, seed| RawPairProfile {
-        id,
-        left_name: ln,
-        right_name: rn,
-        domain,
-        left_size: ls,
-        right_size: rs,
-        n_matches: m,
-        match_noise: noise,
-        anchor_attrs: anchors,
-        style_noise: 0.03,
-        missing_boost: missing,
-        match_scramble: scramble,
-        seed,
-    };
+    let p =
+        |id, ln, rn, domain, ls, rs, m, noise, anchors, missing, scramble, seed| RawPairProfile {
+            id,
+            left_name: ln,
+            right_name: rn,
+            domain,
+            left_size: ls,
+            right_size: rs,
+            n_matches: m,
+            match_noise: noise,
+            anchor_attrs: anchors,
+            style_noise: 0.03,
+            missing_boost: missing,
+            match_scramble: scramble,
+            seed,
+        };
     vec![
-        p("Dn1", "Abt", "Buy", Domain::TextualProduct, 1076, 1076, 1076, 0.60, 1, 0.0, 0.85, 201),
-        p("Dn2", "Amazon", "GP", Domain::Product, 700, 1500, 560, 0.62, 1, 0.0, 0.85, 202),
-        p("Dn3", "DBLP", "ACM", Domain::Bibliographic, 1300, 1150, 1100, 0.08, 2, 0.0, 0.0, 203),
-        p("Dn4", "IMDB", "TMDB", Domain::Movie, 1700, 2000, 650, 0.05, 2, 0.50, 0.0, 204),
-        p("Dn5", "IMDB", "TVDB", Domain::Movie, 1700, 2600, 360, 0.58, 1, 0.15, 0.5, 205),
-        p("Dn6", "TMDB", "TVDB", Domain::Movie, 2000, 2600, 360, 0.34, 1, 0.10, 0.5, 206),
-        p("Dn7", "Walmart", "Amazon", Domain::Product, 1300, 3600, 430, 0.58, 1, 0.0, 0.85, 207),
-        p("Dn8", "DBLP", "GS", Domain::Bibliographic, 1250, 4000, 1150, 0.11, 2, 0.0, 0.0, 208),
+        p(
+            "Dn1",
+            "Abt",
+            "Buy",
+            Domain::TextualProduct,
+            1076,
+            1076,
+            1076,
+            0.60,
+            1,
+            0.0,
+            0.85,
+            201,
+        ),
+        p(
+            "Dn2",
+            "Amazon",
+            "GP",
+            Domain::Product,
+            700,
+            1500,
+            560,
+            0.62,
+            1,
+            0.0,
+            0.85,
+            202,
+        ),
+        p(
+            "Dn3",
+            "DBLP",
+            "ACM",
+            Domain::Bibliographic,
+            1300,
+            1150,
+            1100,
+            0.08,
+            2,
+            0.0,
+            0.0,
+            203,
+        ),
+        p(
+            "Dn4",
+            "IMDB",
+            "TMDB",
+            Domain::Movie,
+            1700,
+            2000,
+            650,
+            0.05,
+            2,
+            0.50,
+            0.0,
+            204,
+        ),
+        p(
+            "Dn5",
+            "IMDB",
+            "TVDB",
+            Domain::Movie,
+            1700,
+            2600,
+            360,
+            0.58,
+            1,
+            0.15,
+            0.5,
+            205,
+        ),
+        p(
+            "Dn6",
+            "TMDB",
+            "TVDB",
+            Domain::Movie,
+            2000,
+            2600,
+            360,
+            0.34,
+            1,
+            0.10,
+            0.5,
+            206,
+        ),
+        p(
+            "Dn7",
+            "Walmart",
+            "Amazon",
+            Domain::Product,
+            1300,
+            3600,
+            430,
+            0.58,
+            1,
+            0.0,
+            0.85,
+            207,
+        ),
+        p(
+            "Dn8",
+            "DBLP",
+            "GS",
+            Domain::Bibliographic,
+            1250,
+            4000,
+            1150,
+            0.11,
+            2,
+            0.0,
+            0.0,
+            208,
+        ),
     ]
 }
 
@@ -255,9 +442,18 @@ mod tests {
     fn profiles_are_internally_consistent() {
         for p in established_profiles() {
             assert!(p.n_matches <= p.left_size.min(p.right_size), "{}", p.id);
-            assert!(p.positive_fraction > 0.0 && p.positive_fraction < 1.0, "{}", p.id);
+            assert!(
+                p.positive_fraction > 0.0 && p.positive_fraction < 1.0,
+                "{}",
+                p.id
+            );
             let pos = (p.labeled_pairs as f64 * p.positive_fraction).round() as usize;
-            assert!(pos <= p.n_matches, "{}: needs {pos} positives, has {} matches", p.id, p.n_matches);
+            assert!(
+                pos <= p.n_matches,
+                "{}: needs {pos} positives, has {} matches",
+                p.id,
+                p.n_matches
+            );
         }
     }
 
@@ -265,7 +461,12 @@ mod tests {
     fn dirty_profiles_mirror_structured_shapes() {
         let ps = established_profiles();
         let by_id = |id: &str| ps.iter().find(|p| p.id == id).unwrap();
-        for (s, d) in [("Ds1", "Dd1"), ("Ds2", "Dd2"), ("Ds3", "Dd3"), ("Ds4", "Dd4")] {
+        for (s, d) in [
+            ("Ds1", "Dd1"),
+            ("Ds2", "Dd2"),
+            ("Ds3", "Dd3"),
+            ("Ds4", "Dd4"),
+        ] {
             let (s, d) = (by_id(s), by_id(d));
             assert_eq!(s.left_size, d.left_size);
             assert_eq!(s.labeled_pairs, d.labeled_pairs);

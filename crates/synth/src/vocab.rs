@@ -11,14 +11,20 @@
 use rlb_util::Prng;
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "ch", "cl", "d", "dr", "f", "fl", "g", "gr", "h", "j",
-    "k", "kr", "l", "m", "n", "p", "pl", "pr", "qu", "r", "s", "sh", "sl",
-    "st", "t", "tr", "v", "w", "z",
+    "b", "br", "c", "ch", "cl", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "kr", "l", "m",
+    "n", "p", "pl", "pr", "qu", "r", "s", "sh", "sl", "st", "t", "tr", "v", "w", "z",
 ];
-const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou", "ar", "er", "or"];
-const CODAS: &[&str] = &["", "n", "m", "r", "l", "s", "t", "x", "ck", "nd", "st", "sh"];
+const NUCLEI: &[&str] = &[
+    "a", "e", "i", "o", "u", "ai", "ea", "io", "ou", "ar", "er", "or",
+];
+const CODAS: &[&str] = &[
+    "", "n", "m", "r", "l", "s", "t", "x", "ck", "nd", "st", "sh",
+];
 
 /// Generates one pseudo-word with `syllables` syllables.
+// The derefs pin `choose`'s type parameter to `&str`; without them inference
+// unifies against `push_str`'s `&str` argument and picks the unsized `str`.
+#[allow(clippy::explicit_auto_deref)]
 pub fn pseudo_word(rng: &mut Prng, syllables: usize) -> String {
     let mut w = String::new();
     for _ in 0..syllables.max(1) {
@@ -53,47 +59,109 @@ pub fn model_code(rng: &mut Prng) -> String {
 
 /// Brand names used by the product domains.
 pub const BRANDS: &[&str] = &[
-    "acme", "zenbrook", "kordia", "velano", "stratex", "numark", "halcyon",
-    "pyrex", "ovatek", "lumina", "graviton", "sablewood", "tessier", "quantrel",
+    "acme",
+    "zenbrook",
+    "kordia",
+    "velano",
+    "stratex",
+    "numark",
+    "halcyon",
+    "pyrex",
+    "ovatek",
+    "lumina",
+    "graviton",
+    "sablewood",
+    "tessier",
+    "quantrel",
 ];
 
 /// Product categories.
 pub const CATEGORIES: &[&str] = &[
-    "speakers", "headphones", "laptop", "camera", "monitor", "keyboard",
-    "printer", "router", "tablet", "phone", "projector", "microphone",
+    "speakers",
+    "headphones",
+    "laptop",
+    "camera",
+    "monitor",
+    "keyboard",
+    "printer",
+    "router",
+    "tablet",
+    "phone",
+    "projector",
+    "microphone",
 ];
 
 /// Publication venues for the bibliographic domain.
 pub const VENUES: &[&str] = &[
-    "sigmod", "vldb", "icde", "edbt", "kdd", "cikm", "wsdm", "www",
-    "tods", "tkde", "vldbj", "pods",
+    "sigmod", "vldb", "icde", "edbt", "kdd", "cikm", "wsdm", "www", "tods", "tkde", "vldbj", "pods",
 ];
 
 /// Movie genres.
 pub const GENRES: &[&str] = &[
-    "drama", "comedy", "thriller", "action", "documentary", "horror",
-    "romance", "scifi", "animation", "crime",
+    "drama",
+    "comedy",
+    "thriller",
+    "action",
+    "documentary",
+    "horror",
+    "romance",
+    "scifi",
+    "animation",
+    "crime",
 ];
 
 /// Cities for the restaurant domain.
 pub const CITIES: &[&str] = &[
-    "new york", "los angeles", "chicago", "atlanta", "san francisco",
-    "boston", "seattle", "austin", "denver", "portland",
+    "new york",
+    "los angeles",
+    "chicago",
+    "atlanta",
+    "san francisco",
+    "boston",
+    "seattle",
+    "austin",
+    "denver",
+    "portland",
 ];
 
 /// Restaurant cuisine types.
 pub const CUISINES: &[&str] = &[
-    "italian", "french", "mexican", "thai", "steakhouse", "seafood",
-    "vegan", "bbq", "diner", "fusion",
+    "italian",
+    "french",
+    "mexican",
+    "thai",
+    "steakhouse",
+    "seafood",
+    "vegan",
+    "bbq",
+    "diner",
+    "fusion",
 ];
 
 /// Generic filler words used to pad descriptions (they carry no identity
 /// signal and therefore dilute Jaccard similarity, exactly like real product
 /// descriptions do).
 pub const FILLER: &[&str] = &[
-    "new", "original", "premium", "classic", "series", "edition", "pro",
-    "ultra", "compact", "wireless", "portable", "digital", "high", "quality",
-    "performance", "design", "black", "white", "silver", "standard",
+    "new",
+    "original",
+    "premium",
+    "classic",
+    "series",
+    "edition",
+    "pro",
+    "ultra",
+    "compact",
+    "wireless",
+    "portable",
+    "digital",
+    "high",
+    "quality",
+    "performance",
+    "design",
+    "black",
+    "white",
+    "silver",
+    "standard",
 ];
 
 #[cfg(test)]

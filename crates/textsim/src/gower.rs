@@ -63,17 +63,21 @@ impl GowerSpace {
     }
 
     /// Full pairwise distance matrix (row-major, symmetric, zero diagonal).
+    ///
+    /// Rows are computed in parallel. `distance` is exactly symmetric
+    /// (`|a−b| == |b−a|` per dimension), so filling each row independently
+    /// produces the same matrix as mirroring the upper triangle.
     pub fn pairwise(&self, data: &[Vec<f64>]) -> Vec<Vec<f64>> {
         let n = data.len();
-        let mut m = vec![vec![0.0; n]; n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let d = self.distance(&data[i], &data[j]);
-                m[i][j] = d;
-                m[j][i] = d;
+        rlb_util::par::par_map_range(n, |i| {
+            let mut row = vec![0.0; n];
+            for (j, other) in data.iter().enumerate() {
+                if i != j {
+                    row[j] = self.distance(&data[i], other);
+                }
             }
-        }
-        m
+            row
+        })
     }
 }
 
@@ -108,8 +112,9 @@ mod tests {
 
     #[test]
     fn bounded_and_symmetric() {
-        let data: Vec<Vec<f64>> =
-            (0..20).map(|i| vec![i as f64, (i * i % 7) as f64]).collect();
+        let data: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
         let g = GowerSpace::fit(&data).unwrap();
         for a in &data {
             for b in &data {
@@ -126,10 +131,10 @@ mod tests {
         let g = GowerSpace::fit(&data).unwrap();
         let m = g.pairwise(&data);
         assert_eq!(m.len(), 3);
-        for i in 0..3 {
-            assert_eq!(m[i][i], 0.0);
-            for j in 0..3 {
-                assert_eq!(m[i][j], m[j][i]);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, m[j][i]);
             }
         }
         assert_eq!(m[0][1], 1.0);

@@ -24,10 +24,7 @@ where
     }
     let mut total = 0.0;
     for ta in a {
-        let best = b
-            .iter()
-            .map(|tb| sim(ta, tb))
-            .fold(0.0f64, f64::max);
+        let best = b.iter().map(|tb| sim(ta, tb)).fold(0.0f64, f64::max);
         total += best;
     }
     total / a.len() as f64
@@ -97,7 +94,12 @@ mod tests {
 
     #[test]
     fn bounded_in_unit_interval() {
-        let pairs = [("a b c", "x y"), ("", "k"), ("k k", "k"), ("q w e r", "r e w q")];
+        let pairs = [
+            ("a b c", "x y"),
+            ("", "k"),
+            ("k k", "k"),
+            ("q w e r", "r e w q"),
+        ];
         for (x, y) in pairs {
             let v = monge_elkan_sym(&toks(x), &toks(y), jaro_winkler);
             assert!((0.0..=1.0).contains(&v));

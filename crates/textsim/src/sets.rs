@@ -58,7 +58,9 @@ impl TokenSet {
 
     /// Membership test (binary search).
     pub fn contains(&self, token: &str) -> bool {
-        self.items.binary_search_by(|t| t.as_str().cmp(token)).is_ok()
+        self.items
+            .binary_search_by(|t| t.as_str().cmp(token))
+            .is_ok()
     }
 
     /// Size of the intersection with `other` (merge join).
@@ -195,7 +197,12 @@ mod tests {
         // For any pair: jaccard <= dice <= overlap and jaccard <= cosine <= overlap.
         let a = ts(&["a", "b", "c", "e", "f"]);
         let b = ts(&["b", "c", "d"]);
-        let (j, d, c, o) = (jaccard(&a, &b), dice(&a, &b), cosine(&a, &b), overlap(&a, &b));
+        let (j, d, c, o) = (
+            jaccard(&a, &b),
+            dice(&a, &b),
+            cosine(&a, &b),
+            overlap(&a, &b),
+        );
         assert!(j <= d && d <= o);
         assert!(j <= c && c <= o);
     }

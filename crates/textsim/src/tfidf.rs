@@ -6,7 +6,7 @@
 //! - sentence embeddings pool token vectors weighted by IDF so that salient
 //!   tokens dominate, mimicking what trained sentence encoders learn.
 
-use rustc_hash::FxHashMap;
+use rlb_util::hash::FxHashMap;
 
 /// Corpus-level document-frequency statistics for IDF computation.
 #[derive(Debug, Clone, Default)]
@@ -59,9 +59,7 @@ impl TfIdfModel {
             .map(|(t, f)| (t.to_owned(), f as f64 * self.idf(t)))
             .collect();
         // Deterministic order: weight desc, then token asc.
-        out.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0))
-        });
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
         out
     }
 
@@ -79,8 +77,8 @@ impl TfIdfModel {
 
 /// Small English stopword list adequate for product/bibliographic text.
 pub const STOPWORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in",
-    "is", "it", "of", "on", "or", "that", "the", "this", "to", "with",
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in", "is", "it", "of", "on",
+    "or", "that", "the", "this", "to", "with",
 ];
 
 #[cfg(test)]

@@ -61,7 +61,10 @@ mod tests {
     #[test]
     fn tokens_lowercase_and_split_on_punctuation() {
         assert_eq!(tokens("Hello, World!"), vec!["hello", "world"]);
-        assert_eq!(tokens("iPhone-13 Pro/Max"), vec!["iphone", "13", "pro", "max"]);
+        assert_eq!(
+            tokens("iPhone-13 Pro/Max"),
+            vec!["iphone", "13", "pro", "max"]
+        );
     }
 
     #[test]
@@ -96,11 +99,14 @@ mod tests {
 
     #[test]
     fn qgrams_count_matches_length() {
-        // |padded| - q + 1 grams for q >= 1.
-        let text = "record linkage";
-        for q in 2..=5 {
-            let n_chars = text.len() + 2 * (q - 1);
-            assert_eq!(qgrams(text, q).len(), n_chars - q + 1);
+        // |padded| - q + 1 grams for q >= 1, counted in chars, not bytes —
+        // the two diverge on non-ASCII input.
+        for text in ["record linkage", "café münchen", "北京 linkage"] {
+            let normalized = tokens(text).join(" ");
+            for q in 2..=5 {
+                let n_chars = normalized.chars().count() + 2 * (q - 1);
+                assert_eq!(qgrams(text, q).len(), n_chars - q + 1, "{text:?} q={q}");
+            }
         }
     }
 

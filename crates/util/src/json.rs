@@ -1,0 +1,860 @@
+//! Minimal JSON support: a [`Value`] tree, a strict parser, compact and
+//! pretty writers, and the [`ToJson`] / [`FromJson`] conversion traits.
+//!
+//! This replaces the `serde`/`serde_json` dependency for the handful of
+//! report types the workspace persists (assessments, matcher rosters,
+//! benchmark summaries, cached tasks). The subset is deliberate:
+//!
+//! - objects preserve insertion order (`Vec<(String, Value)>`), so written
+//!   files are stable and diffable;
+//! - numbers are `f64`; integers up to 2⁵³ round-trip exactly and are
+//!   written without a fractional part (every count the workspace stores is
+//!   far below that);
+//! - non-finite floats serialize as `null`, mirroring `serde_json`;
+//! - parsing is strict: trailing garbage, lone surrogates, control
+//!   characters in strings and over-deep nesting are errors.
+//!
+//! Struct types opt in with the [`impl_json!`](crate::impl_json) macro,
+//! which generates field-by-field `ToJson`/`FromJson` impls.
+
+use std::fmt::Write as _;
+
+/// Maximum nesting depth accepted by the parser (arrays + objects).
+const MAX_DEPTH: usize = 128;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; integers are written without a decimal point.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order is preserved on write.
+    Obj(Vec<(String, Value)>),
+}
+
+/// Error raised by parsing or by [`FromJson`] conversions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    msg: String,
+}
+
+impl JsonError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        JsonError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Value {
+    /// Parses a complete JSON document (rejecting trailing input).
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on objects; `None` on missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Compact serialization (no whitespace).
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// Pretty serialization (two-space indent, trailing newline).
+    pub fn to_json_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => write_number(out, *n),
+            Value::Str(s) => write_string(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Obj(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // Integers in the exactly-representable range print without ".0" so the
+    // files read as counts; everything else uses Rust's shortest
+    // round-tripping float formatting.
+    if n == n.trunc() && n.abs() < 9_007_199_254_740_992.0 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("document nests too deeply"));
+        }
+        match self.bytes.get(self.pos) {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b']') {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let value = self.value(depth + 1)?;
+                    fields.push((key, value));
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(_) => self.number(),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| JsonError::new(format!("invalid number `{text}` at byte {start}")))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = Vec::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| self.err("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return String::from_utf8(out)
+                        .map_err(|_| JsonError::new("invalid UTF-8 in string"));
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'n' => out.push(b'\n'),
+                        b'r' => out.push(b'\r'),
+                        b't' => out.push(b'\t'),
+                        b'b' => out.push(0x08),
+                        b'f' => out.push(0x0C),
+                        b'u' => {
+                            let c = self.unicode_escape()?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        }
+                        other => {
+                            return Err(self.err(&format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                0x00..=0x1F => return Err(self.err("control character in string")),
+                _ => {
+                    out.push(b);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let text = std::str::from_utf8(slice).map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.hex4()?;
+        let code = if (0xD800..=0xDBFF).contains(&first) {
+            // High surrogate: a low surrogate escape must follow.
+            if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                return Err(self.err("lone high surrogate"));
+            }
+            self.pos += 2;
+            let second = self.hex4()?;
+            if !(0xDC00..=0xDFFF).contains(&second) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+        } else if (0xDC00..=0xDFFF).contains(&first) {
+            return Err(self.err("lone low surrogate"));
+        } else {
+            first
+        };
+        char::from_u32(code).ok_or_else(|| self.err("invalid unicode escape"))
+    }
+}
+
+/// Conversion of a Rust value into a JSON [`Value`].
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Value;
+}
+
+/// Conversion of a JSON [`Value`] back into a Rust value.
+pub trait FromJson: Sized {
+    /// Converts from a parsed value.
+    fn from_json(v: &Value) -> Result<Self, JsonError>;
+
+    /// Converts an object member; the default errors on a missing field,
+    /// while `Option<T>` treats it as `None`.
+    #[doc(hidden)]
+    fn from_json_field(v: Option<&Value>, name: &str) -> Result<Self, JsonError> {
+        match v {
+            Some(v) => {
+                Self::from_json(v).map_err(|e| JsonError::new(format!("field `{name}`: {e}")))
+            }
+            None => Err(JsonError::new(format!("missing field `{name}`"))),
+        }
+    }
+}
+
+/// Serializes any [`ToJson`] value compactly.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_json_string()
+}
+
+/// Serializes any [`ToJson`] value with pretty indentation.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_json_string_pretty()
+}
+
+/// Parses a document and converts it to `T`.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&Value::parse(text)?)
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(JsonError::new("expected bool")),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(JsonError::new("expected string")),
+        }
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_f64().ok_or_else(|| JsonError::new("expected number"))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Num(f64::from(*self))
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(f64::from_json(v)? as f32)
+    }
+}
+
+macro_rules! impl_json_int {
+    ($($t:ty),+) => {
+        $(
+            impl ToJson for $t {
+                fn to_json(&self) -> Value {
+                    Value::Num(*self as f64)
+                }
+            }
+
+            impl FromJson for $t {
+                fn from_json(v: &Value) -> Result<Self, JsonError> {
+                    let n = v.as_f64().ok_or_else(|| JsonError::new("expected number"))?;
+                    if n.fract() != 0.0 {
+                        return Err(JsonError::new(format!("expected integer, got {n}")));
+                    }
+                    if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                        return Err(JsonError::new(format!(
+                            "{n} out of range for {}",
+                            stringify!($t)
+                        )));
+                    }
+                    Ok(n as $t)
+                }
+            }
+        )+
+    };
+}
+
+impl_json_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+
+    fn from_json_field(v: Option<&Value>, name: &str) -> Result<Self, JsonError> {
+        match v {
+            None => Ok(None),
+            Some(v) => {
+                Self::from_json(v).map_err(|e| JsonError::new(format!("field `{name}`: {e}")))
+            }
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_json).collect(),
+            _ => Err(JsonError::new("expected array")),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Arr(items) if items.len() == 2 => {
+                Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+            }
+            _ => Err(JsonError::new("expected two-element array")),
+        }
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (*self).to_json()
+    }
+}
+
+/// Generates [`ToJson`]/[`FromJson`] impls for a plain struct, serializing
+/// the listed fields as a JSON object in declaration order — the in-tree
+/// stand-in for `#[derive(Serialize, Deserialize)]`.
+///
+/// ```
+/// #[derive(Debug, PartialEq)]
+/// struct Point {
+///     x: f64,
+///     y: f64,
+/// }
+/// rlb_util::impl_json!(Point { x, y });
+///
+/// let p = Point { x: 1.5, y: -2.0 };
+/// let back: Point = rlb_util::json::from_str(&rlb_util::json::to_string(&p)).unwrap();
+/// assert_eq!(back, p);
+/// ```
+#[macro_export]
+macro_rules! impl_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Value {
+                $crate::json::Value::Obj(vec![
+                    $(
+                        (
+                            stringify!($field).to_string(),
+                            $crate::json::ToJson::to_json(&self.$field),
+                        ),
+                    )+
+                ])
+            }
+        }
+
+        impl $crate::json::FromJson for $ty {
+            fn from_json(
+                v: &$crate::json::Value,
+            ) -> ::std::result::Result<Self, $crate::json::JsonError> {
+                if !matches!(v, $crate::json::Value::Obj(_)) {
+                    return Err($crate::json::JsonError::new(concat!(
+                        "expected object for ",
+                        stringify!($ty)
+                    )));
+                }
+                Ok(Self {
+                    $(
+                        $field: $crate::json::FromJson::from_json_field(
+                            v.get(stringify!($field)),
+                            stringify!($field),
+                        )?,
+                    )+
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Value::parse("null").unwrap(), Value::Null);
+        assert_eq!(Value::parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(Value::parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(Value::parse("3.25").unwrap(), Value::Num(3.25));
+        assert_eq!(Value::parse("-17").unwrap(), Value::Num(-17.0));
+        assert_eq!(Value::parse("1e3").unwrap(), Value::Num(1000.0));
+        assert_eq!(Value::parse("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = Value::parse(r#"{"a": [1, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Value::as_str), Some("x"));
+        match v.get("a") {
+            Some(Value::Arr(items)) => {
+                assert_eq!(items[0], Value::Num(1.0));
+                assert_eq!(items[1].get("b"), Some(&Value::Null));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "quote\" backslash\\ newline\n tab\t unicode é π control\u{01}";
+        let json = Value::Str(original.into()).to_json_string();
+        assert_eq!(Value::parse(&json).unwrap(), Value::Str(original.into()));
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogate_pairs() {
+        assert_eq!(Value::parse(r#""é""#).unwrap(), Value::Str("é".into()));
+        assert_eq!(Value::parse(r#""😀""#).unwrap(), Value::Str("😀".into()));
+        assert!(Value::parse(r#""\ud83d""#).is_err(), "lone high surrogate");
+        assert!(Value::parse(r#""\ude00""#).is_err(), "lone low surrogate");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "tru",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "[1] x",
+            "\"unterminated",
+            "{\"a\":1,}",
+            "nan",
+            "--1",
+        ] {
+            assert!(Value::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_over_deep_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(Value::parse(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(Value::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn numbers_roundtrip_exactly() {
+        for n in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            0.1,
+            1.0 / 3.0,
+            1e-12,
+            123456789.0,
+            0.9999999999999999,
+        ] {
+            let json = Value::Num(n).to_json_string();
+            let back = Value::parse(&json).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), (n + 0.0).to_bits(), "{n} via {json}");
+        }
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(Value::Num(42.0).to_json_string(), "42");
+        assert_eq!(Value::Num(-7.0).to_json_string(), "-7");
+        assert_eq!(Value::Num(2.5).to_json_string(), "2.5");
+    }
+
+    #[test]
+    fn non_finite_serializes_as_null() {
+        assert_eq!(Value::Num(f64::NAN).to_json_string(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).to_json_string(), "null");
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = Value::parse(r#"{"name":"t","xs":[1,2,3],"empty":[],"obj":{}}"#).unwrap();
+        let pretty = v.to_json_string_pretty();
+        assert!(pretty.contains("\n  \"name\": \"t\""), "{pretty}");
+        assert_eq!(Value::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn option_and_vec_conversions() {
+        let some: Option<f64> = Some(1.5);
+        let none: Option<f64> = None;
+        assert_eq!(to_string(&some), "1.5");
+        assert_eq!(to_string(&none), "null");
+        assert_eq!(from_str::<Option<f64>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<f64>>("2.5").unwrap(), Some(2.5));
+        let xs: Vec<u32> = from_str("[1,2,3]").unwrap();
+        assert_eq!(xs, vec![1, 2, 3]);
+        assert!(from_str::<Vec<u32>>("[1.5]").is_err());
+        assert!(from_str::<u32>("-1").is_err());
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        name: String,
+        count: usize,
+        score: f64,
+        maybe: Option<f64>,
+        tags: Vec<String>,
+    }
+    crate::impl_json!(Demo {
+        name,
+        count,
+        score,
+        maybe,
+        tags
+    });
+
+    #[test]
+    fn struct_macro_roundtrips() {
+        let d = Demo {
+            name: "bench \"x\"".into(),
+            count: 12,
+            score: 0.8123456789012345,
+            maybe: None,
+            tags: vec!["a".into(), "b".into()],
+        };
+        let json = to_string(&d);
+        assert!(json.contains("\"count\":12"), "{json}");
+        let back: Demo = from_str(&json).unwrap();
+        assert_eq!(back, d);
+        // Pretty form parses identically.
+        let back: Demo = from_str(&to_string_pretty(&d)).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn struct_macro_reports_missing_fields() {
+        let err = from_str::<Demo>(r#"{"name":"x"}"#).unwrap_err();
+        assert!(err.to_string().contains("count"), "{err}");
+    }
+
+    #[test]
+    fn tuple_pairs_roundtrip() {
+        let pair = ("label".to_string(), 0.25f64);
+        let back: (String, f64) = from_str(&to_string(&pair)).unwrap();
+        assert_eq!(back, pair);
+    }
+}

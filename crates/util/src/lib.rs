@@ -1,17 +1,25 @@
 //! Shared utilities for the record-linkage benchmark re-evaluation workspace.
 //!
-//! This crate deliberately stays tiny: a deterministic random-number façade,
-//! summary statistics, top-k selection, and the few pieces of dense linear
-//! algebra the complexity measures need. Everything downstream (similarity
-//! measures, matchers, blocking, the difficulty measures themselves) builds
-//! on these primitives, so they are written for determinism first: every
-//! experiment in the paper reproduction is seeded.
+//! This crate is the workspace's entire runtime: a deterministic
+//! random-number façade, summary statistics, top-k selection, the few pieces
+//! of dense linear algebra the complexity measures need, plus the std-only
+//! replacements for what used to be external crates — [`hash`] (FxHash maps
+//! and sets), [`json`] (a minimal JSON codec with `ToJson`/`FromJson`), and
+//! [`par`] (scoped-thread data parallelism). The workspace builds with zero
+//! crates.io dependencies; everything downstream builds on these primitives,
+//! written for determinism first: every experiment in the paper reproduction
+//! is seeded, and every parallel loop preserves input order.
 
+pub mod hash;
+pub mod json;
 pub mod linalg;
+pub mod par;
 pub mod rng;
 pub mod select;
 pub mod stats;
 
+pub use hash::{FxHashMap, FxHashSet};
+pub use json::{FromJson, ToJson};
 pub use rng::Prng;
 
 /// Workspace-wide error type.
@@ -24,7 +32,11 @@ pub enum Error {
     /// An input collection was empty where at least one element is required.
     EmptyInput(&'static str),
     /// Two collections that must agree in length did not.
-    LengthMismatch { expected: usize, actual: usize, what: &'static str },
+    LengthMismatch {
+        expected: usize,
+        actual: usize,
+        what: &'static str,
+    },
     /// A parameter was outside its documented domain.
     InvalidParameter(String),
     /// A model was used before `fit` (or an equivalent) succeeded.
@@ -37,8 +49,15 @@ impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Error::EmptyInput(what) => write!(f, "empty input: {what}"),
-            Error::LengthMismatch { expected, actual, what } => {
-                write!(f, "length mismatch for {what}: expected {expected}, got {actual}")
+            Error::LengthMismatch {
+                expected,
+                actual,
+                what,
+            } => {
+                write!(
+                    f,
+                    "length mismatch for {what}: expected {expected}, got {actual}"
+                )
             }
             Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             Error::NotFitted(what) => write!(f, "{what} used before fitting"),
@@ -58,7 +77,11 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = Error::LengthMismatch { expected: 3, actual: 2, what: "labels" };
+        let e = Error::LengthMismatch {
+            expected: 3,
+            actual: 2,
+            what: "labels",
+        };
         assert!(e.to_string().contains("labels"));
         assert!(e.to_string().contains('3'));
         let e = Error::EmptyInput("pairs");

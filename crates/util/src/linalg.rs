@@ -101,7 +101,10 @@ impl Sym2 {
             c += ridge;
             det = a * c - b * b;
         }
-        [(c * rhs[0] - b * rhs[1]) / det, (a * rhs[1] - b * rhs[0]) / det]
+        [
+            (c * rhs[0] - b * rhs[1]) / det,
+            (a * rhs[1] - b * rhs[0]) / det,
+        ]
     }
 
     /// Quadratic form `x^T M x`.
@@ -127,7 +130,11 @@ pub fn mean2(points: &[[f64; 2]]) -> [f64; 2] {
 /// Scatter (covariance × n) matrix of 2-D points around their mean.
 pub fn scatter2(points: &[[f64; 2]]) -> Sym2 {
     let m = mean2(points);
-    let mut s = Sym2 { a: 0.0, b: 0.0, c: 0.0 };
+    let mut s = Sym2 {
+        a: 0.0,
+        b: 0.0,
+        c: 0.0,
+    };
     for p in points {
         let dx = p[0] - m[0];
         let dy = p[1] - m[1];
@@ -159,7 +166,11 @@ mod tests {
 
     #[test]
     fn sym2_solve_roundtrip() {
-        let m = Sym2 { a: 4.0, b: 1.0, c: 3.0 };
+        let m = Sym2 {
+            a: 4.0,
+            b: 1.0,
+            c: 3.0,
+        };
         let x = m.solve([5.0, 4.0]);
         let back = [4.0 * x[0] + 1.0 * x[1], 1.0 * x[0] + 3.0 * x[1]];
         assert!((back[0] - 5.0).abs() < 1e-9);
@@ -168,7 +179,11 @@ mod tests {
 
     #[test]
     fn sym2_singular_does_not_blow_up() {
-        let m = Sym2 { a: 1.0, b: 1.0, c: 1.0 }; // det = 0
+        let m = Sym2 {
+            a: 1.0,
+            b: 1.0,
+            c: 1.0,
+        }; // det = 0
         let x = m.solve([1.0, 1.0]);
         assert!(x[0].is_finite() && x[1].is_finite());
     }

@@ -1,0 +1,223 @@
+//! Scoped-thread data parallelism on plain `std` — no crossbeam, no rayon.
+//!
+//! The workloads this workspace parallelizes (per-pair similarity scoring,
+//! per-record tokenization, pairwise distance rows, independent matcher
+//! runs) are embarrassingly parallel loops whose outputs must stay in input
+//! order so every seeded experiment remains byte-for-byte reproducible.
+//! [`par_map`] and friends guarantee exactly that: element `i` of the result
+//! is always `f(items[i])`, regardless of thread count or scheduling —
+//! workers race only over *which* chunk they claim, never over what a chunk
+//! computes.
+//!
+//! The worker count comes from [`thread_count`]:
+//! `std::thread::available_parallelism`, overridable via the `RLB_THREADS`
+//! environment variable (`RLB_THREADS=1` forces sequential execution, which
+//! the timing harness uses as its baseline).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Inputs shorter than this run sequentially — thread spawn latency would
+/// dominate the work.
+const SEQUENTIAL_CUTOFF: usize = 32;
+
+/// Number of worker threads: the `RLB_THREADS` environment variable if set
+/// to a positive integer, otherwise `std::thread::available_parallelism()`.
+pub fn thread_count() -> usize {
+    if let Ok(raw) = std::env::var("RLB_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parallel `(0..n).map(f).collect()` with order-preserving output.
+///
+/// Work is claimed in chunks off a shared atomic counter, so uneven
+/// per-element cost still balances across workers.
+pub fn par_map_range<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = thread_count().min(n.max(1));
+    if threads <= 1 || n < SEQUENTIAL_CUTOFF {
+        return (0..n).map(f).collect();
+    }
+    // ~8 chunks per worker keeps the claim overhead negligible while still
+    // smoothing out skewed per-element cost.
+    let chunk = n.div_ceil(threads * 8).max(1);
+    let next = AtomicUsize::new(0);
+    let mut parts: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        local.push((start, (start..end).map(&f).collect::<Vec<R>>()));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    parts.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut part) in parts {
+        out.append(&mut part);
+    }
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+/// Parallel `items.iter().map(f).collect()` with order-preserving output.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_range(items.len(), |i| f(&items[i]))
+}
+
+/// Applies `f` to each `chunk_size`-sized window of `items` in parallel
+/// (last chunk may be shorter); `f` receives the chunk index and the slice,
+/// and results come back in chunk order.
+pub fn par_chunks<T, R, F>(items: &[T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    assert!(chunk_size > 0, "par_chunks requires a positive chunk size");
+    let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+    par_map_range(chunks.len(), |i| f(i, chunks[i]))
+}
+
+/// Parallel `items.into_iter().map(f).collect()` for owned, mutable work
+/// items (e.g. fitting a roster of matchers). Items are split into one
+/// contiguous slab per worker; output order matches input order.
+pub fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = thread_count().min(n.max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let per = n.div_ceil(threads);
+    let mut slabs: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let slab: Vec<T> = it.by_ref().take(per).collect();
+        if slab.is_empty() {
+            break;
+        }
+        slabs.push(slab);
+    }
+    let f = &f;
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = slabs
+            .into_iter()
+            .map(|slab| scope.spawn(move || slab.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("par_map_vec worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 0xA5A5).collect();
+        let par = par_map(&items, |&x| x.wrapping_mul(x) ^ 0xA5A5);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_map_is_deterministic_across_runs() {
+        let items: Vec<usize> = (0..5_000).collect();
+        let a = par_map(&items, |&x| (x as f64).sqrt().sin());
+        let b = par_map(&items, |&x| (x as f64).sqrt().sin());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_map_handles_small_and_empty_inputs() {
+        assert_eq!(par_map::<u32, u32, _>(&[], |&x| x), Vec::<u32>::new());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+        let three: Vec<u32> = par_map(&[1u32, 2, 3], |&x| x * 2);
+        assert_eq!(three, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_map_range_preserves_index_order() {
+        let out = par_map_range(1_000, |i| i * 3);
+        assert_eq!(out, (0..1_000).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_indices_visited_exactly_once() {
+        let seen = Mutex::new(Vec::new());
+        let _ = par_map_range(2_048, |i| {
+            seen.lock().unwrap().push(i);
+            i
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 2_048);
+        assert_eq!(seen.iter().copied().collect::<HashSet<_>>().len(), 2_048);
+    }
+
+    #[test]
+    fn par_chunks_covers_everything_in_order() {
+        let items: Vec<u32> = (0..257).collect();
+        let sums = par_chunks(&items, 10, |idx, chunk| (idx, chunk.iter().sum::<u32>()));
+        assert_eq!(sums.len(), 26);
+        assert_eq!(sums[0], (0, (0..10).sum()));
+        assert_eq!(sums[25], (25, (250..257).sum()));
+        let total: u32 = sums.iter().map(|&(_, s)| s).sum();
+        assert_eq!(total, (0..257).sum());
+    }
+
+    #[test]
+    fn par_map_vec_consumes_and_preserves_order() {
+        let matchers: Vec<String> = (0..100).map(|i| format!("m{i}")).collect();
+        let out = par_map_vec(matchers, |mut m| {
+            m.push('!');
+            m
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[0], "m0!");
+        assert_eq!(out[99], "m99!");
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

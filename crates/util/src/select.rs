@@ -28,7 +28,9 @@ impl<T> PartialOrd for Entry<T> {
 impl<T> Ord for Entry<T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Total order; NaN scores are rejected at insertion time.
-        self.score.partial_cmp(&other.score).expect("NaN score in top-k selection")
+        self.score
+            .partial_cmp(&other.score)
+            .expect("NaN score in top-k selection")
     }
 }
 
@@ -44,7 +46,10 @@ pub struct TopK<T> {
 impl<T> TopK<T> {
     /// Selector for the `k` largest-scoring items. `k == 0` retains nothing.
     pub fn new(k: usize) -> Self {
-        TopK { k, heap: BinaryHeap::with_capacity(k + 1) }
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// Offers one item. NaN scores are ignored.
@@ -74,8 +79,11 @@ impl<T> TopK<T> {
 
     /// Retained `(score, item)` pairs, best score first.
     pub fn into_sorted(self) -> Vec<(f64, T)> {
-        let mut v: Vec<(f64, T)> =
-            self.heap.into_iter().map(|r| (r.0.score, r.0.item)).collect();
+        let mut v: Vec<(f64, T)> = self
+            .heap
+            .into_iter()
+            .map(|r| (r.0.score, r.0.item))
+            .collect();
         v.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN survived top-k"));
         v
     }

@@ -42,8 +42,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         a.flags.by_complexity
     );
     let p = a.practical.expect("roster provided");
-    println!("non-linear boost    : {:+.1}% (easy < 5% → {})", p.nlb * 100.0, a.flags.by_nlb);
-    println!("learning margin     : {:.1}% (easy < 5% → {})", p.lbm * 100.0, a.flags.by_lbm);
+    println!(
+        "non-linear boost    : {:+.1}% (easy < 5% → {})",
+        p.nlb * 100.0,
+        a.flags.by_nlb
+    );
+    println!(
+        "learning margin     : {:.1}% (easy < 5% → {})",
+        p.lbm * 100.0,
+        a.flags.by_lbm
+    );
     println!(
         "verdict             : {}",
         if a.challenging() {

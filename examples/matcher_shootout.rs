@@ -13,25 +13,43 @@ use rlb_matchers::{Esde, EsdeVariant, Magellan, MagellanModel, ZeroEr};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let easy = rlb_core::generate_task(
-        &rlb_core::established_profiles().into_iter().find(|p| p.id == "Ds7").expect("Ds7"),
+        &rlb_core::established_profiles()
+            .into_iter()
+            .find(|p| p.id == "Ds7")
+            .expect("Ds7"),
     );
     let hard = rlb_core::generate_task(
-        &rlb_core::established_profiles().into_iter().find(|p| p.id == "Ds6").expect("Ds6"),
+        &rlb_core::established_profiles()
+            .into_iter()
+            .find(|p| p.id == "Ds6")
+            .expect("Ds6"),
     );
 
     let mut lineup: Vec<(&str, Box<dyn Matcher>)> = vec![
         ("linear   SA-ESDE", Box::new(Esde::new(EsdeVariant::SA))),
         ("linear   SB-ESDE", Box::new(Esde::new(EsdeVariant::SB))),
-        ("ml       Magellan-RF", Box::new(Magellan::new(MagellanModel::RandomForest, 7))),
+        (
+            "ml       Magellan-RF",
+            Box::new(Magellan::new(MagellanModel::RandomForest, 7)),
+        ),
         ("ml       ZeroER (unsupervised)", Box::new(ZeroEr::new())),
-        ("dl       DeepMatcher (15)", Box::new(DeepMatcherSim::new(DeepConfig::with_epochs(15)))),
+        (
+            "dl       DeepMatcher (15)",
+            Box::new(DeepMatcherSim::new(DeepConfig::with_epochs(15))),
+        ),
         (
             "dl       EMTransformer-R (15)",
-            Box::new(EmTransformerSim::new(Variant::Roberta, DeepConfig::with_epochs(15))),
+            Box::new(EmTransformerSim::new(
+                Variant::Roberta,
+                DeepConfig::with_epochs(15),
+            )),
         ),
     ];
 
-    println!("{:34} {:>10} {:>10} {:>8}", "matcher", "easy Ds7", "hard Ds6", "drop");
+    println!(
+        "{:34} {:>10} {:>10} {:>8}",
+        "matcher", "easy Ds7", "hard Ds6", "drop"
+    );
     for (label, matcher) in lineup.iter_mut() {
         let fe = evaluate(matcher.as_mut(), &easy)?.f1;
         let fh = evaluate(matcher.as_mut(), &hard)?.f1;

@@ -27,9 +27,8 @@ fn all_established_profiles_generate_valid_tasks() {
 #[test]
 fn ds7_is_trivially_easy_and_ds6_is_not() {
     let profiles = rlb_core::established_profiles();
-    let by_id = |id: &str| {
-        rlb_core::generate_task(profiles.iter().find(|p| p.id == id).expect("id"))
-    };
+    let by_id =
+        |id: &str| rlb_core::generate_task(profiles.iter().find(|p| p.id == id).expect("id"));
     let easy = degree_of_linearity(&by_id("Ds7"));
     let hard = degree_of_linearity(&by_id("Ds6"));
     assert!(easy.max_f1() > 0.95, "Ds7 linearity {}", easy.max_f1());
@@ -46,7 +45,11 @@ fn assessment_pipeline_flags_easy_and_hard_correctly() {
     let mut rf = Magellan::new(MagellanModel::RandomForest, 7);
     let rf_f1 = evaluate(&mut rf, &task).expect("magellan runs").f1;
     let runs = vec![
-        rlb_core::MatcherRun { name: "SA-ESDE".into(), family: MatcherFamily::Linear, f1: Some(sa_f1) },
+        rlb_core::MatcherRun {
+            name: "SA-ESDE".into(),
+            family: MatcherFamily::Linear,
+            f1: Some(sa_f1),
+        },
         rlb_core::MatcherRun {
             name: "Magellan-RF".into(),
             family: MatcherFamily::NonLinearMl,
@@ -64,20 +67,21 @@ fn dirty_tasks_preserve_schema_agnostic_difficulty() {
     // change the token multiset, so the schema-agnostic linearity stays
     // close to the structured counterpart's (paper Fig. 1, Ds1 vs Dd1).
     let profiles = rlb_core::established_profiles();
-    let by_id = |id: &str| {
-        rlb_core::generate_task(profiles.iter().find(|p| p.id == id).expect("id"))
-    };
+    let by_id =
+        |id: &str| rlb_core::generate_task(profiles.iter().find(|p| p.id == id).expect("id"));
     let structured = degree_of_linearity(&by_id("Ds1")).max_f1();
     let dirty = degree_of_linearity(&by_id("Dd1")).max_f1();
-    assert!((structured - dirty).abs() < 0.1, "Ds1 {structured} vs Dd1 {dirty}");
+    assert!(
+        (structured - dirty).abs() < 0.1,
+        "Ds1 {structured} vs Dd1 {dirty}"
+    );
 }
 
 #[test]
 fn schema_based_linear_matcher_suffers_from_dirt() {
     let profiles = rlb_core::established_profiles();
-    let by_id = |id: &str| {
-        rlb_core::generate_task(profiles.iter().find(|p| p.id == id).expect("id"))
-    };
+    let by_id =
+        |id: &str| rlb_core::generate_task(profiles.iter().find(|p| p.id == id).expect("id"));
     let run = |task: &rlb_core::MatchingTask| {
         let mut m = Esde::new(EsdeVariant::SB);
         evaluate(&mut m, task).expect("esde").f1

@@ -1,171 +1,248 @@
 //! Property-based tests over the core invariants of the difficulty
 //! framework: similarity bounds, threshold-sweep optimality, metric
 //! identities, and distance-space properties.
+//!
+//! Each test draws a fixed number of random cases from a seeded in-tree
+//! [`Prng`], so failures are reproducible from the case index alone and the
+//! suite needs no external property-testing framework.
 
-use proptest::prelude::*;
 use rlb_matchers::esde::sweep_threshold;
 use rlb_ml::metrics::{confusion, f1_score};
 use rlb_textsim::sets::{cosine, dice, jaccard, overlap};
 use rlb_textsim::TokenSet;
+use rlb_util::Prng;
 
-fn token_vec() -> impl Strategy<Value = Vec<String>> {
-    prop::collection::vec("[a-z]{1,6}", 0..12)
+/// Cases per property — comparable to a small proptest budget while keeping
+/// the suite fast.
+const CASES: usize = 256;
+
+/// A random lowercase word of 1..=6 letters.
+fn word(rng: &mut Prng) -> String {
+    (0..rng.range(1, 7))
+        .map(|_| (b'a' + rng.index(26) as u8) as char)
+        .collect()
 }
 
-proptest! {
-    // --- token-set similarities -----------------------------------------
+/// A random token vector of `lo..hi` words.
+fn token_vec(rng: &mut Prng, lo: usize, hi: usize) -> Vec<String> {
+    (0..rng.range(lo, hi)).map(|_| word(rng)).collect()
+}
 
-    #[test]
-    fn similarities_bounded_and_symmetric(a in token_vec(), b in token_vec()) {
-        let ta = TokenSet::new(a);
-        let tb = TokenSet::new(b);
+/// A random string over an alphabet, up to `max` chars (may be empty).
+fn text(rng: &mut Prng, alphabet: &[u8], max: usize) -> String {
+    (0..rng.index(max + 1))
+        .map(|_| *rng.choose(alphabet) as char)
+        .collect()
+}
+
+// --- token-set similarities -----------------------------------------------
+
+#[test]
+fn similarities_bounded_and_symmetric() {
+    let mut rng = Prng::seed_from_u64(0x51_01);
+    for case in 0..CASES {
+        let ta = TokenSet::new(token_vec(&mut rng, 0, 12));
+        let tb = TokenSet::new(token_vec(&mut rng, 0, 12));
         for f in [cosine, jaccard, dice, overlap] {
             let ab = f(&ta, &tb);
             let ba = f(&tb, &ta);
-            prop_assert!((0.0..=1.0).contains(&ab));
-            prop_assert!((ab - ba).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&ab), "case {case}: {ab}");
+            assert!((ab - ba).abs() < 1e-12, "case {case}: {ab} vs {ba}");
         }
     }
+}
 
-    #[test]
-    fn similarity_ordering(a in token_vec(), b in token_vec()) {
-        let ta = TokenSet::new(a);
-        let tb = TokenSet::new(b);
-        // jaccard <= dice <= overlap and jaccard <= cosine <= overlap.
-        let (j, d, c, o) = (jaccard(&ta, &tb), dice(&ta, &tb), cosine(&ta, &tb), overlap(&ta, &tb));
-        prop_assert!(j <= d + 1e-12);
-        prop_assert!(d <= o + 1e-12);
-        prop_assert!(j <= c + 1e-12);
-        prop_assert!(c <= o + 1e-12);
+#[test]
+fn similarity_ordering() {
+    // jaccard <= dice <= overlap and jaccard <= cosine <= overlap.
+    let mut rng = Prng::seed_from_u64(0x51_02);
+    for case in 0..CASES {
+        let ta = TokenSet::new(token_vec(&mut rng, 0, 12));
+        let tb = TokenSet::new(token_vec(&mut rng, 0, 12));
+        let (j, d, c, o) = (
+            jaccard(&ta, &tb),
+            dice(&ta, &tb),
+            cosine(&ta, &tb),
+            overlap(&ta, &tb),
+        );
+        assert!(j <= d + 1e-12, "case {case}: j {j} d {d}");
+        assert!(d <= o + 1e-12, "case {case}: d {d} o {o}");
+        assert!(j <= c + 1e-12, "case {case}: j {j} c {c}");
+        assert!(c <= o + 1e-12, "case {case}: c {c} o {o}");
     }
+}
 
-    #[test]
-    fn identity_similarity_is_one(a in prop::collection::vec("[a-z]{1,6}", 1..12)) {
-        let ta = TokenSet::new(a);
+#[test]
+fn identity_similarity_is_one() {
+    let mut rng = Prng::seed_from_u64(0x51_03);
+    for case in 0..CASES {
+        let ta = TokenSet::new(token_vec(&mut rng, 1, 12));
         for f in [cosine, jaccard, dice, overlap] {
-            prop_assert!((f(&ta, &ta) - 1.0).abs() < 1e-12);
+            assert!((f(&ta, &ta) - 1.0).abs() < 1e-12, "case {case}");
         }
     }
+}
 
-    // --- edit similarities ------------------------------------------------
+// --- edit similarities ----------------------------------------------------
 
-    #[test]
-    fn edit_similarities_bounded(a in "[a-zA-Z0-9 ]{0,12}", b in "[a-zA-Z0-9 ]{0,12}") {
+#[test]
+fn edit_similarities_bounded() {
+    let alphabet: Vec<u8> = (b'a'..=b'z')
+        .chain(b'A'..=b'Z')
+        .chain(b'0'..=b'9')
+        .chain([b' '])
+        .collect();
+    let mut rng = Prng::seed_from_u64(0x51_04);
+    for case in 0..CASES {
+        let a = text(&mut rng, &alphabet, 12);
+        let b = text(&mut rng, &alphabet, 12);
         for f in [
             rlb_textsim::edit::levenshtein,
             rlb_textsim::edit::jaro,
             rlb_textsim::edit::jaro_winkler,
         ] {
             let v = f(&a, &b);
-            prop_assert!((0.0..=1.0).contains(&v), "{a:?} vs {b:?}: {v}");
-        }
-    }
-
-    #[test]
-    fn levenshtein_triangle_inequality(
-        a in "[a-z]{0,8}",
-        b in "[a-z]{0,8}",
-        c in "[a-z]{0,8}",
-    ) {
-        use rlb_textsim::edit::levenshtein_distance as lev;
-        prop_assert!(lev(&a, &c) <= lev(&a, &b) + lev(&b, &c));
-    }
-
-    // --- threshold sweep (Algorithms 1 & 2 inner loop) --------------------
-
-    #[test]
-    fn sweep_threshold_is_optimal_over_grid(
-        data in prop::collection::vec((0.0f64..1.0, any::<bool>()), 1..60)
-    ) {
-        let scores: Vec<f64> = data.iter().map(|(s, _)| *s).collect();
-        let labels: Vec<bool> = data.iter().map(|(_, l)| *l).collect();
-        let (best_f1, best_t) = sweep_threshold(&scores, &labels);
-        prop_assert!((0.0..=1.0).contains(&best_f1));
-        // No grid threshold beats the reported best.
-        for step in 1..100 {
-            let t = step as f64 / 100.0;
-            let preds: Vec<bool> = scores.iter().map(|&s| t <= s).collect();
-            prop_assert!(f1_score(&preds, &labels) <= best_f1 + 1e-12);
-        }
-        // The reported threshold reproduces the reported F1.
-        if best_f1 > 0.0 {
-            let preds: Vec<bool> = scores.iter().map(|&s| best_t <= s).collect();
-            prop_assert!((f1_score(&preds, &labels) - best_f1).abs() < 1e-12);
-        }
-    }
-
-    // --- classification metrics -------------------------------------------
-
-    #[test]
-    fn confusion_counts_partition_the_data(
-        data in prop::collection::vec((any::<bool>(), any::<bool>()), 0..100)
-    ) {
-        let preds: Vec<bool> = data.iter().map(|(p, _)| *p).collect();
-        let labels: Vec<bool> = data.iter().map(|(_, l)| *l).collect();
-        let c = confusion(&preds, &labels);
-        prop_assert_eq!(c.tp + c.fp + c.tn + c.fn_, data.len());
-        let m = c.metrics();
-        for v in [m.precision, m.recall, m.f1, m.accuracy] {
-            prop_assert!((0.0..=1.0).contains(&v));
-        }
-        // F1 is the harmonic mean identity.
-        if m.precision + m.recall > 0.0 {
-            let hm = 2.0 * m.precision * m.recall / (m.precision + m.recall);
-            prop_assert!((m.f1 - hm).abs() < 1e-12);
-        }
-    }
-
-    // --- Gower distance -----------------------------------------------------
-
-    #[test]
-    fn gower_is_a_bounded_pseudometric(
-        points in prop::collection::vec(
-            prop::collection::vec(0.0f64..1.0, 2..=2), 2..30
-        )
-    ) {
-        let g = rlb_textsim::gower::GowerSpace::fit(&points).expect("non-empty");
-        for a in &points {
-            prop_assert!(g.distance(a, a).abs() < 1e-12);
-            for b in &points {
-                let d = g.distance(a, b);
-                prop_assert!((0.0..=1.0 + 1e-12).contains(&d));
-                prop_assert!((d - g.distance(b, a)).abs() < 1e-12);
-            }
-        }
-    }
-
-    // --- embeddings ----------------------------------------------------------
-
-    #[test]
-    fn embeddings_are_unit_or_zero(token in "[a-z0-9]{0,10}") {
-        let e = rlb_embed::HashedEmbedder::new(32, 7);
-        let v = e.token(&token);
-        let n = rlb_util::linalg::norm_f32(&v);
-        prop_assert!(n.abs() < 1e-4 || (n - 1.0).abs() < 1e-4);
-    }
-
-    #[test]
-    fn vector_similarities_bounded(
-        a in prop::collection::vec(-1.0f32..1.0, 8..=8),
-        b in prop::collection::vec(-1.0f32..1.0, 8..=8),
-    ) {
-        for f in [rlb_embed::cosine_sim, rlb_embed::euclidean_sim, rlb_embed::wasserstein_sim] {
-            let v = f(&a, &b);
-            prop_assert!((0.0..=1.0).contains(&v));
+            assert!((0.0..=1.0).contains(&v), "case {case}: {a:?} vs {b:?}: {v}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+#[test]
+fn levenshtein_triangle_inequality() {
+    use rlb_textsim::edit::levenshtein_distance as lev;
+    let alphabet: Vec<u8> = (b'a'..=b'z').collect();
+    let mut rng = Prng::seed_from_u64(0x51_05);
+    for case in 0..CASES {
+        let a = text(&mut rng, &alphabet, 8);
+        let b = text(&mut rng, &alphabet, 8);
+        let c = text(&mut rng, &alphabet, 8);
+        assert!(
+            lev(&a, &c) <= lev(&a, &b) + lev(&b, &c),
+            "case {case}: {a:?} {b:?} {c:?}"
+        );
+    }
+}
 
-    // --- generator invariants (fewer cases: each builds a dataset) ---------
+// --- threshold sweep (Algorithms 1 & 2 inner loop) ------------------------
 
-    #[test]
-    fn generated_tasks_always_validate(seed in 0u64..500, noise in 0.0f64..0.9) {
+#[test]
+fn sweep_threshold_is_optimal_over_grid() {
+    let mut rng = Prng::seed_from_u64(0x51_06);
+    for case in 0..CASES {
+        let n = rng.range(1, 60);
+        let scores: Vec<f64> = (0..n).map(|_| rng.f64()).collect();
+        let labels: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
+        let (best_f1, best_t) = sweep_threshold(&scores, &labels);
+        assert!((0.0..=1.0).contains(&best_f1), "case {case}");
+        // No grid threshold beats the reported best.
+        for step in 1..100 {
+            let t = step as f64 / 100.0;
+            let preds: Vec<bool> = scores.iter().map(|&s| t <= s).collect();
+            assert!(
+                f1_score(&preds, &labels) <= best_f1 + 1e-12,
+                "case {case} t {t}"
+            );
+        }
+        // The reported threshold reproduces the reported F1.
+        if best_f1 > 0.0 {
+            let preds: Vec<bool> = scores.iter().map(|&s| best_t <= s).collect();
+            assert!(
+                (f1_score(&preds, &labels) - best_f1).abs() < 1e-12,
+                "case {case} t {best_t}"
+            );
+        }
+    }
+}
+
+// --- classification metrics -----------------------------------------------
+
+#[test]
+fn confusion_counts_partition_the_data() {
+    let mut rng = Prng::seed_from_u64(0x51_07);
+    for case in 0..CASES {
+        let n = rng.index(100);
+        let preds: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
+        let labels: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
+        let c = confusion(&preds, &labels);
+        assert_eq!(c.tp + c.fp + c.tn + c.fn_, n, "case {case}");
+        let m = c.metrics();
+        for v in [m.precision, m.recall, m.f1, m.accuracy] {
+            assert!((0.0..=1.0).contains(&v), "case {case}: {v}");
+        }
+        // F1 is the harmonic mean identity.
+        if m.precision + m.recall > 0.0 {
+            let hm = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+            assert!((m.f1 - hm).abs() < 1e-12, "case {case}");
+        }
+    }
+}
+
+// --- Gower distance -------------------------------------------------------
+
+#[test]
+fn gower_is_a_bounded_pseudometric() {
+    let mut rng = Prng::seed_from_u64(0x51_08);
+    for case in 0..64 {
+        let n = rng.range(2, 30);
+        let points: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.f64(), rng.f64()]).collect();
+        let g = rlb_textsim::gower::GowerSpace::fit(&points).expect("non-empty");
+        for a in &points {
+            assert!(g.distance(a, a).abs() < 1e-12, "case {case}");
+            for b in &points {
+                let d = g.distance(a, b);
+                assert!((0.0..=1.0 + 1e-12).contains(&d), "case {case}: {d}");
+                assert!((d - g.distance(b, a)).abs() < 1e-12, "case {case}");
+            }
+        }
+    }
+}
+
+// --- embeddings -----------------------------------------------------------
+
+#[test]
+fn embeddings_are_unit_or_zero() {
+    let alphabet: Vec<u8> = (b'a'..=b'z').chain(b'0'..=b'9').collect();
+    let mut rng = Prng::seed_from_u64(0x51_09);
+    let e = rlb_embed::HashedEmbedder::new(32, 7);
+    for case in 0..CASES {
+        let token = text(&mut rng, &alphabet, 10);
+        let v = e.token(&token);
+        let n = rlb_util::linalg::norm_f32(&v);
+        assert!(
+            n.abs() < 1e-4 || (n - 1.0).abs() < 1e-4,
+            "case {case}: {token:?} -> {n}"
+        );
+    }
+}
+
+#[test]
+fn vector_similarities_bounded() {
+    let mut rng = Prng::seed_from_u64(0x51_0A);
+    for case in 0..CASES {
+        let a: Vec<f32> = (0..8).map(|_| rng.f32() * 2.0 - 1.0).collect();
+        let b: Vec<f32> = (0..8).map(|_| rng.f32() * 2.0 - 1.0).collect();
+        for f in [
+            rlb_embed::cosine_sim,
+            rlb_embed::euclidean_sim,
+            rlb_embed::wasserstein_sim,
+        ] {
+            let v = f(&a, &b);
+            assert!((0.0..=1.0).contains(&v), "case {case}: {v}");
+        }
+    }
+}
+
+// --- generator invariants (fewer cases: each builds a dataset) ------------
+
+#[test]
+fn generated_tasks_always_validate() {
+    let mut rng = Prng::seed_from_u64(0x51_0B);
+    for _ in 0..16 {
+        let seed = rng.next_u64() % 500;
+        let noise = rng.uniform(0.0, 0.9);
         let profile = rlb_synth::BenchmarkProfile {
             id: "prop",
-            stands_for: "proptest",
+            stands_for: "seeded property test",
             domain: rlb_synth::Domain::Product,
             left_size: 60,
             right_size: 80,
@@ -176,7 +253,7 @@ proptest! {
                 match_noise: noise,
                 hard_negative_fraction: 0.4,
                 anchor_attrs: 1,
-                dirty: seed % 2 == 0,
+                dirty: seed.is_multiple_of(2),
                 style_noise: 0.03,
                 right_terse: false,
                 base_missing: 0.2,
@@ -184,9 +261,9 @@ proptest! {
             seed,
         };
         let task = rlb_synth::generate_task(&profile);
-        prop_assert_eq!(task.validate(), Ok(()));
-        prop_assert_eq!(task.total_pairs(), 150);
+        assert_eq!(task.validate(), Ok(()), "seed {seed}");
+        assert_eq!(task.total_pairs(), 150, "seed {seed}");
         let pos = task.all_pairs().filter(|lp| lp.is_match).count();
-        prop_assert_eq!(pos, 30);
+        assert_eq!(pos, 30, "seed {seed}");
     }
 }

@@ -7,7 +7,11 @@ use rlb_core::{build_benchmark, degree_of_linearity};
 fn small_tuner() -> TunerConfig {
     // One repetition and a modest K grid keep the test fast; the full
     // harness uses the defaults.
-    TunerConfig { reps: 1, k_max: 32, ..Default::default() }
+    TunerConfig {
+        reps: 1,
+        k_max: 32,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -27,7 +31,11 @@ fn all_eight_new_benchmarks_build_and_validate() {
         );
         // Positives in the task = matching candidates of the blocker.
         let pos = built.task.all_pairs().filter(|lp| lp.is_match).count();
-        assert_eq!(pos, built.blocking.metrics.matching_candidates, "{}", profile.id);
+        assert_eq!(
+            pos, built.blocking.metrics.matching_candidates,
+            "{}",
+            profile.id
+        );
     }
 }
 
@@ -40,7 +48,11 @@ fn bibliographic_pairs_need_small_k_and_yield_high_pq() {
     let raw = rlb_core::generate_raw_pair(dn3);
     let built = build_benchmark(&raw, &small_tuner(), 42);
     assert!(built.blocking.k <= 2, "Dn3 K = {}", built.blocking.k);
-    assert!(built.blocking.metrics.pq > 0.5, "Dn3 PQ = {:.3}", built.blocking.metrics.pq);
+    assert!(
+        built.blocking.metrics.pq > 0.5,
+        "Dn3 PQ = {:.3}",
+        built.blocking.metrics.pq
+    );
 }
 
 #[test]
@@ -50,7 +62,11 @@ fn noisy_pairs_need_large_k_and_yield_low_pq() {
     let raw = rlb_core::generate_raw_pair(dn5);
     let built = build_benchmark(&raw, &small_tuner(), 42);
     assert!(built.blocking.k >= 4, "Dn5 K = {}", built.blocking.k);
-    assert!(built.blocking.metrics.pq < 0.2, "Dn5 PQ = {:.3}", built.blocking.metrics.pq);
+    assert!(
+        built.blocking.metrics.pq < 0.2,
+        "Dn5 PQ = {:.3}",
+        built.blocking.metrics.pq
+    );
 }
 
 #[test]
