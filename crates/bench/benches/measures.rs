@@ -3,15 +3,27 @@
 //! computation), plus an ablation of the complexity subsample cap — the
 //! main runtime lever DESIGN.md calls out.
 //!
-//! Also the parallel-runtime acceptance check: `degree_of_linearity` on a
-//! 10k-labelled-pair task must beat the sequential path ≥ 2× on 4+ cores
-//! while producing a byte-identical report.
+//! Two acceptance checks ride along, both on a 10k-labelled-pair task and
+//! both requiring byte-identical reports:
+//!
+//! - parallel `degree_of_linearity` must beat the sequential path ≥ 2× on
+//!   4+ cores;
+//! - the interned (token-id) linearity sweep must beat the string-set
+//!   reference twin ≥ 2×.
+//!
+//! The interned-vs-string comparison is also written to
+//! `BENCH_measures.json` (pairs/sec both ways, thread count, speedup) so
+//! the perf trajectory stays machine-readable across PRs.
 
-use rlb_bench::timing::{group, Harness};
+use rlb_bench::timing::{group, Harness, Stats};
 use rlb_complexity::ComplexityConfig;
-use rlb_core::{degree_of_linearity, degree_of_linearity_sequential};
+use rlb_core::{
+    degree_of_linearity, degree_of_linearity_sequential, degree_of_linearity_string,
+    degree_of_linearity_with, LinearityReport, TaskViewCache,
+};
 use rlb_matchers::features::TaskViews;
 use rlb_synth::{BenchmarkProfile, DifficultyKnobs, Domain};
+use rlb_util::json::Value;
 use std::hint::black_box;
 
 fn reference_task(pairs: usize) -> rlb_data::MatchingTask {
@@ -42,22 +54,10 @@ fn bench_linearity(h: &mut Harness) {
 fn bench_parallel_speedup(h: &mut Harness) {
     group("degree_of_linearity parallel vs sequential (10k pairs)");
     let task = reference_task(10_000);
-    let seq_report = degree_of_linearity_sequential(&task);
-    let par_report = degree_of_linearity(&task);
-    assert_eq!(
-        (
-            seq_report.f1_cosine.to_bits(),
-            seq_report.t_cosine.to_bits(),
-            seq_report.f1_jaccard.to_bits(),
-            seq_report.t_jaccard.to_bits(),
-        ),
-        (
-            par_report.f1_cosine.to_bits(),
-            par_report.t_cosine.to_bits(),
-            par_report.f1_jaccard.to_bits(),
-            par_report.t_jaccard.to_bits(),
-        ),
-        "parallel and sequential reports must be byte-identical"
+    assert_reports_identical(
+        &degree_of_linearity_sequential(&task),
+        &degree_of_linearity(&task),
+        "parallel and sequential",
     );
     let seq = h.bench("sequential", || {
         black_box(degree_of_linearity_sequential(&task))
@@ -76,6 +76,80 @@ fn bench_parallel_speedup(h: &mut Harness) {
         "  reports identical; speedup {speedup:.2}x on {cores} threads \
          (target >= 2x on 4+ cores): {verdict}"
     );
+}
+
+fn assert_reports_identical(a: &LinearityReport, b: &LinearityReport, what: &str) {
+    assert_eq!(
+        (
+            a.f1_cosine.to_bits(),
+            a.t_cosine.to_bits(),
+            a.f1_jaccard.to_bits(),
+            a.t_jaccard.to_bits(),
+        ),
+        (
+            b.f1_cosine.to_bits(),
+            b.t_cosine.to_bits(),
+            b.f1_jaccard.to_bits(),
+            b.t_jaccard.to_bits(),
+        ),
+        "{what} reports must be byte-identical"
+    );
+}
+
+/// Pairs scored per second, from the median sample of a linearity run.
+fn pairs_per_sec(pairs: usize, stats: &Stats) -> f64 {
+    pairs as f64 / stats.median.as_secs_f64()
+}
+
+fn bench_interned_vs_string(h: &mut Harness) -> Value {
+    group("degree_of_linearity interned vs string twin (10k pairs)");
+    const PAIRS: usize = 10_000;
+    let task = reference_task(PAIRS);
+    let cache = TaskViewCache::build(&task);
+    assert_reports_identical(
+        &degree_of_linearity_string(&task),
+        &degree_of_linearity_with(&task, &cache),
+        "interned and string",
+    );
+    let string = h.bench("string twin (build + sweep)", || {
+        black_box(degree_of_linearity_string(&task))
+    });
+    let interned_e2e = h.bench("interned (build + sweep)", || {
+        black_box(degree_of_linearity(&task))
+    });
+    let interned = h.bench("interned (shared cache, sweep only)", || {
+        black_box(degree_of_linearity_with(&task, &cache))
+    });
+    let threads = rlb_util::par::thread_count();
+    let speedup = interned.speedup_over(&string);
+    let speedup_e2e = interned_e2e.speedup_over(&string);
+    let verdict = if speedup >= 2.0 { "PASS" } else { "FAIL" };
+    println!(
+        "  reports identical; interned speedup {speedup:.2}x over string \
+         ({speedup_e2e:.2}x including view build) on {threads} threads \
+         (target >= 2x): {verdict}"
+    );
+    Value::Obj(vec![
+        ("pairs".into(), Value::Num(PAIRS as f64)),
+        ("threads".into(), Value::Num(threads as f64)),
+        ("samples".into(), Value::Num(string.samples as f64)),
+        (
+            "string_pairs_per_sec".into(),
+            Value::Num(pairs_per_sec(PAIRS, &string)),
+        ),
+        (
+            "interned_pairs_per_sec".into(),
+            Value::Num(pairs_per_sec(PAIRS, &interned)),
+        ),
+        (
+            "interned_e2e_pairs_per_sec".into(),
+            Value::Num(pairs_per_sec(PAIRS, &interned_e2e)),
+        ),
+        ("speedup".into(), Value::Num(speedup)),
+        ("speedup_e2e".into(), Value::Num(speedup_e2e)),
+        ("reports_identical".into(), Value::Bool(true)),
+        ("verdict".into(), Value::Str(verdict.into())),
+    ])
 }
 
 fn bench_complexity(h: &mut Harness) {
@@ -119,6 +193,13 @@ fn main() {
     let mut h = Harness::new();
     bench_linearity(&mut h);
     bench_parallel_speedup(&mut h);
+    let measures = bench_interned_vs_string(&mut h);
     bench_complexity(&mut h);
     bench_pair_featurization(&mut h);
+
+    // Anchor to the workspace root: cargo runs benches with the package dir
+    // (crates/bench) as CWD.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_measures.json");
+    std::fs::write(path, measures.to_json_string_pretty()).expect("write BENCH_measures.json");
+    println!("\nwrote BENCH_measures.json");
 }

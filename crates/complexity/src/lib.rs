@@ -213,6 +213,19 @@ pub fn compute(
     })
 }
 
+/// [`compute`] over the canonical `[CS, JS]` pair representation of Section
+/// III-B — the dense `[f64; 2]` rows the interned feature pipeline emits —
+/// without requiring callers to materialize a ragged `Vec<Vec<f64>>`
+/// themselves. Identical output to [`compute`] on the same values.
+pub fn compute_cs_js(
+    features: &[[f64; 2]],
+    labels: &[bool],
+    cfg: &ComplexityConfig,
+) -> Result<ComplexityReport> {
+    let rows: Vec<Vec<f64>> = features.iter().map(|f| f.to_vec()).collect();
+    compute(&rows, labels, cfg)
+}
+
 /// Deterministic class-stratified subsample preserving class proportions.
 fn stratified_subsample(
     features: &[Vec<f64>],
@@ -351,6 +364,17 @@ mod tests {
         let frac = sy.iter().filter(|&&y| y).count() as f64 / sy.len() as f64;
         let orig = ys.iter().filter(|&&y| y).count() as f64 / ys.len() as f64;
         assert!((frac - orig).abs() < 0.05);
+    }
+
+    #[test]
+    fn cs_js_entry_point_matches_generic_compute() {
+        let (xs, ys) = separated(200, 0.5, 0.3, 9);
+        let pairs: Vec<[f64; 2]> = xs.iter().map(|v| [v[0], v[1]]).collect();
+        let cfg = ComplexityConfig::default();
+        assert_eq!(
+            compute(&xs, &ys, &cfg).unwrap(),
+            compute_cs_js(&pairs, &ys, &cfg).unwrap()
+        );
     }
 
     #[test]

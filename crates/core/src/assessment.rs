@@ -9,11 +9,11 @@
 //! 3. NLB < 5% — non-linear models add nothing;
 //! 4. LBM < 5% — learning-based matchers are already near-perfect.
 
-use crate::linearity::{degree_of_linearity, LinearityReport};
+use crate::linearity::{degree_of_linearity_with, LinearityReport};
 use crate::practical::{practical_measures, MatcherRun, PracticalMeasures};
 use rlb_complexity::{ComplexityConfig, ComplexityReport};
 use rlb_data::MatchingTask;
-use rlb_matchers::features::TaskViews;
+use rlb_matchers::features::TaskViewCache;
 use rlb_util::Result;
 
 /// Thresholds used by the verdict (the paper's Section V / Figure 3
@@ -89,16 +89,26 @@ rlb_util::impl_json!(Assessment {
 /// *all four* measures are consulted before a final verdict, this yields a
 /// provisional assessment with `practical = None`).
 pub fn assess(task: &MatchingTask, runs: &[MatcherRun]) -> Result<Assessment> {
-    let linearity = degree_of_linearity(task);
-    let views = TaskViews::build(task);
+    assess_with(task, runs, &TaskViewCache::build(task))
+}
+
+/// [`assess`] over a pre-built view cache. The cache is built exactly once
+/// per task per pipeline run: `degree_of_linearity` and the `[CS, JS]`
+/// complexity feature extraction both read from it, so each record is
+/// tokenized a single time.
+pub fn assess_with(
+    task: &MatchingTask,
+    runs: &[MatcherRun],
+    views: &TaskViewCache,
+) -> Result<Assessment> {
+    let linearity = degree_of_linearity_with(task, views);
     let mut feats = Vec::with_capacity(task.total_pairs());
     let mut labels = Vec::with_capacity(task.total_pairs());
     for lp in task.all_pairs() {
-        let [c, j] = views.cs_js(lp.pair);
-        feats.push(vec![c, j]);
+        feats.push(views.cs_js(lp.pair));
         labels.push(lp.is_match);
     }
-    let complexity = rlb_complexity::compute(&feats, &labels, &ComplexityConfig::default())?;
+    let complexity = rlb_complexity::compute_cs_js(&feats, &labels, &ComplexityConfig::default())?;
     let practical = (!runs.is_empty()).then(|| practical_measures(runs));
     let flags = EasyFlags {
         by_linearity: linearity.max_f1() >= LINEARITY_EASY,

@@ -29,14 +29,17 @@ pub mod linearity;
 pub mod practical;
 pub mod roster;
 
-pub use assessment::{assess, Assessment, EasyFlags};
+pub use assessment::{assess, assess_with, Assessment, EasyFlags};
 pub use builder::{build_benchmark, BuiltBenchmark};
-pub use linearity::{degree_of_linearity, degree_of_linearity_sequential, LinearityReport};
+pub use linearity::{
+    degree_of_linearity, degree_of_linearity_sequential, degree_of_linearity_string,
+    degree_of_linearity_with, LinearityReport,
+};
 pub use practical::{practical_measures, MatcherFamily, MatcherRun, PracticalMeasures};
-pub use roster::{full_roster, run_roster, RosterConfig};
+pub use roster::{full_roster, full_roster_cached, run_roster, RosterConfig};
 
 // Re-export the pieces users otherwise need from companion crates.
 pub use rlb_complexity::{compute as complexity, ComplexityConfig, ComplexityReport};
 pub use rlb_data::{DatasetStats, LabeledPair, MatchingTask, PairRef, Source};
-pub use rlb_matchers::{evaluate, Matcher};
+pub use rlb_matchers::{evaluate, Matcher, TaskViewCache};
 pub use rlb_synth::{established_profiles, generate_raw_pair, generate_task, raw_pair_profiles};

@@ -7,7 +7,7 @@
 
 use rlb_data::MatchingTask;
 use rlb_matchers::esde::sweep_threshold;
-use rlb_matchers::features::TaskViews;
+use rlb_matchers::features::{StringTaskViews, TaskViewCache};
 
 /// Output of Algorithm 1 for both similarity measures.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,14 +39,22 @@ impl LinearityReport {
     }
 }
 
-/// Runs Algorithm 1 on a task (all three splits merged).
+/// Runs Algorithm 1 on a task (all three splits merged), building the
+/// interned task views internally. Callers that also run the complexity
+/// measures or a roster should build a [`TaskViewCache`] once and use
+/// [`degree_of_linearity_with`] instead.
 ///
 /// The per-pair CS/JS scoring — the dominant cost on large candidate sets —
 /// runs on all cores via [`rlb_util::par`]; the output is byte-identical to
 /// [`degree_of_linearity_sequential`] because pair order is preserved and
 /// each pair's score is computed exactly the same way.
 pub fn degree_of_linearity(task: &MatchingTask) -> LinearityReport {
-    let views = TaskViews::build(task);
+    degree_of_linearity_with(task, &TaskViewCache::build(task))
+}
+
+/// Algorithm 1 over pre-built interned views — tokenization already paid,
+/// only the integer set joins and the threshold sweep remain.
+pub fn degree_of_linearity_with(task: &MatchingTask, views: &TaskViewCache) -> LinearityReport {
     let pairs: Vec<rlb_data::LabeledPair> = task.all_pairs().copied().collect();
     let scores = rlb_util::par::par_map(&pairs, |lp| views.cs_js(lp.pair));
     report_from_scores(&pairs, &scores)
@@ -55,9 +63,21 @@ pub fn degree_of_linearity(task: &MatchingTask) -> LinearityReport {
 /// Single-threaded Algorithm 1 — the baseline the in-tree timing harness
 /// compares [`degree_of_linearity`] against. Produces byte-identical output.
 pub fn degree_of_linearity_sequential(task: &MatchingTask) -> LinearityReport {
-    let views = TaskViews::build(task);
+    let views = TaskViewCache::build(task);
     let pairs: Vec<rlb_data::LabeledPair> = task.all_pairs().copied().collect();
     let scores: Vec<[f64; 2]> = pairs.iter().map(|lp| views.cs_js(lp.pair)).collect();
+    report_from_scores(&pairs, &scores)
+}
+
+/// Algorithm 1 over heap-allocated [`rlb_textsim::TokenSet`]s — the string
+/// reference twin of [`degree_of_linearity`], kept for byte-identity
+/// assertions and as the baseline side of the interned-vs-string timing
+/// bench. Rebuilds its views on every call, exactly as the pipeline did
+/// before interning.
+pub fn degree_of_linearity_string(task: &MatchingTask) -> LinearityReport {
+    let views = StringTaskViews::build(task);
+    let pairs: Vec<rlb_data::LabeledPair> = task.all_pairs().copied().collect();
+    let scores = rlb_util::par::par_map(&pairs, |lp| views.cs_js(lp.pair));
     report_from_scores(&pairs, &scores)
 }
 
@@ -90,18 +110,24 @@ fn report_from_scores(pairs: &[rlb_data::LabeledPair], scores: &[[f64; 2]]) -> L
 /// setting; the `schema_linearity_gap` integration test reproduces that
 /// observation on the synthetic benchmarks.
 pub fn degree_of_linearity_schema_aware(task: &MatchingTask) -> (usize, LinearityReport) {
+    degree_of_linearity_schema_aware_with(task, &TaskViewCache::build(task))
+}
+
+/// Schema-aware Algorithm 1 over pre-built interned views.
+pub fn degree_of_linearity_schema_aware_with(
+    task: &MatchingTask,
+    views: &TaskViewCache,
+) -> (usize, LinearityReport) {
     let arity = task.left.arity().max(task.right.arity());
-    let views = rlb_matchers::features::TaskViews::build(task);
     let labels: Vec<bool> = task.all_pairs().map(|lp| lp.is_match).collect();
     let mut best: Option<(usize, LinearityReport)> = None;
     for a in 0..arity {
         let mut cs = Vec::with_capacity(labels.len());
         let mut js = Vec::with_capacity(labels.len());
         for lp in task.all_pairs() {
-            let l = &views.left.per_attr[lp.pair.left as usize][a];
-            let r = &views.right.per_attr[lp.pair.right as usize][a];
-            cs.push(rlb_textsim::sets::cosine(l, r));
-            js.push(rlb_textsim::sets::jaccard(l, r));
+            let [c, j] = views.attr_cs_js(lp.pair, a);
+            cs.push(c);
+            js.push(j);
         }
         let (f1_cosine, t_cosine) = sweep_threshold(&cs, &labels);
         let (f1_jaccard, t_jaccard) = sweep_threshold(&js, &labels);
@@ -182,6 +208,22 @@ mod tests {
     fn deterministic() {
         let t = task(0.5, 0.5, 5);
         assert_eq!(degree_of_linearity(&t), degree_of_linearity(&t));
+    }
+
+    #[test]
+    fn interned_report_equals_string_reference_bitwise() {
+        for seed in [8, 9] {
+            let t = task(0.35, 0.4, seed);
+            let interned = degree_of_linearity(&t);
+            let string = degree_of_linearity_string(&t);
+            let cached = degree_of_linearity_with(&t, &TaskViewCache::build(&t));
+            for (a, b) in [(interned, string), (interned, cached)] {
+                assert_eq!(a.f1_cosine.to_bits(), b.f1_cosine.to_bits());
+                assert_eq!(a.t_cosine.to_bits(), b.t_cosine.to_bits());
+                assert_eq!(a.f1_jaccard.to_bits(), b.f1_jaccard.to_bits());
+                assert_eq!(a.t_jaccard.to_bits(), b.t_jaccard.to_bits());
+            }
+        }
     }
 
     #[test]

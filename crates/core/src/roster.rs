@@ -8,7 +8,9 @@ use rlb_matchers::deep::{
     is_insufficient_memory, DeepConfig, DeepMatcherSim, DittoSim, EmTransformerSim, GnemSim,
     HierMatcherSim,
 };
-use rlb_matchers::{evaluate, Esde, EsdeVariant, Magellan, MagellanModel, Matcher, ZeroEr};
+use rlb_matchers::{
+    evaluate, Esde, EsdeVariant, Magellan, MagellanModel, Matcher, TaskViewCache, ZeroEr,
+};
 
 /// Settings for the roster sweep.
 #[derive(Debug, Clone, Copy)]
@@ -32,7 +34,27 @@ impl Default for RosterConfig {
 /// Builds the complete matcher line-up:
 /// 12 DL configurations (5 methods × 2 epoch budgets, GNEM/HierMatcher use
 /// 10 instead of 15 as in the paper), Magellan × 4, ZeroER, 6 ESDE.
+///
+/// The ESDE variants build their own task views on `fit`; use
+/// [`full_roster_cached`] to share one pre-built view cache across all six.
 pub fn full_roster(cfg: &RosterConfig) -> Vec<(MatcherFamily, Box<dyn Matcher + Send>)> {
+    roster_impl(cfg, None)
+}
+
+/// [`full_roster`] with the six ESDE variants sharing `views` — tokenization
+/// happens once per task instead of once per variant. `views` must have been
+/// built from the task the roster will run on.
+pub fn full_roster_cached(
+    cfg: &RosterConfig,
+    views: &TaskViewCache,
+) -> Vec<(MatcherFamily, Box<dyn Matcher + Send>)> {
+    roster_impl(cfg, Some(views))
+}
+
+fn roster_impl(
+    cfg: &RosterConfig,
+    views: Option<&TaskViewCache>,
+) -> Vec<(MatcherFamily, Box<dyn Matcher + Send>)> {
     let [e_short, e_long] = cfg.dl_epochs;
     let dc = |epochs: usize| DeepConfig {
         epochs,
@@ -81,7 +103,11 @@ pub fn full_roster(cfg: &RosterConfig) -> Vec<(MatcherFamily, Box<dyn Matcher + 
     }
     v.push((MatcherFamily::NonLinearMl, Box::new(ZeroEr::new())));
     for variant in EsdeVariant::all() {
-        v.push((MatcherFamily::Linear, Box::new(Esde::new(variant))));
+        let esde = match views {
+            Some(cache) => Esde::with_views(variant, cache.clone()),
+            None => Esde::new(variant),
+        };
+        v.push((MatcherFamily::Linear, Box::new(esde)));
     }
     v
 }
@@ -92,9 +118,13 @@ pub fn full_roster(cfg: &RosterConfig) -> Vec<(MatcherFamily, Box<dyn Matcher + 
 ///
 /// The 23 configurations are independent (each owns its matcher, the task is
 /// shared read-only), so they run in parallel via [`rlb_util::par`]; results
-/// come back in roster order.
+/// come back in roster order. One [`TaskViewCache`] is built up front and
+/// shared by the six ESDE variants (the q-gram views it carries are built
+/// lazily, once, by whichever of SAQ/SBQ gets there first).
 pub fn run_roster(task: &MatchingTask, cfg: &RosterConfig) -> rlb_util::Result<Vec<MatcherRun>> {
-    let results = rlb_util::par::par_map_vec(full_roster(cfg), |(family, mut matcher)| {
+    let views = TaskViewCache::build(task);
+    let roster = full_roster_cached(cfg, &views);
+    let results = rlb_util::par::par_map_vec(roster, |(family, mut matcher)| {
         let name = matcher.name();
         match evaluate(matcher.as_mut(), task) {
             Ok(metrics) => Ok(MatcherRun {

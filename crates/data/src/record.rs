@@ -46,6 +46,14 @@ impl Record {
         rlb_textsim::tokens(&self.full_text())
     }
 
+    /// Interned id-set twin of [`Record::token_set`]: the same schema-
+    /// agnostic tokens, mapped through `interner` into a sorted
+    /// [`rlb_textsim::IdSet`]. Sharing one interner across every record of a
+    /// task makes the resulting sets intersect-comparable.
+    pub fn id_set(&self, interner: &mut rlb_textsim::TokenInterner) -> rlb_textsim::IdSet {
+        rlb_textsim::IdSet::from_tokens(interner, rlb_textsim::tokens(&self.full_text()))
+    }
+
     /// Value of attribute `a`, or `""` when out of range.
     pub fn value(&self, a: usize) -> &str {
         self.values.get(a).map(String::as_str).unwrap_or("")
@@ -169,6 +177,19 @@ mod tests {
         assert!(t.contains("iphone"));
         assert!(t.contains("apple"));
         assert!(t.contains("799"));
+    }
+
+    #[test]
+    fn id_set_mirrors_token_set() {
+        let s = sample_source();
+        let mut interner = rlb_textsim::TokenInterner::new();
+        let ids = s.record(0).id_set(&mut interner);
+        let strings = s.record(0).token_set();
+        assert_eq!(ids.len(), strings.len());
+        assert!(ids.contains(interner.get("iphone").unwrap()));
+        // Records interned through the same dictionary are comparable.
+        let other = s.record(1).id_set(&mut interner);
+        assert_eq!(ids.intersection_size(&other), 0);
     }
 
     #[test]

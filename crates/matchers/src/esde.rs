@@ -9,11 +9,11 @@
 //! strictest sense — an axis-parallel threshold — which is exactly what
 //! makes its F1 a *difficulty estimate* for the benchmark.
 
-use crate::features::TaskViews;
+use crate::features::{TaskViewCache, ESDE_Q_RANGE};
 use crate::Matcher;
 use rlb_data::{LabeledPair, MatchingTask, PairRef};
 use rlb_embed::{cosine_sim, euclidean_sim, wasserstein_sim, SentenceEmbedder};
-use rlb_textsim::{sets, TokenSet};
+use rlb_textsim::intern;
 use rlb_util::{Error, Result};
 
 /// Which feature space the ESDE instance uses (Section IV-C).
@@ -59,24 +59,19 @@ impl EsdeVariant {
     }
 }
 
-const Q_RANGE: std::ops::RangeInclusive<usize> = 2..=10;
 /// Embedding dimensionality for the sentence variants.
 const SENT_DIM: usize = 64;
 
-/// Record-level caches for one task, per variant family.
+/// Record-level caches for one task, per variant family. Token and q-gram
+/// variants borrow the shared [`TaskViewCache`]; the sentence variants own
+/// their embeddings (no other consumer needs them).
 enum Prepared {
-    Tokens(TaskViews),
-    QGrams {
-        /// `[record][q-index]` q-gram sets over the full text.
-        left: Vec<Vec<TokenSet>>,
-        right: Vec<Vec<TokenSet>>,
-    },
-    QGramsPerAttr {
-        /// `[record][attr][q-index]`.
-        left: Vec<Vec<Vec<TokenSet>>>,
-        right: Vec<Vec<Vec<TokenSet>>>,
-        arity: usize,
-    },
+    /// SA/SB: interned token views.
+    Tokens(TaskViewCache),
+    /// SAQ: schema-agnostic q-gram views (built inside the shared cache).
+    QGrams(TaskViewCache),
+    /// SBQ: per-attribute q-gram views (built inside the shared cache).
+    QGramsPerAttr(TaskViewCache),
     Sentence {
         left: Vec<Vec<f32>>,
         right: Vec<Vec<f32>>,
@@ -92,6 +87,7 @@ enum Prepared {
 /// One fitted ESDE matcher.
 pub struct Esde {
     variant: EsdeVariant,
+    cache: Option<TaskViewCache>,
     prepared: Option<Prepared>,
     best_feature: usize,
     best_threshold: f64,
@@ -99,14 +95,27 @@ pub struct Esde {
 }
 
 impl Esde {
-    /// Unfitted matcher of the given variant.
+    /// Unfitted matcher of the given variant (builds its own task views on
+    /// `fit`; prefer [`Esde::with_views`] when running several variants on
+    /// one task).
     pub fn new(variant: EsdeVariant) -> Self {
         Esde {
             variant,
+            cache: None,
             prepared: None,
             best_feature: 0,
             best_threshold: 0.5,
             fitted: false,
+        }
+    }
+
+    /// Unfitted matcher sharing a pre-built view cache. The cache must have
+    /// been built from the task later passed to `fit` — the roster runner
+    /// builds it once per task and hands clones to all six variants.
+    pub fn with_views(variant: EsdeVariant, cache: TaskViewCache) -> Self {
+        Esde {
+            cache: Some(cache),
+            ..Esde::new(variant)
         }
     }
 
@@ -116,45 +125,25 @@ impl Esde {
             .then_some((self.best_feature, self.best_threshold))
     }
 
+    /// The shared view cache if one was supplied, otherwise a fresh build.
+    fn cache_for(&self, task: &MatchingTask) -> TaskViewCache {
+        self.cache
+            .clone()
+            .unwrap_or_else(|| TaskViewCache::build(task))
+    }
+
     fn prepare(&self, task: &MatchingTask) -> Prepared {
         match self.variant {
-            EsdeVariant::SA | EsdeVariant::SB => Prepared::Tokens(TaskViews::build(task)),
+            EsdeVariant::SA | EsdeVariant::SB => Prepared::Tokens(self.cache_for(task)),
             EsdeVariant::SAQ => {
-                let build = |records: &[rlb_data::Record]| {
-                    records
-                        .iter()
-                        .map(|r| {
-                            let text = r.full_text();
-                            Q_RANGE.map(|q| TokenSet::from_qgrams(&text, q)).collect()
-                        })
-                        .collect()
-                };
-                Prepared::QGrams {
-                    left: build(&task.left.records),
-                    right: build(&task.right.records),
-                }
+                let cache = self.cache_for(task);
+                cache.qgrams_full(task); // force the lazy build here, not per pair
+                Prepared::QGrams(cache)
             }
             EsdeVariant::SBQ => {
-                let arity = task.left.arity().max(task.right.arity());
-                let build = |records: &[rlb_data::Record]| {
-                    records
-                        .iter()
-                        .map(|r| {
-                            (0..arity)
-                                .map(|a| {
-                                    Q_RANGE
-                                        .map(|q| TokenSet::from_qgrams(r.value(a), q))
-                                        .collect()
-                                })
-                                .collect()
-                        })
-                        .collect()
-                };
-                Prepared::QGramsPerAttr {
-                    left: build(&task.left.records),
-                    right: build(&task.right.records),
-                    arity,
-                }
+                let cache = self.cache_for(task);
+                cache.qgrams_per_attr(task);
+                Prepared::QGramsPerAttr(cache)
             }
             EsdeVariant::SAS => {
                 let embedder = fit_sentence_embedder(task);
@@ -195,22 +184,24 @@ impl Esde {
                 EsdeVariant::SA => views.sa_features(p),
                 _ => views.sb_features(p),
             },
-            Prepared::QGrams { left, right } => {
-                let mut out = Vec::with_capacity(3 * left[li].len());
-                for (a, b) in left[li].iter().zip(&right[ri]) {
-                    out.push(sets::cosine(a, b));
-                    out.push(sets::dice(a, b));
-                    out.push(sets::jaccard(a, b));
+            Prepared::QGrams(cache) => {
+                let qv = cache.qgrams_full_built();
+                let mut out = Vec::with_capacity(3 * qv.left[li].len());
+                for (a, b) in qv.left[li].iter().zip(&qv.right[ri]) {
+                    out.push(intern::cosine(a, b));
+                    out.push(intern::dice(a, b));
+                    out.push(intern::jaccard(a, b));
                 }
                 out
             }
-            Prepared::QGramsPerAttr { left, right, arity } => {
-                let mut out = Vec::with_capacity(3 * arity * Q_RANGE.count());
-                for attr in 0..*arity {
-                    for (a, b) in left[li][attr].iter().zip(&right[ri][attr]) {
-                        out.push(sets::cosine(a, b));
-                        out.push(sets::dice(a, b));
-                        out.push(sets::jaccard(a, b));
+            Prepared::QGramsPerAttr(cache) => {
+                let qv = cache.qgrams_per_attr_built();
+                let mut out = Vec::with_capacity(3 * cache.arity * ESDE_Q_RANGE.count());
+                for attr in 0..cache.arity {
+                    for (a, b) in qv.left[li][attr].iter().zip(&qv.right[ri][attr]) {
+                        out.push(intern::cosine(a, b));
+                        out.push(intern::dice(a, b));
+                        out.push(intern::jaccard(a, b));
                     }
                 }
                 out
@@ -447,6 +438,31 @@ mod tests {
             assert_eq!(
                 m.feature_vector(task.train[0].pair).len(),
                 width,
+                "{}",
+                variant.name()
+            );
+        }
+    }
+
+    #[test]
+    fn shared_cache_is_byte_identical_to_private_build() {
+        let task = small(0.4, 16);
+        let cache = TaskViewCache::build(&task);
+        let pairs: Vec<PairRef> = task.test.iter().map(|lp| lp.pair).collect();
+        for variant in [
+            EsdeVariant::SA,
+            EsdeVariant::SB,
+            EsdeVariant::SAQ,
+            EsdeVariant::SBQ,
+        ] {
+            let mut own = Esde::new(variant);
+            own.fit(&task).unwrap();
+            let mut shared = Esde::with_views(variant, cache.clone());
+            shared.fit(&task).unwrap();
+            assert_eq!(own.selected(), shared.selected(), "{}", variant.name());
+            assert_eq!(
+                own.predict(&task, &pairs),
+                shared.predict(&task, &pairs),
                 "{}",
                 variant.name()
             );

@@ -1,21 +1,290 @@
 //! Shared record/pair feature extraction used by several matchers.
+//!
+//! The hot paths (Algorithm 1's 99-threshold sweep, the `[CS, JS]` feature
+//! space feeding the 17 complexity measures, and the ESDE matchers) all run
+//! over per-record token sets. [`TaskViews`] stores those sets
+//! dictionary-interned as [`IdSet`]s — integer merge joins instead of
+//! `String` comparisons — and [`TaskViewCache`] shares one build across
+//! every consumer so tokenization happens exactly once per record per
+//! pipeline run. [`StringTaskViews`] is the byte-identical reference twin
+//! kept for verification (same policy as the parallel/sequential twin pair
+//! in `rlb-core::linearity`).
 
 use rlb_data::{MatchingTask, PairRef, Record};
-use rlb_textsim::{sets, TokenSet};
+use rlb_textsim::{intern, sets, IdSet, TokenInterner, TokenSet};
+use std::sync::{Arc, OnceLock};
 
-/// Cached per-record token views for one source, computed once per task.
+/// Character q-gram lengths the ESDE q-gram variants sweep (Section IV-C).
+pub const ESDE_Q_RANGE: std::ops::RangeInclusive<usize> = 2..=10;
+
+/// Cached per-record interned token views for one source.
 #[derive(Debug, Clone)]
 pub struct RecordViews {
+    /// Schema-agnostic token set over all attributes.
+    pub full: Vec<IdSet>,
+    /// Token set per attribute.
+    pub per_attr: Vec<Vec<IdSet>>,
+}
+
+/// Schema-agnostic q-gram views: `[record][q-index]` over the full text,
+/// `q` ranging over [`ESDE_Q_RANGE`].
+#[derive(Debug, Clone)]
+pub struct QgramViews {
+    /// Left-source sets.
+    pub left: Vec<Vec<IdSet>>,
+    /// Right-source sets.
+    pub right: Vec<Vec<IdSet>>,
+}
+
+/// Schema-based q-gram views: `[record][attr][q-index]`.
+#[derive(Debug, Clone)]
+pub struct QgramAttrViews {
+    /// Left-source sets.
+    pub left: Vec<Vec<Vec<IdSet>>>,
+    /// Right-source sets.
+    pub right: Vec<Vec<Vec<IdSet>>>,
+}
+
+/// Both sources' interned views plus the arity, bundled per task.
+///
+/// Token views are built eagerly (every consumer needs them); the q-gram
+/// views the ESDE q-gram variants use are built lazily on first request and
+/// then shared — a roster run fitting SAQ- and SBQ-ESDE in parallel still
+/// tokenizes q-grams once.
+#[derive(Debug)]
+pub struct TaskViews {
+    /// Left-source views.
+    pub left: RecordViews,
+    /// Right-source views.
+    pub right: RecordViews,
+    /// Shared attribute count.
+    pub arity: usize,
+    vocab: usize,
+    qgram_full: OnceLock<QgramViews>,
+    qgram_attr: OnceLock<QgramAttrViews>,
+}
+
+/// Tokenizes every record of a source in parallel: per-attribute token
+/// vectors (the full-record tokens are their concatenation, so they are not
+/// re-tokenized).
+fn tokenize_source(records: &[Record], arity: usize) -> Vec<Vec<Vec<String>>> {
+    rlb_util::par::par_map(records, |r| {
+        (0..arity)
+            .map(|a| rlb_textsim::tokenize::tokens(r.value(a)))
+            .collect()
+    })
+}
+
+/// Interns pre-tokenized records into views. Sequential: id assignment
+/// order (and therefore the exact dictionary) must not depend on thread
+/// scheduling.
+fn intern_source(token_lists: Vec<Vec<Vec<String>>>, interner: &mut TokenInterner) -> RecordViews {
+    let mut full = Vec::with_capacity(token_lists.len());
+    let mut per_attr = Vec::with_capacity(token_lists.len());
+    for attrs in token_lists {
+        let attr_sets: Vec<IdSet> = attrs
+            .into_iter()
+            .map(|toks| IdSet::from_tokens(interner, toks.iter()))
+            .collect();
+        full.push(IdSet::union_of(&attr_sets));
+        per_attr.push(attr_sets);
+    }
+    RecordViews { full, per_attr }
+}
+
+impl TaskViews {
+    /// Computes the token views for a task (tokenization parallel, interning
+    /// sequential; one dictionary shared by both sources).
+    pub fn build(task: &MatchingTask) -> Self {
+        let arity = task.left.arity().max(task.right.arity());
+        let left_toks = tokenize_source(&task.left.records, arity);
+        let right_toks = tokenize_source(&task.right.records, arity);
+        let mut interner = TokenInterner::new();
+        let left = intern_source(left_toks, &mut interner);
+        let right = intern_source(right_toks, &mut interner);
+        TaskViews {
+            left,
+            right,
+            arity,
+            vocab: interner.len(),
+            qgram_full: OnceLock::new(),
+            qgram_attr: OnceLock::new(),
+        }
+    }
+
+    /// Number of distinct tokens in the task's dictionary.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    /// `[CS, JS]` — the canonical 2-D representation of Section III-B, used
+    /// by the complexity measures and the degree of linearity.
+    pub fn cs_js(&self, p: PairRef) -> [f64; 2] {
+        let a = &self.left.full[p.left as usize];
+        let b = &self.right.full[p.right as usize];
+        [intern::cosine(a, b), intern::jaccard(a, b)]
+    }
+
+    /// `[CS, JS]` over one attribute's token sets — the schema-aware
+    /// linearity variant's per-attribute scores.
+    pub fn attr_cs_js(&self, p: PairRef, attr: usize) -> [f64; 2] {
+        let a = &self.left.per_attr[p.left as usize][attr];
+        let b = &self.right.per_attr[p.right as usize][attr];
+        [intern::cosine(a, b), intern::jaccard(a, b)]
+    }
+
+    /// Schema-agnostic `[CS, DS, JS]` over full-text tokens (SA-ESDE).
+    pub fn sa_features(&self, p: PairRef) -> Vec<f64> {
+        let a = &self.left.full[p.left as usize];
+        let b = &self.right.full[p.right as usize];
+        vec![
+            intern::cosine(a, b),
+            intern::dice(a, b),
+            intern::jaccard(a, b),
+        ]
+    }
+
+    /// Schema-based `[CS, DS, JS]` per attribute (SB-ESDE), `3·|A|` wide.
+    pub fn sb_features(&self, p: PairRef) -> Vec<f64> {
+        let mut out = Vec::with_capacity(3 * self.arity);
+        for a in 0..self.arity {
+            let l = &self.left.per_attr[p.left as usize][a];
+            let r = &self.right.per_attr[p.right as usize][a];
+            out.push(intern::cosine(l, r));
+            out.push(intern::dice(l, r));
+            out.push(intern::jaccard(l, r));
+        }
+        out
+    }
+
+    /// Schema-agnostic q-gram views (built on first call, then cached).
+    /// `task` must be the task the views were built from.
+    pub fn qgrams_full(&self, task: &MatchingTask) -> &QgramViews {
+        self.qgram_full.get_or_init(|| {
+            let gram = |records: &[Record]| -> Vec<Vec<Vec<String>>> {
+                rlb_util::par::par_map(records, |r| {
+                    let text = r.full_text();
+                    ESDE_Q_RANGE
+                        .map(|q| rlb_textsim::tokenize::qgrams(&text, q))
+                        .collect()
+                })
+            };
+            let left_grams = gram(&task.left.records);
+            let right_grams = gram(&task.right.records);
+            let mut interner = TokenInterner::new();
+            let mut build = |grams: Vec<Vec<Vec<String>>>| {
+                grams
+                    .into_iter()
+                    .map(|per_q| {
+                        per_q
+                            .into_iter()
+                            .map(|g| IdSet::from_tokens(&mut interner, g.iter()))
+                            .collect()
+                    })
+                    .collect()
+            };
+            QgramViews {
+                left: build(left_grams),
+                right: build(right_grams),
+            }
+        })
+    }
+
+    /// Schema-based q-gram views (built on first call, then cached).
+    pub fn qgrams_per_attr(&self, task: &MatchingTask) -> &QgramAttrViews {
+        self.qgram_attr.get_or_init(|| {
+            let arity = self.arity;
+            let gram = |records: &[Record]| -> Vec<Vec<Vec<Vec<String>>>> {
+                rlb_util::par::par_map(records, |r| {
+                    (0..arity)
+                        .map(|a| {
+                            ESDE_Q_RANGE
+                                .map(|q| rlb_textsim::tokenize::qgrams(r.value(a), q))
+                                .collect()
+                        })
+                        .collect()
+                })
+            };
+            let left_grams = gram(&task.left.records);
+            let right_grams = gram(&task.right.records);
+            let mut interner = TokenInterner::new();
+            let mut build = |grams: Vec<Vec<Vec<Vec<String>>>>| {
+                grams
+                    .into_iter()
+                    .map(|attrs| {
+                        attrs
+                            .into_iter()
+                            .map(|per_q| {
+                                per_q
+                                    .into_iter()
+                                    .map(|g| IdSet::from_tokens(&mut interner, g.iter()))
+                                    .collect()
+                            })
+                            .collect()
+                    })
+                    .collect()
+            };
+            QgramAttrViews {
+                left: build(left_grams),
+                right: build(right_grams),
+            }
+        })
+    }
+
+    /// The q-gram views if already built (panics otherwise — callers must
+    /// have gone through [`TaskViews::qgrams_full`] during preparation).
+    pub fn qgrams_full_built(&self) -> &QgramViews {
+        self.qgram_full.get().expect("qgrams_full not built")
+    }
+
+    /// The per-attribute q-gram views if already built.
+    pub fn qgrams_per_attr_built(&self) -> &QgramAttrViews {
+        self.qgram_attr.get().expect("qgrams_per_attr not built")
+    }
+}
+
+/// Cheaply cloneable handle to one task's [`TaskViews`], built once per task
+/// and threaded through `degree_of_linearity`, the assessment, the roster
+/// sweep, and the ESDE variants.
+#[derive(Debug, Clone)]
+pub struct TaskViewCache {
+    views: Arc<TaskViews>,
+}
+
+impl TaskViewCache {
+    /// Builds the views for a task.
+    pub fn build(task: &MatchingTask) -> Self {
+        TaskViewCache {
+            views: Arc::new(TaskViews::build(task)),
+        }
+    }
+
+    /// The shared views.
+    pub fn views(&self) -> &TaskViews {
+        &self.views
+    }
+}
+
+impl std::ops::Deref for TaskViewCache {
+    type Target = TaskViews;
+
+    fn deref(&self) -> &TaskViews {
+        &self.views
+    }
+}
+
+/// String-based per-record views — the reference twin of [`RecordViews`].
+#[derive(Debug, Clone)]
+pub struct StringRecordViews {
     /// Schema-agnostic token set over all attributes.
     pub full: Vec<TokenSet>,
     /// Token set per attribute.
     pub per_attr: Vec<Vec<TokenSet>>,
 }
 
-impl RecordViews {
-    /// Builds the views for every record of a source. Tokenization is
-    /// independent per record, so records are processed in parallel; the
-    /// resulting vectors are in record order either way.
+impl StringRecordViews {
+    /// Builds the views for every record of a source (in parallel; record
+    /// order is preserved).
     pub fn build(records: &[Record], arity: usize) -> Self {
         let mut full = Vec::with_capacity(records.len());
         let mut per_attr = Vec::with_capacity(records.len());
@@ -29,48 +298,52 @@ impl RecordViews {
             full.push(f);
             per_attr.push(attrs);
         }
-        RecordViews { full, per_attr }
+        StringRecordViews { full, per_attr }
     }
 }
 
-/// Both sources' views plus the arity, bundled per task.
+/// String-based task views — the byte-identical reference twin of
+/// [`TaskViews`], kept for equality assertions and as the baseline side of
+/// the interned-vs-string timing bench. Not used by any hot path.
 #[derive(Debug, Clone)]
-pub struct TaskViews {
+pub struct StringTaskViews {
     /// Left-source views.
-    pub left: RecordViews,
+    pub left: StringRecordViews,
     /// Right-source views.
-    pub right: RecordViews,
+    pub right: StringRecordViews,
     /// Shared attribute count.
     pub arity: usize,
 }
 
-impl TaskViews {
-    /// Computes the views for a task.
+impl StringTaskViews {
+    /// Computes the string views for a task.
     pub fn build(task: &MatchingTask) -> Self {
         let arity = task.left.arity().max(task.right.arity());
-        TaskViews {
-            left: RecordViews::build(&task.left.records, arity),
-            right: RecordViews::build(&task.right.records, arity),
+        StringTaskViews {
+            left: StringRecordViews::build(&task.left.records, arity),
+            right: StringRecordViews::build(&task.right.records, arity),
             arity,
         }
     }
 
-    /// `[CS, JS]` — the canonical 2-D representation of Section III-B, used
-    /// by the complexity measures and the degree of linearity.
+    /// `[CS, JS]` via string comparison — must equal
+    /// [`TaskViews::cs_js`] bit-for-bit.
     pub fn cs_js(&self, p: PairRef) -> [f64; 2] {
         let a = &self.left.full[p.left as usize];
         let b = &self.right.full[p.right as usize];
         [sets::cosine(a, b), sets::jaccard(a, b)]
     }
 
-    /// Schema-agnostic `[CS, DS, JS]` over full-text tokens (SA-ESDE).
+    /// Schema-agnostic `[CS, DS, JS]` — string twin of
+    /// [`TaskViews::sa_features`].
     pub fn sa_features(&self, p: PairRef) -> Vec<f64> {
         let a = &self.left.full[p.left as usize];
         let b = &self.right.full[p.right as usize];
         vec![sets::cosine(a, b), sets::dice(a, b), sets::jaccard(a, b)]
     }
 
-    /// Schema-based `[CS, DS, JS]` per attribute (SB-ESDE), `3·|A|` wide.
+    /// Schema-based `[CS, DS, JS]` per attribute — string twin of
+    /// [`TaskViews::sb_features`].
     pub fn sb_features(&self, p: PairRef) -> Vec<f64> {
         let mut out = Vec::with_capacity(3 * self.arity);
         for a in 0..self.arity {
@@ -137,6 +410,7 @@ mod tests {
         assert_eq!(v.left.full.len(), task.left.len());
         assert_eq!(v.right.full.len(), task.right.len());
         assert_eq!(v.left.per_attr[0].len(), v.arity);
+        assert!(v.vocab_size() > 0);
     }
 
     #[test]
@@ -150,6 +424,51 @@ mod tests {
             sets::jaccard(&l.token_set(), &r.token_set()),
         ];
         assert_eq!(v.cs_js(p), expected);
+    }
+
+    #[test]
+    fn interned_views_equal_string_twin_bitwise() {
+        let task = small(0.4, 7);
+        let interned = TaskViews::build(&task);
+        let strings = StringTaskViews::build(&task);
+        for lp in task.all_pairs() {
+            let p = lp.pair;
+            let [ic, ij] = interned.cs_js(p);
+            let [sc, sj] = strings.cs_js(p);
+            assert_eq!(ic.to_bits(), sc.to_bits());
+            assert_eq!(ij.to_bits(), sj.to_bits());
+            for (a, b) in interned
+                .sa_features(p)
+                .iter()
+                .chain(interned.sb_features(p).iter())
+                .zip(strings.sa_features(p).iter().chain(&strings.sb_features(p)))
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn qgram_views_build_once_and_cover_records() {
+        let task = small(0.3, 8);
+        let cache = TaskViewCache::build(&task);
+        let qv = cache.qgrams_full(&task);
+        assert_eq!(qv.left.len(), task.left.len());
+        assert_eq!(qv.left[0].len(), ESDE_Q_RANGE.count());
+        // Second request returns the same allocation (lazy build is shared).
+        assert!(std::ptr::eq(qv, cache.qgrams_full_built()));
+        let qa = cache.qgrams_per_attr(&task);
+        assert_eq!(qa.right.len(), task.right.len());
+        assert_eq!(qa.right[0].len(), cache.arity);
+        assert_eq!(qa.right[0][0].len(), ESDE_Q_RANGE.count());
+    }
+
+    #[test]
+    fn cache_clones_share_views() {
+        let task = small(0.3, 9);
+        let cache = TaskViewCache::build(&task);
+        let clone = cache.clone();
+        assert!(std::ptr::eq(cache.views(), clone.views()));
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //! - token-set similarity measures — Cosine, Jaccard, Dice, Overlap
 //!   ([`sets`]), which are the features behind the degree of linearity
 //!   (Algorithm 1) and the `[CS, JS]` complexity-measure representation,
+//! - the dictionary-interned integer twin of those sets ([`intern`]):
+//!   [`TokenInterner`] + [`IdSet`] with merge-join/galloping intersections,
+//!   used by the hot pipeline paths; [`TokenSet`] stays as the
+//!   byte-identical string reference,
 //! - edit-based similarities — Levenshtein, Jaro, Jaro-Winkler — and the
 //!   hybrid Monge-Elkan measure ([`edit`], [`hybrid`]), used by the
 //!   Magellan-style feature builder,
@@ -18,9 +22,11 @@
 pub mod edit;
 pub mod gower;
 pub mod hybrid;
+pub mod intern;
 pub mod sets;
 pub mod tfidf;
 pub mod tokenize;
 
+pub use intern::{IdSet, TokenInterner};
 pub use sets::TokenSet;
 pub use tokenize::{qgrams, tokens};

@@ -86,9 +86,33 @@ impl TokenSet {
         self.len() + other.len() - self.intersection_size(other)
     }
 
-    /// Merged set containing the elements of both.
+    /// Merged set containing the elements of both. Both inputs are already
+    /// sorted and deduplicated, so a linear merge suffices — `O(n)` instead
+    /// of the `O(n log n)` re-sort [`TokenSet::new`] would pay.
     pub fn union(&self, other: &TokenSet) -> TokenSet {
-        TokenSet::new(self.items.iter().chain(other.items.iter()).cloned())
+        let (a, b) = (&self.items, &other.items);
+        let mut items = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    items.push(a[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    items.push(b[j].clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    items.push(a[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        items.extend(a[i..].iter().cloned());
+        items.extend(b[j..].iter().cloned());
+        TokenSet { items }
     }
 }
 
@@ -205,6 +229,27 @@ mod tests {
         );
         assert!(j <= d && d <= o);
         assert!(j <= c && c <= o);
+    }
+
+    #[test]
+    fn union_merge_equals_sort_based_construction() {
+        // The linear merge must agree with the naive sort+dedup build on
+        // every overlap pattern: disjoint, nested, interleaved, empty.
+        let cases: [(&[&str], &[&str]); 5] = [
+            (&["a", "b"], &["c", "d"]),
+            (&["a", "b", "c"], &["b"]),
+            (&["a", "c", "e"], &["b", "d", "f"]),
+            (&[], &["x", "y"]),
+            (&[], &[]),
+        ];
+        for (wa, wb) in cases {
+            let a = ts(wa);
+            let b = ts(wb);
+            let sort_based = TokenSet::new(a.items().iter().chain(b.items()).cloned());
+            assert_eq!(a.union(&b), sort_based, "{wa:?} ∪ {wb:?}");
+            assert_eq!(b.union(&a), sort_based, "{wb:?} ∪ {wa:?}");
+            assert_eq!(a.union(&b).len(), a.union_size(&b));
+        }
     }
 
     #[test]

@@ -36,12 +36,31 @@ pub fn qgrams(text: &str, q: usize) -> Vec<String> {
     if q == 0 {
         return Vec::new();
     }
-    let normalized: String = tokens(text).join(" ");
-    if normalized.is_empty() {
+    // Single pass: build the padded, normalized char window directly —
+    // lower-cased alphanumeric runs joined by single spaces, bracketed by
+    // `q - 1` sentinels — without materializing intermediate `String`s.
+    let mut padded: Vec<char> = Vec::with_capacity(text.len() + 2 * (q - 1));
+    padded.resize(q - 1, '#');
+    let mut in_token = false;
+    let mut any = false;
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            if !in_token && any {
+                padded.push(' ');
+            }
+            in_token = true;
+            any = true;
+            for lc in ch.to_lowercase() {
+                padded.push(lc);
+            }
+        } else {
+            in_token = false;
+        }
+    }
+    if !any {
         return Vec::new();
     }
-    let pad = "#".repeat(q - 1);
-    let padded: Vec<char> = format!("{pad}{normalized}{pad}").chars().collect();
+    padded.resize(padded.len() + q - 1, '#');
     if padded.len() < q {
         return vec![padded.into_iter().collect()];
     }
@@ -106,6 +125,33 @@ mod tests {
             for q in 2..=5 {
                 let n_chars = normalized.chars().count() + 2 * (q - 1);
                 assert_eq!(qgrams(text, q).len(), n_chars - q + 1, "{text:?} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn qgrams_match_join_based_reference() {
+        // The single-pass builder must reproduce the old
+        // `format!("{pad}{joined}{pad}")` construction exactly.
+        let texts = [
+            "",
+            "Hello, World!",
+            "a",
+            "café  MÜNCHEN-13",
+            "北京 linkage",
+            "--- !!! ...",
+        ];
+        for text in texts {
+            for q in 1..=5 {
+                let joined = tokens(text).join(" ");
+                let expected: Vec<String> = if joined.is_empty() {
+                    Vec::new()
+                } else {
+                    let pad = "#".repeat(q - 1);
+                    let padded: Vec<char> = format!("{pad}{joined}{pad}").chars().collect();
+                    padded.windows(q).map(|w| w.iter().collect()).collect()
+                };
+                assert_eq!(qgrams(text, q), expected, "{text:?} q={q}");
             }
         }
     }

@@ -9,7 +9,7 @@
 use rlb_matchers::esde::sweep_threshold;
 use rlb_ml::metrics::{confusion, f1_score};
 use rlb_textsim::sets::{cosine, dice, jaccard, overlap};
-use rlb_textsim::TokenSet;
+use rlb_textsim::{intern, IdSet, TokenInterner, TokenSet};
 use rlb_util::Prng;
 
 /// Cases per property — comparable to a small proptest budget while keeping
@@ -80,6 +80,68 @@ fn identity_similarity_is_one() {
         for f in [cosine, jaccard, dice, overlap] {
             assert!((f(&ta, &ta) - 1.0).abs() < 1e-12, "case {case}");
         }
+    }
+}
+
+// --- interned twin (IdSet vs TokenSet) ------------------------------------
+
+/// Bit-for-bit equality of every interned similarity with its string twin,
+/// for one pair of token multisets.
+fn assert_twin_equal(va: &[String], vb: &[String], interner: &mut TokenInterner, case: usize) {
+    let ta = TokenSet::new(va.iter().cloned());
+    let tb = TokenSet::new(vb.iter().cloned());
+    let ia = IdSet::from_tokens(interner, va.iter());
+    let ib = IdSet::from_tokens(interner, vb.iter());
+    assert_eq!(ia.len(), ta.len(), "case {case}");
+    assert_eq!(
+        ia.intersection_size(&ib),
+        ta.intersection_size(&tb),
+        "case {case}"
+    );
+    assert_eq!(ia.union_size(&ib), ta.union_size(&tb), "case {case}");
+    let pairs: [(f64, f64); 4] = [
+        (intern::cosine(&ia, &ib), cosine(&ta, &tb)),
+        (intern::jaccard(&ia, &ib), jaccard(&ta, &tb)),
+        (intern::dice(&ia, &ib), dice(&ta, &tb)),
+        (intern::overlap(&ia, &ib), overlap(&ta, &tb)),
+    ];
+    for (id_sim, str_sim) in pairs {
+        assert_eq!(
+            id_sim.to_bits(),
+            str_sim.to_bits(),
+            "case {case}: {id_sim} vs {str_sim}"
+        );
+    }
+}
+
+#[test]
+fn interned_similarities_match_string_twin_bitwise() {
+    // One interner across all cases: sets drawn later reuse earlier ids,
+    // exercising dictionary hits as well as misses. Sizes 0..12 cover the
+    // empty and degenerate sets explicitly.
+    let mut rng = Prng::seed_from_u64(0x51_0C);
+    let mut interner = TokenInterner::new();
+    for case in 0..CASES {
+        let va = token_vec(&mut rng, 0, 12);
+        let vb = token_vec(&mut rng, 0, 12);
+        assert_twin_equal(&va, &vb, &mut interner, case);
+    }
+}
+
+#[test]
+fn interned_similarities_match_on_skewed_sizes() {
+    // Large size ratios route intersection through the galloping path; the
+    // result must still match the string merge join exactly.
+    let mut rng = Prng::seed_from_u64(0x51_0D);
+    let mut interner = TokenInterner::new();
+    for case in 0..64 {
+        let small = token_vec(&mut rng, 0, 4);
+        // 200..320 random short words — many duplicates of the small side's
+        // vocabulary, so intersections are non-trivial.
+        let mut large = token_vec(&mut rng, 200, 320);
+        large.extend(small.iter().cloned());
+        assert_twin_equal(&small, &large, &mut interner, case);
+        assert_twin_equal(&large, &small, &mut interner, case);
     }
 }
 
