@@ -19,7 +19,7 @@ use rlb_bench::timing::{group, Harness, Stats};
 use rlb_complexity::ComplexityConfig;
 use rlb_core::{
     degree_of_linearity, degree_of_linearity_sequential, degree_of_linearity_string,
-    degree_of_linearity_with, LinearityReport, TaskViewCache,
+    degree_of_linearity_with, LinearityReport, RosterConfig, TaskViewCache,
 };
 use rlb_matchers::features::TaskViews;
 use rlb_synth::{BenchmarkProfile, DifficultyKnobs, Domain};
@@ -189,17 +189,72 @@ fn bench_pair_featurization(h: &mut Harness) {
     });
 }
 
+/// Small end-to-end roster run so the emitted trace carries a `roster.run`
+/// span with its per-matcher children and the `par.*` worker metrics — the
+/// CI smoke run asserts on exactly this.
+fn roster_smoke() {
+    group("roster smoke (2/3-epoch budget, 600 pairs)");
+    let task = reference_task(600);
+    let cfg = RosterConfig {
+        dl_epochs: [2, 3],
+        ..Default::default()
+    };
+    let runs = rlb_core::run_roster(&task, &cfg).expect("roster smoke run");
+    println!("  {} matcher configurations completed", runs.len());
+}
+
+/// When `RLB_OBS_FILE` is set, every line must parse as JSON via the strict
+/// in-tree parser and the trace must contain the two pipeline anchor spans.
+fn verify_obs_file(path: &str) {
+    let text = std::fs::read_to_string(path).expect("read RLB_OBS_FILE back");
+    let mut span_names = std::collections::HashSet::new();
+    let mut records = 0usize;
+    for line in text.lines() {
+        let v = Value::parse(line).expect("every RLB_OBS_FILE line parses as JSON");
+        records += 1;
+        if v.get("type").and_then(Value::as_str) == Some("span") {
+            if let Some(name) = v.get("name").and_then(Value::as_str) {
+                span_names.insert(name.to_string());
+            }
+        }
+    }
+    for required in ["linearity.sweep", "roster.run"] {
+        assert!(
+            span_names.contains(required),
+            "{path} has no {required} span (saw {span_names:?})"
+        );
+    }
+    println!(
+        "obs file OK: {records} records, {} distinct span names",
+        span_names.len()
+    );
+}
+
 fn main() {
+    rlb_obs::init();
+    let wall_start = std::time::Instant::now();
     let mut h = Harness::new();
     bench_linearity(&mut h);
     bench_parallel_speedup(&mut h);
     let measures = bench_interned_vs_string(&mut h);
     bench_complexity(&mut h);
     bench_pair_featurization(&mut h);
+    roster_smoke();
 
     // Anchor to the workspace root: cargo runs benches with the package dir
     // (crates/bench) as CWD.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_measures.json");
     std::fs::write(path, measures.to_json_string_pretty()).expect("write BENCH_measures.json");
     println!("\nwrote BENCH_measures.json");
+
+    let metrics_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../RUN_METRICS.json");
+    rlb_obs::write_run_metrics(metrics_path, wall_start.elapsed()).expect("write RUN_METRICS.json");
+    println!("wrote RUN_METRICS.json");
+
+    if let Ok(obs_path) = std::env::var("RLB_OBS_FILE") {
+        if !obs_path.trim().is_empty() {
+            rlb_obs::clear_sink(); // flush before reading the file back
+            verify_obs_file(&obs_path);
+        }
+    }
 }

@@ -12,6 +12,7 @@ use rlb_core::evaluate;
 use rlb_matchers::deep::{DeepConfig, DittoSim};
 
 fn main() {
+    rlb_obs::init();
     let profiles = rlb_core::established_profiles();
     let ids = ["Ds1", "Ds4", "Ds6", "Dt1"];
     let header: Vec<String> = {
@@ -33,7 +34,7 @@ fn main() {
         let f1_informed = evaluate(&mut informed, &task).expect("ditto").f1;
         rows[0].push(f1_cell(Some(f1_plain)));
         rows[1].push(f1_cell(Some(f1_informed)));
-        eprintln!("[ablation] {id}: {f1_plain:.3} -> {f1_informed:.3}");
+        rlb_obs::info!("[ablation] {id}: {f1_plain:.3} -> {f1_informed:.3}");
     }
     println!("DITTO knowledge-module ablation\n");
     println!("{}", render_table(&header, &rows));

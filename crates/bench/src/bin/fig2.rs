@@ -6,6 +6,7 @@ use rlb_complexity::ComplexityConfig;
 use rlb_matchers::features::TaskViews;
 
 fn main() {
+    rlb_obs::init();
     let mut header: Vec<String> = vec!["measure".into()];
     let mut columns: Vec<Vec<f64>> = Vec::new();
     let mut names: Vec<&'static str> = Vec::new();
@@ -26,7 +27,7 @@ fn main() {
             names = values.iter().map(|(n, _)| *n).collect();
         }
         columns.push(values.iter().map(|(_, v)| *v).collect());
-        eprintln!("[fig2] {} mean = {:.3}", task.name, report.mean());
+        rlb_obs::info!("[fig2] {} mean = {:.3}", task.name, report.mean());
     }
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (i, name) in names.iter().enumerate() {

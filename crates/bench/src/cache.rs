@@ -38,15 +38,18 @@ where
                 let fingerprint = envelope.get("fingerprint").and_then(Value::as_str);
                 if fingerprint == Some(CACHE_FINGERPRINT) {
                     if let Some(Ok(value)) = envelope.get("value").map(T::from_json) {
-                        eprintln!("[cache] reused {}", path.display());
+                        rlb_obs::counter_add("cache.hit", 1);
+                        rlb_obs::info!("[cache] reused {}", path.display());
                         return value;
                     }
-                    eprintln!(
+                    rlb_obs::counter_add("cache.miss", 1);
+                    rlb_obs::info!(
                         "[cache] miss: {} does not decode as the expected type — recomputing",
                         path.display()
                     );
                 } else {
-                    eprintln!(
+                    rlb_obs::counter_add("cache.miss", 1);
+                    rlb_obs::info!(
                         "[cache] miss: {} has fingerprint {:?}, expected {CACHE_FINGERPRINT:?} — recomputing",
                         path.display(),
                         fingerprint.unwrap_or("<none>")
@@ -54,12 +57,15 @@ where
                 }
             }
             Err(e) => {
-                eprintln!(
+                rlb_obs::counter_add("cache.miss", 1);
+                rlb_obs::info!(
                     "[cache] miss: {} is not valid JSON ({e}) — recomputing",
                     path.display()
                 );
             }
         }
+    } else {
+        rlb_obs::counter_add("cache.miss", 1);
     }
     let value = compute();
     if std::fs::create_dir_all(&dir).is_ok() {
@@ -70,8 +76,10 @@ where
             ),
             ("value".to_string(), value.to_json()),
         ]);
-        if std::fs::write(&path, envelope.to_json_string_pretty()).is_ok() {
-            eprintln!("[cache] wrote {}", path.display());
+        let text = envelope.to_json_string_pretty();
+        if std::fs::write(&path, &text).is_ok() {
+            rlb_obs::counter_add("cache.write_bytes", text.len() as u64);
+            rlb_obs::info!("[cache] wrote {}", path.display());
         }
     }
     value

@@ -133,7 +133,7 @@ pub fn new_tasks() -> Vec<MatchingTask> {
 pub fn roster_for(group: &str, task: &MatchingTask) -> Vec<MatcherRun> {
     let key = format!("roster-{group}-{}", task.name);
     with_cache(&key, || {
-        eprintln!(
+        rlb_obs::info!(
             "[sweep] running 23 matcher configurations on {} …",
             task.name
         );

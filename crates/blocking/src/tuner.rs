@@ -72,6 +72,13 @@ pub fn tune(
     let arity = left.arity().max(right.arity());
     let mut attributes: Vec<Option<usize>> = vec![None];
     attributes.extend((0..arity).map(Some));
+    let _span = rlb_obs::span!(
+        "blocking.tune",
+        "{} attribute(s), k_max {}",
+        attributes.len(),
+        cfg.k_max
+    );
+    rlb_obs::counter_add("blocking.configs_searched", attributes.len() as u64 * 2 * 2);
 
     // Best = (achieves floor, candidate count, pc) — minimize candidates
     // among floor-achievers; otherwise maximize PC.

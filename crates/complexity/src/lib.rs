@@ -176,6 +176,8 @@ pub fn compute(
             "both classes must be present".into(),
         ));
     }
+    let _span = rlb_obs::span!("complexity.compute", "{} points, dim {dim}", features.len());
+    rlb_obs::counter_add("complexity.points", features.len() as u64);
 
     // Class-balance measures use the *full* class proportions.
     let (c1, c2) = balance::class_balance(labels);

@@ -101,6 +101,7 @@ pub fn assess_with(
     runs: &[MatcherRun],
     views: &TaskViewCache,
 ) -> Result<Assessment> {
+    let _span = rlb_obs::span!("assess.task", "{}", task.name);
     let linearity = degree_of_linearity_with(task, views);
     let mut feats = Vec::with_capacity(task.total_pairs());
     let mut labels = Vec::with_capacity(task.total_pairs());

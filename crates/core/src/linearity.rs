@@ -55,7 +55,9 @@ pub fn degree_of_linearity(task: &MatchingTask) -> LinearityReport {
 /// Algorithm 1 over pre-built interned views — tokenization already paid,
 /// only the integer set joins and the threshold sweep remain.
 pub fn degree_of_linearity_with(task: &MatchingTask, views: &TaskViewCache) -> LinearityReport {
+    let _span = rlb_obs::span!("linearity.sweep", "{}", task.name);
     let pairs: Vec<rlb_data::LabeledPair> = task.all_pairs().copied().collect();
+    rlb_obs::counter_add("linearity.pairs", pairs.len() as u64);
     let scores = rlb_util::par::par_map(&pairs, |lp| views.cs_js(lp.pair));
     report_from_scores(&pairs, &scores)
 }

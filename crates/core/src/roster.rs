@@ -122,10 +122,15 @@ fn roster_impl(
 /// shared by the six ESDE variants (the q-gram views it carries are built
 /// lazily, once, by whichever of SAQ/SBQ gets there first).
 pub fn run_roster(task: &MatchingTask, cfg: &RosterConfig) -> rlb_util::Result<Vec<MatcherRun>> {
+    let _span = rlb_obs::span!("roster.run", "{}", task.name);
     let views = TaskViewCache::build(task);
     let roster = full_roster_cached(cfg, &views);
+    rlb_obs::counter_add("roster.configurations", roster.len() as u64);
     let results = rlb_util::par::par_map_vec(roster, |(family, mut matcher)| {
         let name = matcher.name();
+        // Matchers run on par worker threads, so these spans are roots of
+        // their own per-worker subtrees rather than children of roster.run.
+        let _m = rlb_obs::span!("roster.matcher", "{name}");
         match evaluate(matcher.as_mut(), task) {
             Ok(metrics) => Ok(MatcherRun {
                 name,

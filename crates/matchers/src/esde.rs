@@ -254,6 +254,7 @@ fn fit_sentence_embedder(task: &MatchingTask) -> SentenceEmbedder {
 /// instead of the off-grid sentinel 0.0.
 pub fn sweep_threshold(scores: &[f64], labels: &[bool]) -> (f64, f64) {
     debug_assert_eq!(scores.len(), labels.len());
+    rlb_obs::counter_add("esde.threshold_sweeps", 1);
     let total_pos = labels.iter().filter(|&&y| y).count();
     let mut best = (0.0f64, 0.01f64);
     for step in 1..100 {
@@ -291,6 +292,7 @@ impl Matcher for Esde {
         if task.train.is_empty() {
             return Err(Error::EmptyInput("ESDE training set"));
         }
+        let _span = rlb_obs::span!("esde.fit", "{} on {}", self.variant.name(), task.name);
         self.prepared = Some(self.prepare(task));
 
         // Training phase: best threshold per feature on T.

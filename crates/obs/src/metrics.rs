@@ -1,0 +1,339 @@
+//! Global metrics registry: named counters and log₂-bucket histograms.
+//!
+//! The hot-path contract: incrementing a counter or recording a histogram
+//! sample touches only the calling thread's shard — a thread-local map from
+//! name to an `Arc`'d cell of relaxed atomics. The global registry (a
+//! mutex-guarded list of every shard ever created) is locked once per
+//! thread per metric name, when the shard is first created, and on
+//! [`snapshot`] — never while `rlb_util::par` workers are computing.
+//!
+//! Shards outlive their threads (the registry holds the `Arc`), so counts
+//! from short-lived scoped workers survive into the end-of-run snapshot.
+
+use rlb_util::hash::FxHashMap;
+use rlb_util::json::Value;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Histogram buckets: index 0 holds zeros, index `k ≥ 1` holds values in
+/// `[2^(k-1), 2^k)` — i.e. bucket by bit length.
+const BUCKETS: usize = 65;
+
+struct CounterCell(AtomicU64);
+
+struct HistCell {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl HistCell {
+    fn new() -> Self {
+        HistCell {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket, used as its quantile representative.
+fn bucket_upper(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+static COUNTER_SHARDS: Mutex<Vec<(&'static str, Arc<CounterCell>)>> = Mutex::new(Vec::new());
+static HIST_SHARDS: Mutex<Vec<(&'static str, Arc<HistCell>)>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static LOCAL_COUNTERS: RefCell<FxHashMap<&'static str, Arc<CounterCell>>> =
+        RefCell::new(FxHashMap::default());
+    static LOCAL_HISTS: RefCell<FxHashMap<&'static str, Arc<HistCell>>> =
+        RefCell::new(FxHashMap::default());
+}
+
+/// Adds `delta` to the named counter (this thread's shard; relaxed atomic).
+pub fn counter_add(name: &'static str, delta: u64) {
+    LOCAL_COUNTERS.with(|local| {
+        let mut local = local.borrow_mut();
+        let cell = local.entry(name).or_insert_with(|| {
+            let cell = Arc::new(CounterCell(AtomicU64::new(0)));
+            COUNTER_SHARDS
+                .lock()
+                .expect("counter registry poisoned")
+                .push((name, cell.clone()));
+            cell
+        });
+        cell.0.fetch_add(delta, Ordering::Relaxed);
+    });
+}
+
+/// Records one sample in the named histogram (this thread's shard).
+pub fn histogram_record(name: &'static str, value: u64) {
+    LOCAL_HISTS.with(|local| {
+        let mut local = local.borrow_mut();
+        let cell = local.entry(name).or_insert_with(|| {
+            let cell = Arc::new(HistCell::new());
+            HIST_SHARDS
+                .lock()
+                .expect("histogram registry poisoned")
+                .push((name, cell.clone()));
+            cell
+        });
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.sum.fetch_add(value, Ordering::Relaxed);
+        cell.min.fetch_min(value, Ordering::Relaxed);
+        cell.max.fetch_max(value, Ordering::Relaxed);
+        cell.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// Aggregated view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl HistogramSummary {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile estimate: the upper bound of the log₂ bucket containing the
+    /// `q`-th sample, clamped to the observed `[min, max]` range.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// JSON object for reports.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("count".into(), Value::Num(self.count as f64)),
+            ("sum".into(), Value::Num(self.sum as f64)),
+            ("min".into(), Value::Num(self.min as f64)),
+            ("max".into(), Value::Num(self.max as f64)),
+            ("mean".into(), Value::Num(self.mean())),
+            ("p50".into(), Value::Num(self.quantile(0.5) as f64)),
+            ("p90".into(), Value::Num(self.quantile(0.9) as f64)),
+            ("p99".into(), Value::Num(self.quantile(0.99) as f64)),
+        ])
+    }
+}
+
+/// A point-in-time aggregation of every shard, names sorted.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, total)` for every counter touched so far.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, summary)` for every histogram touched so far.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// Counter total by name (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+/// Sums every thread's shards into one [`MetricsSnapshot`].
+pub fn snapshot() -> MetricsSnapshot {
+    let mut counters: FxHashMap<&'static str, u64> = FxHashMap::default();
+    for (name, cell) in COUNTER_SHARDS
+        .lock()
+        .expect("counter registry poisoned")
+        .iter()
+    {
+        *counters.entry(name).or_insert(0) += cell.0.load(Ordering::Relaxed);
+    }
+    let mut hists: FxHashMap<&'static str, HistogramSummary> = FxHashMap::default();
+    for (name, cell) in HIST_SHARDS
+        .lock()
+        .expect("histogram registry poisoned")
+        .iter()
+    {
+        let entry = hists.entry(name).or_insert(HistogramSummary {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        });
+        entry.count += cell.count.load(Ordering::Relaxed);
+        entry.sum += cell.sum.load(Ordering::Relaxed);
+        entry.min = entry.min.min(cell.min.load(Ordering::Relaxed));
+        entry.max = entry.max.max(cell.max.load(Ordering::Relaxed));
+        for (b, bucket) in cell.buckets.iter().enumerate() {
+            entry.buckets[b] += bucket.load(Ordering::Relaxed);
+        }
+    }
+    let mut counters: Vec<(String, u64)> = counters
+        .into_iter()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect();
+    counters.sort();
+    let mut histograms: Vec<(String, HistogramSummary)> = hists
+        .into_iter()
+        .map(|(n, mut h)| {
+            if h.count == 0 {
+                h.min = 0;
+            }
+            (n.to_string(), h)
+        })
+        .collect();
+    histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    MetricsSnapshot {
+        counters,
+        histograms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_by_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn counters_aggregate_across_par_map_threads() {
+        // Force RLB_THREADS-independent coverage: par_map over enough items
+        // that multiple workers spawn, each incrementing from its own shard.
+        let before = snapshot().counter("test.par_counter");
+        let items: Vec<u64> = (0..4_096).collect();
+        let out = rlb_util::par::par_map(&items, |&x| {
+            counter_add("test.par_counter", 1);
+            x
+        });
+        assert_eq!(out.len(), 4_096);
+        let after = snapshot().counter("test.par_counter");
+        assert_eq!(after - before, 4_096, "every increment must be visible");
+    }
+
+    #[test]
+    fn histogram_summary_tracks_range_mean_and_quantiles() {
+        for v in [0u64, 1, 2, 4, 8, 1000, 1_000_000] {
+            histogram_record("test.hist_basic", v);
+        }
+        let snap = snapshot();
+        let h = snap.histogram("test.hist_basic").expect("recorded");
+        assert!(h.count >= 7);
+        assert_eq!(h.min, 0);
+        assert!(h.max >= 1_000_000);
+        assert!(h.mean() > 0.0);
+        // Quantiles are bucket upper bounds clamped to the observed range.
+        assert!(h.quantile(0.0) >= h.min && h.quantile(1.0) <= h.max);
+        assert!(h.quantile(0.5) <= h.quantile(0.99));
+    }
+
+    #[test]
+    fn histograms_aggregate_across_threads() {
+        let before = snapshot()
+            .histogram("test.hist_threads")
+            .map_or((0, 0), |h| (h.count, h.sum));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for v in 1..=10u64 {
+                        histogram_record("test.hist_threads", v);
+                    }
+                });
+            }
+        });
+        let snap = snapshot();
+        let h = snap.histogram("test.hist_threads").unwrap();
+        assert_eq!(h.count - before.0, 40);
+        assert_eq!(h.sum - before.1, 4 * 55);
+        assert_eq!(h.min, 1);
+        assert!(h.max >= 10);
+    }
+
+    #[test]
+    fn snapshot_names_are_sorted_and_lookup_works() {
+        counter_add("test.zzz", 1);
+        counter_add("test.aaa", 2);
+        let snap = snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert!(snap.counter("test.aaa") >= 2);
+        assert_eq!(snap.counter("test.never_touched"), 0);
+    }
+
+    #[test]
+    fn empty_quantile_and_summary_json() {
+        let h = HistogramSummary {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        };
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        let json = h.to_value().to_json_string();
+        assert!(json.contains("\"p99\":0"), "{json}");
+    }
+}

@@ -1,0 +1,154 @@
+//! The `RUN_METRICS.json` artifact: one JSON document per pipeline run,
+//! combining the span tree, counter/histogram snapshots and thread count.
+//!
+//! Schema (all durations in the units of their field names):
+//!
+//! ```json
+//! {
+//!   "fingerprint": "rlb-obs-v1",
+//!   "wall_ms": 1234.5,
+//!   "threads": 16,
+//!   "spans": [
+//!     {"id": 1, "name": "linearity.sweep", "thread": 0,
+//!      "start_us": 12, "dur_us": 3456},
+//!     {"id": 2, "parent": 1, "name": "...", ...}
+//!   ],
+//!   "counters": {"cache.hit": 3, "linearity.pairs": 40000, ...},
+//!   "histograms": {"par.worker_tasks": {"count":.., "sum":.., "min":..,
+//!                  "max":.., "mean":.., "p50":.., "p90":.., "p99":..}}
+//! }
+//! ```
+//!
+//! The span list is flat; `parent` ids encode the tree. Root spans (no
+//! `parent`) partition the measured wall time, so their `dur_us` must sum
+//! to at most `wall_ms` (overlapping worker-thread roots excepted — they
+//! run concurrently with their logical parent stage).
+
+use crate::metrics::snapshot;
+use crate::span::take_spans;
+use rlb_util::json::Value;
+use std::time::Duration;
+
+/// Artifact format fingerprint; bump on schema changes.
+pub const RUN_METRICS_FINGERPRINT: &str = "rlb-obs-v1";
+
+/// Builds the artifact, draining the finished-span buffer. `wall` is the
+/// caller-measured duration of the whole run (spans only cover instrumented
+/// stages).
+pub fn run_metrics(wall: Duration) -> Value {
+    let spans = take_spans();
+    let snap = snapshot();
+    Value::Obj(vec![
+        (
+            "fingerprint".into(),
+            Value::Str(RUN_METRICS_FINGERPRINT.into()),
+        ),
+        ("wall_ms".into(), Value::Num(wall.as_secs_f64() * 1e3)),
+        (
+            "threads".into(),
+            Value::Num(rlb_util::par::thread_count() as f64),
+        ),
+        (
+            "spans".into(),
+            Value::Arr(spans.iter().map(|s| s.to_value()).collect()),
+        ),
+        (
+            "counters".into(),
+            Value::Obj(
+                snap.counters
+                    .iter()
+                    .map(|(n, v)| (n.clone(), Value::Num(*v as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms".into(),
+            Value::Obj(
+                snap.histograms
+                    .iter()
+                    .map(|(n, h)| (n.clone(), h.to_value()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Writes [`run_metrics`] pretty-printed to `path`.
+pub fn write_run_metrics(path: &str, wall: Duration) -> std::io::Result<()> {
+    std::fs::write(path, run_metrics(wall).to_json_string_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter_add;
+
+    #[test]
+    fn artifact_has_the_documented_shape_and_roots_fit_the_wall() {
+        let _guard = crate::test_env_lock().lock().unwrap();
+        let _ = take_spans();
+        let wall_start = std::time::Instant::now();
+        {
+            let _outer = crate::span!("test.report_outer");
+            let _inner = crate::span!("test.report_inner");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        counter_add("test.report_counter", 5);
+        let wall = wall_start.elapsed();
+        let v = run_metrics(wall);
+        assert_eq!(
+            v.get("fingerprint").and_then(Value::as_str),
+            Some(RUN_METRICS_FINGERPRINT)
+        );
+        assert!(v.get("threads").and_then(Value::as_f64).unwrap() >= 1.0);
+        let wall_ms = v.get("wall_ms").and_then(Value::as_f64).unwrap();
+        let spans = match v.get("spans") {
+            Some(Value::Arr(s)) => s,
+            other => panic!("spans not an array: {other:?}"),
+        };
+        // Both spans present; this thread's roots sum to at most the wall.
+        let this_thread = crate::span::thread_id() as f64;
+        let root_sum_us: f64 = spans
+            .iter()
+            .filter(|s| {
+                s.get("parent").is_none()
+                    && s.get("thread").and_then(Value::as_f64) == Some(this_thread)
+            })
+            .filter_map(|s| s.get("dur_us").and_then(Value::as_f64))
+            .sum();
+        assert!(
+            root_sum_us <= wall_ms * 1e3 + 1.0,
+            "root spans ({root_sum_us}us) exceed wall ({wall_ms}ms)"
+        );
+        assert!(spans
+            .iter()
+            .any(|s| s.get("name").and_then(Value::as_str) == Some("test.report_inner")));
+        let counters = v.get("counters").expect("counters object");
+        assert!(counters.get("test.report_counter").is_some());
+        // The whole artifact round-trips through the strict parser.
+        let text = v.to_json_string_pretty();
+        assert_eq!(Value::parse(&text).unwrap(), v);
+        // Draining means a second build sees no spans from this test.
+        let again = run_metrics(wall);
+        if let Some(Value::Arr(s)) = again.get("spans") {
+            assert!(!s
+                .iter()
+                .any(|r| r.get("name").and_then(Value::as_str) == Some("test.report_outer")));
+        }
+    }
+
+    #[test]
+    fn write_run_metrics_produces_a_parseable_file() {
+        let _guard = crate::test_env_lock().lock().unwrap();
+        let path =
+            std::env::temp_dir().join(format!("rlb-obs-run-metrics-{}.json", std::process::id()));
+        write_run_metrics(path.to_str().unwrap(), Duration::from_millis(5)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let v = Value::parse(&text).unwrap();
+        assert_eq!(
+            v.get("fingerprint").and_then(Value::as_str),
+            Some(RUN_METRICS_FINGERPRINT)
+        );
+    }
+}

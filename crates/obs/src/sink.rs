@@ -1,0 +1,176 @@
+//! The JSON-lines sink: one compact `rlb_util::json` object per line.
+//!
+//! A sink is optional; without one, events go to stderr only and spans only
+//! to the in-memory buffer. `RLB_OBS_FILE=<path>` (read by
+//! [`crate::init`]) routes every event and finished span to a file; tests
+//! install an in-memory buffer via [`install_test_sink`].
+
+use rlb_util::json::Value;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+enum Target {
+    File(std::io::BufWriter<std::fs::File>),
+    Buffer(Arc<Mutex<Vec<u8>>>),
+}
+
+static SINK: Mutex<Option<Target>> = Mutex::new(None);
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Cheap hot-path check: is any sink configured?
+pub fn sink_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Routes records to `path` (truncating any existing file).
+pub fn set_sink_path(path: &str) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    *SINK.lock().expect("sink poisoned") = Some(Target::File(std::io::BufWriter::new(file)));
+    ACTIVE.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Replaces the sink with an in-memory buffer and returns a handle to it —
+/// test-only plumbing for asserting on the exact JSONL output.
+pub fn install_test_sink() -> Arc<Mutex<Vec<u8>>> {
+    let buffer = Arc::new(Mutex::new(Vec::new()));
+    *SINK.lock().expect("sink poisoned") = Some(Target::Buffer(buffer.clone()));
+    ACTIVE.store(true, Ordering::Relaxed);
+    buffer
+}
+
+/// Removes the sink (flushing a file sink first).
+pub fn clear_sink() {
+    let mut sink = SINK.lock().expect("sink poisoned");
+    if let Some(Target::File(w)) = sink.as_mut() {
+        let _ = w.flush();
+    }
+    *sink = None;
+    ACTIVE.store(false, Ordering::Relaxed);
+}
+
+/// Appends one record as a compact JSON line. Records are flushed per line:
+/// every write site is a coarse pipeline stage, so the syscall cost is
+/// irrelevant and the file stays readable even if the process aborts.
+pub(crate) fn write_record(record: Value) {
+    let mut line = record.to_json_string();
+    line.push('\n');
+    let mut sink = SINK.lock().expect("sink poisoned");
+    match sink.as_mut() {
+        Some(Target::File(w)) => {
+            let _ = w.write_all(line.as_bytes());
+            let _ = w.flush();
+        }
+        Some(Target::Buffer(buf)) => {
+            buf.lock()
+                .expect("test sink poisoned")
+                .extend_from_slice(line.as_bytes());
+        }
+        None => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_env_lock;
+    use crate::{set_level, Level};
+
+    fn lines(buffer: &Arc<Mutex<Vec<u8>>>) -> Vec<Value> {
+        let bytes = buffer.lock().unwrap().clone();
+        String::from_utf8(bytes)
+            .expect("sink output is UTF-8")
+            .lines()
+            .map(|l| Value::parse(l).expect("every sink line parses as JSON"))
+            .collect()
+    }
+
+    #[test]
+    fn events_and_spans_round_trip_through_the_sink() {
+        let _guard = test_env_lock().lock().unwrap();
+        let buffer = install_test_sink();
+        set_level(Level::Info);
+        crate::info!("sink test message {}", 42);
+        {
+            let _s = crate::span!("test.sink_span", "with detail");
+        }
+        clear_sink();
+        let records = lines(&buffer);
+        assert!(records.len() >= 2, "expected event + span, got {records:?}");
+        let event = records
+            .iter()
+            .find(|r| r.get("type").and_then(Value::as_str) == Some("event"))
+            .expect("event record");
+        assert_eq!(
+            event.get("msg").and_then(Value::as_str),
+            Some("sink test message 42")
+        );
+        assert_eq!(event.get("level").and_then(Value::as_str), Some("info"));
+        let span = records
+            .iter()
+            .find(|r| r.get("name").and_then(Value::as_str) == Some("test.sink_span"))
+            .expect("span record");
+        assert_eq!(span.get("type").and_then(Value::as_str), Some("span"));
+        assert_eq!(
+            span.get("detail").and_then(Value::as_str),
+            Some("with detail")
+        );
+        assert!(span.get("dur_us").and_then(Value::as_f64).is_some());
+    }
+
+    #[test]
+    fn log_off_emits_no_events() {
+        let _guard = test_env_lock().lock().unwrap();
+        let buffer = install_test_sink();
+        set_level(Level::Off);
+        crate::warn!("must not appear");
+        crate::info!("must not appear");
+        crate::debug!("must not appear");
+        set_level(Level::Info);
+        clear_sink();
+        let events: Vec<Value> = lines(&buffer)
+            .into_iter()
+            .filter(|r| r.get("type").and_then(Value::as_str) == Some("event"))
+            .collect();
+        assert!(events.is_empty(), "RLB_LOG=off leaked events: {events:?}");
+    }
+
+    #[test]
+    fn warn_level_filters_info_and_debug() {
+        let _guard = test_env_lock().lock().unwrap();
+        let buffer = install_test_sink();
+        set_level(Level::Warn);
+        crate::warn!("warn passes");
+        crate::info!("info filtered");
+        crate::debug!("debug filtered");
+        set_level(Level::Info);
+        clear_sink();
+        let msgs: Vec<String> = lines(&buffer)
+            .into_iter()
+            .filter(|r| r.get("type").and_then(Value::as_str) == Some("event"))
+            .filter_map(|r| r.get("msg").and_then(Value::as_str).map(String::from))
+            .collect();
+        assert_eq!(msgs, vec!["warn passes".to_string()]);
+    }
+
+    #[test]
+    fn file_sink_writes_parseable_lines() {
+        let _guard = test_env_lock().lock().unwrap();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("rlb-obs-test-{}.jsonl", std::process::id()));
+        set_sink_path(path.to_str().unwrap()).unwrap();
+        set_level(Level::Info);
+        crate::info!("file sink line");
+        clear_sink();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let parsed: Vec<Value> = text
+            .lines()
+            .map(|l| Value::parse(l).expect("line parses"))
+            .collect();
+        assert!(parsed
+            .iter()
+            .any(|r| r.get("msg").and_then(Value::as_str) == Some("file sink line")));
+    }
+}

@@ -15,24 +15,88 @@
 //! the timing harness uses as its baseline).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Once, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Inputs shorter than this run sequentially — thread spawn latency would
 /// dominate the work.
 const SEQUENTIAL_CUTOFF: usize = 32;
 
-/// Number of worker threads: the `RLB_THREADS` environment variable if set
-/// to a positive integer, otherwise `std::thread::available_parallelism()`.
-pub fn thread_count() -> usize {
-    if let Ok(raw) = std::env::var("RLB_THREADS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
+/// End-of-life statistics of one parallel worker, delivered to the hook
+/// installed via [`set_worker_hook`] (normally `rlb_obs::init`, which turns
+/// them into `par.*` counters and a utilization histogram).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerStats {
+    /// Worker index within its parallel call (0-based).
+    pub worker: usize,
+    /// Total workers spawned by that call.
+    pub threads: usize,
+    /// Elements this worker processed.
+    pub tasks: u64,
+    /// Nanoseconds spent computing chunks.
+    pub busy_ns: u64,
+    /// Nanoseconds from worker start to worker exit (idle = elapsed − busy).
+    pub elapsed_ns: u64,
+}
+
+static WARN_HOOK: OnceLock<fn(&str)> = OnceLock::new();
+static WORKER_HOOK: OnceLock<fn(WorkerStats)> = OnceLock::new();
+
+/// Installs the warning hook (first caller wins; later calls are ignored).
+/// Without one, warnings go to stderr unless `RLB_LOG=off`.
+pub fn set_warn_hook(hook: fn(&str)) {
+    let _ = WARN_HOOK.set(hook);
+}
+
+/// Installs the per-worker statistics hook (first caller wins). Workers
+/// only pay for timestamps when a hook is installed.
+pub fn set_worker_hook(hook: fn(WorkerStats)) {
+    let _ = WORKER_HOOK.set(hook);
+}
+
+fn emit_warning(msg: &str) {
+    match WARN_HOOK.get() {
+        Some(hook) => hook(msg),
+        // No observability layer installed: keep the warning visible on
+        // stderr, still honouring RLB_LOG=off.
+        None => {
+            let off = std::env::var("RLB_LOG").is_ok_and(|v| v.trim().eq_ignore_ascii_case("off"));
+            if !off {
+                eprintln!("[warn] {msg}");
             }
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+}
+
+/// Number of worker threads: the `RLB_THREADS` environment variable if set
+/// to a positive integer, otherwise `std::thread::available_parallelism()`.
+///
+/// A set-but-invalid `RLB_THREADS` (empty, `0`, non-numeric) falls back to
+/// the default worker count and raises a single warn-level event for the
+/// whole process instead of being silently accepted.
+pub fn thread_count() -> usize {
+    static INVALID_WARNED: Once = Once::new();
+    let default = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    match std::env::var("RLB_THREADS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                let fallback = default();
+                INVALID_WARNED.call_once(|| {
+                    emit_warning(&format!(
+                        "[par] invalid RLB_THREADS value {raw:?} (want a positive \
+                         integer) — using {fallback} worker(s)"
+                    ));
+                });
+                fallback
+            }
+        },
+        Err(_) => default(),
+    }
 }
 
 /// Parallel `(0..n).map(f).collect()` with order-preserving output.
@@ -52,10 +116,16 @@ where
     // smoothing out skewed per-element cost.
     let chunk = n.div_ceil(threads * 8).max(1);
     let next = AtomicUsize::new(0);
+    let next = &next;
+    let f = &f;
+    let hook = WORKER_HOOK.get().copied();
     let mut parts: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|worker| {
+                scope.spawn(move || {
+                    let spawned = hook.map(|_| Instant::now());
+                    let mut tasks = 0u64;
+                    let mut busy = Duration::ZERO;
                     let mut local = Vec::new();
                     loop {
                         let start = next.fetch_add(chunk, Ordering::Relaxed);
@@ -63,7 +133,21 @@ where
                             break;
                         }
                         let end = (start + chunk).min(n);
+                        let t0 = spawned.map(|_| Instant::now());
                         local.push((start, (start..end).map(&f).collect::<Vec<R>>()));
+                        if let Some(t0) = t0 {
+                            busy += t0.elapsed();
+                            tasks += (end - start) as u64;
+                        }
+                    }
+                    if let (Some(hook), Some(spawned)) = (hook, spawned) {
+                        hook(WorkerStats {
+                            worker,
+                            threads,
+                            tasks,
+                            busy_ns: busy.as_nanos() as u64,
+                            elapsed_ns: spawned.elapsed().as_nanos() as u64,
+                        });
                     }
                     local
                 })
@@ -132,11 +216,34 @@ where
         slabs.push(slab);
     }
     let f = &f;
+    let hook = WORKER_HOOK.get().copied();
+    let workers = slabs.len();
     let mut out = Vec::with_capacity(n);
     std::thread::scope(|scope| {
         let handles: Vec<_> = slabs
             .into_iter()
-            .map(|slab| scope.spawn(move || slab.into_iter().map(f).collect::<Vec<R>>()))
+            .enumerate()
+            .map(|(worker, slab)| {
+                scope.spawn(move || {
+                    let spawned = hook.map(|_| Instant::now());
+                    let tasks = slab.len() as u64;
+                    let results = slab.into_iter().map(f).collect::<Vec<R>>();
+                    if let (Some(hook), Some(spawned)) = (hook, spawned) {
+                        // Slab workers compute from start to finish; busy and
+                        // elapsed coincide (idle shows up in the snapshot as
+                        // the spread between worker elapsed times instead).
+                        let elapsed_ns = spawned.elapsed().as_nanos() as u64;
+                        hook(WorkerStats {
+                            worker,
+                            threads: workers,
+                            tasks,
+                            busy_ns: elapsed_ns,
+                            elapsed_ns,
+                        });
+                    }
+                    results
+                })
+            })
             .collect();
         for h in handles {
             out.extend(h.join().expect("par_map_vec worker panicked"));
@@ -219,5 +326,53 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    // Hook slots are process-global OnceLocks and the test harness runs
+    // tests concurrently, so these hooks capture into global state and the
+    // assertions below only rely on invariants that hold regardless of
+    // which test triggered a given callback.
+    static CAPTURED_WARNINGS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    static CAPTURED_STATS: Mutex<Vec<WorkerStats>> = Mutex::new(Vec::new());
+
+    #[test]
+    fn invalid_rlb_threads_falls_back_and_warns_once() {
+        set_warn_hook(|msg| CAPTURED_WARNINGS.lock().unwrap().push(msg.to_string()));
+        std::env::set_var("RLB_THREADS", "not-a-number");
+        let first = thread_count();
+        let second = thread_count();
+        std::env::remove_var("RLB_THREADS");
+        assert!(first >= 1);
+        assert_eq!(first, second);
+        let warnings = CAPTURED_WARNINGS.lock().unwrap();
+        assert_eq!(warnings.len(), 1, "exactly one warning: {warnings:?}");
+        assert!(warnings[0].contains("RLB_THREADS"), "{warnings:?}");
+        assert!(warnings[0].contains("not-a-number"), "{warnings:?}");
+    }
+
+    #[test]
+    fn worker_hook_accounts_for_every_task() {
+        set_worker_hook(|stats| CAPTURED_STATS.lock().unwrap().push(stats));
+        if thread_count() <= 1 {
+            return; // single-core box: parallel paths degrade to sequential
+        }
+        let before: u64 = CAPTURED_STATS.lock().unwrap().iter().map(|s| s.tasks).sum();
+        let n = 4_096;
+        let _ = par_map_range(n, |i| i * 2);
+        let _ = par_map_vec((0..n).collect::<Vec<usize>>(), |i| i + 1);
+        let stats = CAPTURED_STATS.lock().unwrap();
+        let after: u64 = stats.iter().map(|s| s.tasks).sum();
+        // Other concurrent tests may add stats of their own; ours alone
+        // contribute 2n.
+        assert!(
+            after - before >= 2 * n as u64,
+            "hook saw {} new tasks, expected at least {}",
+            after - before,
+            2 * n
+        );
+        for s in stats.iter() {
+            assert!(s.worker < s.threads, "{s:?}");
+            assert!(s.busy_ns <= s.elapsed_ns, "{s:?}");
+        }
     }
 }
