@@ -1,0 +1,145 @@
+//! Streaming-vs-ragged bench for the 17 complexity measures.
+//!
+//! Two jobs:
+//!
+//! - **Identity**: [`rlb_complexity::compute`] (streaming
+//!   [`DistanceEngine`](rlb_textsim::gower::DistanceEngine) tiles) and
+//!   [`rlb_complexity::compute_ragged`] (materialized O(n²) matrix) must be
+//!   byte-identical on every one of the 17 values, at every scale where the
+//!   ragged matrix is still feasible.
+//! - **Throughput**: points/sec of the streaming path at the old 1500-point
+//!   default cap and at the new 20000-point default, plus the peak
+//!   distance-buffer footprint against what the ragged matrix would cost.
+//!
+//! Results go to `BENCH_complexity.json` (the CI smoke run asserts the file
+//! exists and carries `"identical": true`).
+
+use rlb_bench::timing::{group, Harness};
+use rlb_complexity::{compute, compute_ragged, ComplexityConfig};
+use rlb_textsim::gower::DistanceEngine;
+use rlb_util::json::Value;
+use rlb_util::Prng;
+use std::hint::black_box;
+
+/// Similarity-style 2-D data, mirroring the complexity crate's test fixture:
+/// positives clustered high, negatives low, with controllable overlap.
+fn synthetic(n: usize, overlap: f64, pos_frac: f64, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+    let mut rng = Prng::seed_from_u64(seed);
+    let spread = 0.05 + 0.25 * overlap;
+    let gap = 0.6 * (1.0 - overlap);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for _ in 0..n {
+        let pos = rng.chance(pos_frac);
+        let c = if pos {
+            0.5 + gap / 2.0
+        } else {
+            0.5 - gap / 2.0
+        };
+        xs.push(vec![
+            rng.normal_with(c, spread).clamp(0.0, 1.0),
+            rng.normal_with(c, spread).clamp(0.0, 1.0),
+        ]);
+        ys.push(pos);
+    }
+    ys[0] = true;
+    ys[1] = false;
+    (xs, ys)
+}
+
+fn cfg_with_cap(cap: usize) -> ComplexityConfig {
+    ComplexityConfig {
+        max_points: cap,
+        ..Default::default()
+    }
+}
+
+/// Asserts all 17 measures agree bit-for-bit between the twins.
+fn assert_identical(points: usize, cap: usize) {
+    let (xs, ys) = synthetic(points, 0.5, 0.25, 0xC0_FFEE ^ points as u64);
+    let cfg = cfg_with_cap(cap);
+    let streaming = compute(&xs, &ys, &cfg).expect("streaming compute");
+    let ragged = compute_ragged(&xs, &ys, &cfg).expect("ragged compute");
+    for ((name, s), (_, r)) in streaming.values().iter().zip(ragged.values()) {
+        assert_eq!(
+            s.to_bits(),
+            r.to_bits(),
+            "{name} diverged at {points} points (cap {cap}): {s} vs {r}"
+        );
+    }
+    println!("  {points:>5} points (cap {cap:>5}): all 17 measures bit-identical");
+}
+
+/// Times the streaming path at `points` and reports throughput + memory.
+fn bench_scale(h: &mut Harness, points: usize) -> Value {
+    let (xs, ys) = synthetic(points, 0.5, 0.25, 0xBE_7C ^ points as u64);
+    let cfg = cfg_with_cap(points);
+    let stats = h.bench(&format!("streaming compute, n={points}"), || {
+        black_box(compute(&xs, &ys, &cfg).unwrap())
+    });
+    let engine = DistanceEngine::fit(&xs).expect("non-empty");
+    let peak = engine.peak_buffer_bytes();
+    let ragged_bytes = points * points * 8;
+    let pps = points as f64 / stats.median.as_secs_f64();
+    println!(
+        "    {:.0} points/sec; peak distance buffers {} KiB vs {} KiB ragged ({}x smaller)",
+        pps,
+        peak / 1024,
+        ragged_bytes / 1024,
+        ragged_bytes / peak.max(1)
+    );
+    Value::Obj(vec![
+        ("points".into(), Value::Num(points as f64)),
+        (
+            "median_ms".into(),
+            Value::Num(stats.median.as_secs_f64() * 1e3),
+        ),
+        ("points_per_sec".into(), Value::Num(pps)),
+        ("peak_buffer_bytes".into(), Value::Num(peak as f64)),
+        (
+            "ragged_matrix_bytes".into(),
+            Value::Num(ragged_bytes as f64),
+        ),
+    ])
+}
+
+fn main() {
+    rlb_obs::init();
+    let mut h = Harness::new();
+
+    group("streaming vs ragged identity (all 17 measures, to_bits equality)");
+    // (points, cap): full-set runs plus a subsampled run; every scale is
+    // small enough for the ragged twin's O(n²) matrix to materialize.
+    for (points, cap) in [(400, 400), (1500, 1500), (5000, 1500)] {
+        assert_identical(points, cap);
+    }
+
+    group("streaming throughput (old default cap 1500 vs new default 20000)");
+    let scales: Vec<Value> = [1500usize, 20_000]
+        .iter()
+        .map(|&n| bench_scale(&mut h, n))
+        .collect();
+
+    let tile_rows = rlb_obs::snapshot().counter("complexity.tile.rows");
+    assert!(
+        tile_rows > 0,
+        "streaming runs must report complexity.tile.rows to rlb-obs"
+    );
+    let tiles = rlb_obs::snapshot().counter("complexity.tiles");
+    println!("\nobs: {tiles} tiles mapped, {tile_rows} rows streamed");
+
+    let out = Value::Obj(vec![
+        ("identical".into(), Value::Bool(true)),
+        (
+            "threads".into(),
+            Value::Num(rlb_util::par::thread_count() as f64),
+        ),
+        ("samples".into(), Value::Num(h.results()[0].samples as f64)),
+        ("scales".into(), Value::Arr(scales)),
+        ("tile_rows".into(), Value::Num(tile_rows as f64)),
+        ("tiles".into(), Value::Num(tiles as f64)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_complexity.json");
+    std::fs::write(path, out.to_json_string_pretty()).expect("write BENCH_complexity.json");
+    println!("wrote BENCH_complexity.json");
+}

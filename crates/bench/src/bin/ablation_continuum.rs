@@ -19,10 +19,15 @@ use rlb_matchers::features::TaskViews;
 
 fn main() {
     let id = std::env::args().nth(1).unwrap_or_else(|| "Dn2".to_string());
-    let profile = rlb_core::raw_pair_profiles()
-        .into_iter()
-        .find(|p| p.id == id)
-        .unwrap_or_else(|| panic!("unknown raw pair {id}"));
+    let profiles = rlb_core::raw_pair_profiles();
+    let profile = match profiles.iter().find(|p| p.id == id) {
+        Some(p) => p.clone(),
+        None => {
+            let known: Vec<&str> = profiles.iter().map(|p| p.id).collect();
+            eprintln!("unknown raw pair `{id}`; known pairs: {}", known.join(", "));
+            std::process::exit(2);
+        }
+    };
     let raw = rlb_core::generate_raw_pair(&profile);
 
     let header: Vec<String> = [

@@ -2,41 +2,43 @@
 
 use rlb_util::linalg::{mean2, scatter2, Sym2};
 
-/// Computes `(f1, f1v, f2, f3)`.
+/// Computes `(f1, f1v, f2, f3)` over any dense row type (`Vec<f64>`,
+/// `[f64; 2]`, …).
 ///
 /// `f1v` uses the exact 2-class directional Fisher ratio when the feature
 /// space is two-dimensional (our `[CS, JS]` representation); for other
 /// dimensionalities it falls back to the best single direction among the
 /// coordinate axes, which keeps the measure well-defined for ablations.
-pub fn feature_measures(xs: &[Vec<f64>], ys: &[bool]) -> (f64, f64, f64, f64) {
-    let dim = xs[0].len();
-    let pos: Vec<&Vec<f64>> = xs
+pub fn feature_measures<R: AsRef<[f64]>>(xs: &[R], ys: &[bool]) -> (f64, f64, f64, f64) {
+    let rows: Vec<&[f64]> = xs.iter().map(|x| x.as_ref()).collect();
+    let dim = rows[0].len();
+    let pos: Vec<&[f64]> = rows
         .iter()
         .zip(ys)
         .filter(|(_, &y)| y)
-        .map(|(x, _)| x)
+        .map(|(&x, _)| x)
         .collect();
-    let neg: Vec<&Vec<f64>> = xs
+    let neg: Vec<&[f64]> = rows
         .iter()
         .zip(ys)
         .filter(|(_, &y)| !y)
-        .map(|(x, _)| x)
+        .map(|(&x, _)| x)
         .collect();
 
-    let f1 = f1_measure(&pos, &neg, xs, dim);
+    let f1 = f1_measure(&pos, &neg, &rows, dim);
     let f1v = if dim == 2 { f1v_2d(&pos, &neg) } else { f1 };
     let f2 = f2_measure(&pos, &neg, dim);
     let f3 = f3_measure(&pos, &neg, dim);
     (f1, f1v, f2, f3)
 }
 
-fn column(points: &[&Vec<f64>], d: usize) -> Vec<f64> {
+fn column(points: &[&[f64]], d: usize) -> Vec<f64> {
     points.iter().map(|p| p[d]).collect()
 }
 
 /// `f1 = 1 / (1 + max_d r_d)` with the multi-class Fisher ratio
 /// `r_d = Σ_c n_c (μ_cd − μ_d)² / Σ_c Σ_{i∈c} (x_id − μ_cd)²`.
-fn f1_measure(pos: &[&Vec<f64>], neg: &[&Vec<f64>], all: &[Vec<f64>], dim: usize) -> f64 {
+fn f1_measure(pos: &[&[f64]], neg: &[&[f64]], all: &[&[f64]], dim: usize) -> f64 {
     let mut best_r = 0.0f64;
     for d in 0..dim {
         let cp = column(pos, d);
@@ -63,8 +65,8 @@ fn f1_measure(pos: &[&Vec<f64>], neg: &[&Vec<f64>], all: &[Vec<f64>], dim: usize
 /// Two-class directional Fisher ratio in 2-D:
 /// `dF = (w·(μ₁−μ₀))² / (w^T W w)` with `w = W⁻¹ (μ₁−μ₀)`;
 /// `f1v = 1 / (1 + dF)`.
-fn f1v_2d(pos: &[&Vec<f64>], neg: &[&Vec<f64>]) -> f64 {
-    let to2 = |pts: &[&Vec<f64>]| -> Vec<[f64; 2]> { pts.iter().map(|p| [p[0], p[1]]).collect() };
+fn f1v_2d(pos: &[&[f64]], neg: &[&[f64]]) -> f64 {
+    let to2 = |pts: &[&[f64]]| -> Vec<[f64; 2]> { pts.iter().map(|p| [p[0], p[1]]).collect() };
     let p2 = to2(pos);
     let n2 = to2(neg);
     let mp = mean2(&p2);
@@ -93,7 +95,7 @@ fn f1v_2d(pos: &[&Vec<f64>], neg: &[&Vec<f64>]) -> f64 {
 }
 
 /// `f2`: product over features of the normalized class-overlap interval.
-fn f2_measure(pos: &[&Vec<f64>], neg: &[&Vec<f64>], dim: usize) -> f64 {
+fn f2_measure(pos: &[&[f64]], neg: &[&[f64]], dim: usize) -> f64 {
     let mut vol = 1.0;
     for d in 0..dim {
         let cp = column(pos, d);
@@ -116,7 +118,7 @@ fn f2_measure(pos: &[&Vec<f64>], neg: &[&Vec<f64>], dim: usize) -> f64 {
 /// `f3`: minimum over features of the fraction of points inside the
 /// class-overlap interval of that feature (points no single threshold on
 /// the feature can separate).
-fn f3_measure(pos: &[&Vec<f64>], neg: &[&Vec<f64>], dim: usize) -> f64 {
+fn f3_measure(pos: &[&[f64]], neg: &[&[f64]], dim: usize) -> f64 {
     let n = (pos.len() + neg.len()) as f64;
     let mut best = 1.0f64;
     for d in 0..dim {
@@ -143,18 +145,18 @@ fn f3_measure(pos: &[&Vec<f64>], neg: &[&Vec<f64>], dim: usize) -> f64 {
 mod tests {
     use super::*;
 
-    fn split<'a>(xs: &'a [Vec<f64>], ys: &[bool]) -> (Vec<&'a Vec<f64>>, Vec<&'a Vec<f64>>) {
+    fn split<'a>(xs: &'a [Vec<f64>], ys: &[bool]) -> (Vec<&'a [f64]>, Vec<&'a [f64]>) {
         let pos = xs
             .iter()
             .zip(ys)
             .filter(|(_, &y)| y)
-            .map(|(x, _)| x)
+            .map(|(x, _)| x.as_slice())
             .collect();
         let neg = xs
             .iter()
             .zip(ys)
             .filter(|(_, &y)| !y)
-            .map(|(x, _)| x)
+            .map(|(x, _)| x.as_slice())
             .collect();
         (pos, neg)
     }

@@ -27,7 +27,7 @@ mod linearity;
 mod neighborhood;
 mod network;
 
-use rlb_textsim::gower::GowerSpace;
+use rlb_textsim::gower::{DistanceEngine, GowerSpace};
 use rlb_util::{Error, Prng, Result};
 
 /// Configuration for the complexity computation.
@@ -38,8 +38,11 @@ pub struct ComplexityConfig {
     pub epsilon: f64,
     /// Interpolated test points per original point for `n4`.
     pub n4_ratio: f64,
-    /// Subsample cap for the O(n²) measures; larger datasets are sampled
-    /// down deterministically (class-stratified).
+    /// Subsample cap for the O(n²)-time measures; larger datasets are
+    /// sampled down deterministically (class-stratified). The streaming
+    /// [`DistanceEngine`] keeps distance memory at O(threads × n), so the
+    /// default admits full benchmark-sized candidate sets rather than the
+    /// old 1500-point cap the materialized matrix forced.
     pub max_points: usize,
     /// Seed for `n4` interpolation and subsampling.
     pub seed: u64,
@@ -50,7 +53,7 @@ impl Default for ComplexityConfig {
         ComplexityConfig {
             epsilon: 0.15,
             n4_ratio: 1.0,
-            max_points: 1500,
+            max_points: 20_000,
             seed: 0xC0_11EC7,
         }
     }
@@ -147,14 +150,10 @@ impl ComplexityReport {
     }
 }
 
-/// Computes all 17 measures over dense features and boolean labels.
-///
-/// Requires at least 4 points and both classes present.
-pub fn compute(
-    features: &[Vec<f64>],
-    labels: &[bool],
-    cfg: &ComplexityConfig,
-) -> Result<ComplexityReport> {
+/// Validates the input contract shared by [`compute`] and
+/// [`compute_ragged`]: at least 4 points, matching label length, a
+/// rectangular non-empty feature matrix, and both classes present.
+fn validate<R: AsRef<[f64]>>(features: &[R], labels: &[bool]) -> Result<usize> {
     if features.len() < 4 {
         return Err(Error::EmptyInput("complexity needs at least 4 points"));
     }
@@ -165,8 +164,8 @@ pub fn compute(
             what: "labels",
         });
     }
-    let dim = features[0].len();
-    if dim == 0 || features.iter().any(|f| f.len() != dim) {
+    let dim = features[0].as_ref().len();
+    if dim == 0 || features.iter().any(|f| f.as_ref().len() != dim) {
         return Err(Error::InvalidParameter(
             "ragged or empty feature matrix".into(),
         ));
@@ -176,25 +175,32 @@ pub fn compute(
             "both classes must be present".into(),
         ));
     }
-    let _span = rlb_obs::span!("complexity.compute", "{} points, dim {dim}", features.len());
-    rlb_obs::counter_add("complexity.points", features.len() as u64);
+    Ok(dim)
+}
 
-    // Class-balance measures use the *full* class proportions.
+/// The distance-free measure groups both twins share: class balance on the
+/// *full* label set, then feature and linearity measures on the subsample.
+#[allow(clippy::type_complexity)]
+fn shared_measures<R: AsRef<[f64]> + Clone>(
+    features: &[R],
+    labels: &[bool],
+    cfg: &ComplexityConfig,
+) -> (Vec<R>, Vec<bool>, [f64; 2], [f64; 4], [f64; 2]) {
     let (c1, c2) = balance::class_balance(labels);
-
-    // Stratified subsample for everything O(n²).
     let (xs, ys) = stratified_subsample(features, labels, cfg.max_points, cfg.seed);
-
     let (f1, f1v, f2, f3) = feature::feature_measures(&xs, &ys);
     let (l1, l2) = linearity::linearity_measures(&xs, &ys, cfg.seed);
+    (xs, ys, [c1, c2], [f1, f1v, f2, f3], [l1, l2])
+}
 
-    let gower = GowerSpace::fit(&xs).expect("non-empty");
-    let dists = gower.pairwise(&xs);
-    let mut rng = Prng::seed_from_u64(cfg.seed ^ 0x4E4);
-    let nb = neighborhood::neighborhood_measures(&xs, &ys, &dists, &gower, cfg.n4_ratio, &mut rng);
-    let (den, cls, hub) = network::network_measures(&ys, &dists, cfg.epsilon);
-
-    Ok(ComplexityReport {
+fn assemble(
+    [c1, c2]: [f64; 2],
+    [f1, f1v, f2, f3]: [f64; 4],
+    [l1, l2]: [f64; 2],
+    nb: neighborhood::NeighborhoodMeasures,
+    (den, cls, hub): (f64, f64, f64),
+) -> ComplexityReport {
+    ComplexityReport {
         f1,
         f1v,
         f2,
@@ -212,29 +218,95 @@ pub fn compute(
         hub,
         c1,
         c2,
-    })
+    }
+}
+
+/// Computes all 17 measures over dense features and boolean labels.
+///
+/// Requires at least 4 points and both classes present. Accepts any dense
+/// row type (`Vec<f64>`, `[f64; 2]`, …). Distance-based measure groups
+/// stream Gower rows out of a [`DistanceEngine`] tile by tile, so peak
+/// distance memory is O(threads × n) instead of the O(n²) a materialized
+/// matrix costs; [`compute_ragged`] is the materialized twin and produces
+/// byte-identical output.
+pub fn compute<R: AsRef<[f64]> + Sync + Clone>(
+    features: &[R],
+    labels: &[bool],
+    cfg: &ComplexityConfig,
+) -> Result<ComplexityReport> {
+    let dim = validate(features, labels)?;
+    let _span = rlb_obs::span!("complexity.compute", "{} points, dim {dim}", features.len());
+    rlb_obs::counter_add("complexity.points", features.len() as u64);
+
+    let (xs, ys, c, f, l) = shared_measures(features, labels, cfg);
+
+    let engine = DistanceEngine::fit(&xs).expect("non-empty");
+    let mut rng = Prng::seed_from_u64(cfg.seed ^ 0x4E4);
+    let nb = neighborhood::neighborhood_measures(&ys, &engine, cfg.n4_ratio, &mut rng);
+    let net = network::network_measures(&ys, &engine, cfg.epsilon);
+
+    Ok(assemble(c, f, l, nb, net))
+}
+
+/// The materialized O(n²)-memory twin of [`compute`]: builds the full
+/// ragged Gower distance matrix up front and hands it to the `*_ragged`
+/// measure implementations. Kept as the reference path for the byte-identity
+/// property suite and benchmarks; prefer [`compute`] everywhere else.
+pub fn compute_ragged<R: AsRef<[f64]> + Sync + Clone>(
+    features: &[R],
+    labels: &[bool],
+    cfg: &ComplexityConfig,
+) -> Result<ComplexityReport> {
+    let dim = validate(features, labels)?;
+    let _span = rlb_obs::span!(
+        "complexity.compute_ragged",
+        "{} points, dim {dim}",
+        features.len()
+    );
+    rlb_obs::counter_add("complexity.points", features.len() as u64);
+
+    let (xs, ys, c, f, l) = shared_measures(features, labels, cfg);
+
+    let gower = GowerSpace::fit(&xs).expect("non-empty");
+    let dists = gower.pairwise(&xs);
+    let mut rng = Prng::seed_from_u64(cfg.seed ^ 0x4E4);
+    let nb = neighborhood::neighborhood_measures_ragged(
+        &xs,
+        &ys,
+        &dists,
+        &gower,
+        cfg.n4_ratio,
+        &mut rng,
+    );
+    let net = network::network_measures_ragged(&ys, &dists, cfg.epsilon);
+
+    Ok(assemble(c, f, l, nb, net))
 }
 
 /// [`compute`] over the canonical `[CS, JS]` pair representation of Section
-/// III-B — the dense `[f64; 2]` rows the interned feature pipeline emits —
-/// without requiring callers to materialize a ragged `Vec<Vec<f64>>`
-/// themselves. Identical output to [`compute`] on the same values.
+/// III-B — the dense `[f64; 2]` rows the interned feature pipeline emits.
+/// A direct delegation: the dense rows feed the [`DistanceEngine`] as-is,
+/// with no intermediate `Vec<Vec<f64>>` materialization and no copying.
+/// Identical output to [`compute`] on the same values.
 pub fn compute_cs_js(
     features: &[[f64; 2]],
     labels: &[bool],
     cfg: &ComplexityConfig,
 ) -> Result<ComplexityReport> {
-    let rows: Vec<Vec<f64>> = features.iter().map(|f| f.to_vec()).collect();
-    compute(&rows, labels, cfg)
+    compute(features, labels, cfg)
 }
 
 /// Deterministic class-stratified subsample preserving class proportions.
-fn stratified_subsample(
-    features: &[Vec<f64>],
+///
+/// Every non-empty class is guaranteed at least one pick, even under
+/// extreme imbalance where its proportional share rounds to zero; the
+/// remainder is re-balanced so the cap is still honored exactly.
+fn stratified_subsample<R: Clone>(
+    features: &[R],
     labels: &[bool],
     cap: usize,
     seed: u64,
-) -> (Vec<Vec<f64>>, Vec<bool>) {
+) -> (Vec<R>, Vec<bool>) {
     let n = features.len();
     if n <= cap {
         return (features.to_vec(), labels.to_vec());
@@ -242,9 +314,16 @@ fn stratified_subsample(
     let mut rng = Prng::seed_from_u64(seed);
     let pos_idx: Vec<usize> = (0..n).filter(|&i| labels[i]).collect();
     let neg_idx: Vec<usize> = (0..n).filter(|&i| !labels[i]).collect();
-    let pos_take = ((pos_idx.len() as f64 / n as f64) * cap as f64).round() as usize;
-    let pos_take = pos_take.clamp(1.min(pos_idx.len()), pos_idx.len());
+    // Reserve one slot per non-empty class so neither proportional share
+    // can round a minority class out of the sample entirely.
+    let min_pos = usize::from(!pos_idx.is_empty());
+    let min_neg = usize::from(!neg_idx.is_empty());
+    let cap = cap.max(min_pos + min_neg);
+    let ideal = ((pos_idx.len() as f64 / n as f64) * cap as f64).round() as usize;
+    let pos_take = ideal.clamp(min_pos, pos_idx.len().min(cap - min_neg));
     let neg_take = (cap - pos_take).min(neg_idx.len());
+    // Hand any slots the negatives could not fill back to the positives.
+    let pos_take = (cap - neg_take).min(pos_idx.len()).max(pos_take);
     let mut take = |idx: &[usize], k: usize| -> Vec<usize> {
         let picks = rng.sample_indices(idx.len(), k);
         picks.into_iter().map(|p| idx[p]).collect()
@@ -345,10 +424,66 @@ mod tests {
     #[test]
     fn rejects_degenerate_input() {
         let cfg = ComplexityConfig::default();
-        assert!(compute(&[], &[], &cfg).is_err());
+        assert!(compute::<Vec<f64>>(&[], &[], &cfg).is_err());
         let xs = vec![vec![0.1], vec![0.2], vec![0.3], vec![0.4]];
         assert!(compute(&xs, &[true; 4], &cfg).is_err());
         assert!(compute(&xs, &[true, false], &cfg).is_err());
+        assert!(compute_ragged::<Vec<f64>>(&[], &[], &cfg).is_err());
+        assert!(compute_ragged(&xs, &[true; 4], &cfg).is_err());
+    }
+
+    #[test]
+    fn streaming_and_ragged_twins_are_bit_identical() {
+        let cfg = ComplexityConfig::default();
+        for (overlap, pos_frac, seed) in [(0.1, 0.3, 11), (0.6, 0.5, 12), (0.9, 0.1, 13)] {
+            let (xs, ys) = separated(250, overlap, pos_frac, seed);
+            let a = compute(&xs, &ys, &cfg).unwrap();
+            let b = compute_ragged(&xs, &ys, &cfg).unwrap();
+            for ((name, va), (_, vb)) in a.values().iter().zip(b.values()) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "{name}: {va} vs {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn subsample_keeps_both_classes_under_extreme_imbalance() {
+        // 10000 positives : 3 negatives. The proportional negative share of
+        // a 1500-point cap rounds to zero; the old clamp let the negatives
+        // vanish from the sample and downstream measures divide by an empty
+        // class. Every non-empty class must keep at least one pick.
+        let n_pos = 10_000;
+        let n_neg = 3;
+        let mut rng = Prng::seed_from_u64(42);
+        let mut xs: Vec<Vec<f64>> = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n_pos {
+            xs.push(vec![0.6 + 0.4 * rng.f64(), 0.6 + 0.4 * rng.f64()]);
+            ys.push(true);
+        }
+        for _ in 0..n_neg {
+            xs.push(vec![0.4 * rng.f64(), 0.4 * rng.f64()]);
+            ys.push(false);
+        }
+        let (sx, sy) = stratified_subsample(&xs, &ys, 1500, 7);
+        assert_eq!(sx.len(), 1500, "cap must be honored exactly");
+        assert!(sy.iter().any(|&y| y), "positives present");
+        assert!(sy.iter().any(|&y| !y), "negatives present");
+
+        // And the mirrored imbalance.
+        let flipped: Vec<bool> = ys.iter().map(|&y| !y).collect();
+        let (fx, fy) = stratified_subsample(&xs, &flipped, 1500, 7);
+        assert_eq!(fx.len(), 1500);
+        assert!(fy.iter().any(|&y| y) && fy.iter().any(|&y| !y));
+
+        // End to end: compute must succeed and stay finite.
+        let cfg = ComplexityConfig {
+            max_points: 1500,
+            ..Default::default()
+        };
+        let r = compute(&xs, &ys, &cfg).unwrap();
+        for (name, v) in r.values() {
+            assert!(v.is_finite(), "{name} not finite under extreme imbalance");
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@ use rlb_ml::{Classifier, LinearSvm, StandardScaler};
 ///   the SVM boundary: `l1 = 1 − 1 / (1 + ΣED/n)` (Lorena et al.'s
 ///   normalization; 0 when the data is perfectly separated with margin).
 /// - `l2` — the linear SVM's training error rate.
-pub fn linearity_measures(xs: &[Vec<f64>], ys: &[bool], seed: u64) -> (f64, f64) {
+pub fn linearity_measures<R: AsRef<[f64]>>(xs: &[R], ys: &[bool], seed: u64) -> (f64, f64) {
     let scaler = StandardScaler::fit(xs).expect("validated upstream");
     let scaled = scaler.transform_batch(xs);
     let mut svm = LinearSvm::new(seed ^ 0x51D3);

@@ -1,7 +1,15 @@
 //! Neighborhood measures `n1`, `n2`, `n3`, `n4`, `t1`, `lsc` over the Gower
 //! distance (Table I, group c).
+//!
+//! Two entry points share every per-row formula:
+//!
+//! - [`neighborhood_measures`] streams distance rows out of a
+//!   [`DistanceEngine`] — O(n) peak memory, the default;
+//! - [`neighborhood_measures_ragged`] scans a materialized `Vec<Vec<f64>>`
+//!   matrix — the O(n²) twin, kept (like `TokenSet` next to `IdSet`) so the
+//!   property suite can assert the streaming path bit-for-bit.
 
-use rlb_textsim::gower::GowerSpace;
+use rlb_textsim::gower::{DistanceEngine, GowerSpace};
 use rlb_util::Prng;
 
 /// Results of the neighborhood group.
@@ -15,69 +23,105 @@ pub struct NeighborhoodMeasures {
     pub lsc: f64,
 }
 
-/// Computes the whole group from a precomputed pairwise distance matrix.
-pub fn neighborhood_measures(
-    xs: &[Vec<f64>],
-    ys: &[bool],
-    dists: &[Vec<f64>],
-    gower: &GowerSpace,
-    n4_ratio: f64,
-    rng: &mut Prng,
-) -> NeighborhoodMeasures {
-    let n = xs.len();
-    // Nearest neighbour overall / same class / other class per point — each
-    // point scans its distance row independently, so rows run in parallel.
-    let nn = rlb_util::par::par_map_range(n, |i| {
-        let mut any = usize::MAX;
-        let mut best = f64::INFINITY;
-        let mut intra = f64::INFINITY;
-        let mut extra = f64::INFINITY;
-        for j in 0..n {
-            if i == j {
-                continue;
-            }
-            let d = dists[i][j];
-            if d < best {
-                best = d;
-                any = j;
-            }
-            if ys[i] == ys[j] {
-                if d < intra {
-                    intra = d;
-                }
-            } else if d < extra {
-                extra = d;
-            }
+/// Per-point nearest-neighbour scan of one distance row: `(nearest index,
+/// nearest same-class distance, nearest other-class distance)`.
+fn nn_scan(i: usize, row: &[f64], ys: &[bool]) -> (usize, f64, f64) {
+    let mut any = usize::MAX;
+    let mut best = f64::INFINITY;
+    let mut intra = f64::INFINITY;
+    let mut extra = f64::INFINITY;
+    for (j, &d) in row.iter().enumerate() {
+        if i == j {
+            continue;
         }
-        (any, intra, extra)
-    });
-    let nn_any: Vec<usize> = nn.iter().map(|&(a, _, _)| a).collect();
+        if d < best {
+            best = d;
+            any = j;
+        }
+        if ys[i] == ys[j] {
+            if d < intra {
+                intra = d;
+            }
+        } else if d < extra {
+            extra = d;
+        }
+    }
+    (any, intra, extra)
+}
+
+/// `n2` from the per-point nearest intra/extra-class distances.
+///
+/// A point whose class has a single member has no intra-class neighbour
+/// (`intra = ∞`); such points are excluded from **both** sums. Counting
+/// their extra-class distance in the denominator while dropping them from
+/// the numerator would bias `n2` downward exactly on the extreme class
+/// imbalance that is the norm in ER candidate sets. On inputs where every
+/// class has ≥ 2 members all distances are finite and the sums are
+/// byte-identical to the unfiltered ones.
+fn n2_from_nn(nn_intra_d: &[f64], nn_extra_d: &[f64]) -> f64 {
+    let mut intra = 0.0;
+    let mut extra = 0.0;
+    for (&di, &de) in nn_intra_d.iter().zip(nn_extra_d) {
+        if di.is_finite() && de.is_finite() {
+            intra += di;
+            extra += de;
+        }
+    }
+    if intra + extra == 0.0 {
+        0.0
+    } else {
+        let r = if extra > 0.0 {
+            intra / extra
+        } else {
+            f64::INFINITY
+        };
+        r / (1.0 + r)
+    }
+}
+
+/// Fused `t1`/`lsc` scan of one distance row: `(sphere absorbed, local-set
+/// cardinality)`. `enemy_d[i]` is the distance to point `i`'s nearest
+/// enemy — the sphere radius for `t1` and the local-set radius for `lsc`.
+fn t1_lsc_scan(i: usize, row: &[f64], enemy_d: &[f64]) -> (bool, usize) {
+    let r = enemy_d[i];
+    let count_ls = r.is_finite();
+    let mut absorbed = false;
+    let mut ls = 0usize;
+    for (j, &d) in row.iter().enumerate() {
+        if i == j {
+            continue;
+        }
+        if !absorbed && enemy_d[j].is_finite() && d + r <= enemy_d[j] + 1e-12 {
+            absorbed = true;
+        }
+        if count_ls && d < r {
+            ls += 1;
+        }
+    }
+    (absorbed, ls)
+}
+
+/// Folds the per-point scans into the final group (everything except the
+/// matrix walks themselves, shared by the streaming and ragged paths).
+fn finish(
+    ys: &[bool],
+    nn: &[(usize, f64, f64)],
+    n1: f64,
+    n4: f64,
+    t1_lsc: &[(bool, usize)],
+) -> NeighborhoodMeasures {
+    let n = ys.len();
     let nn_intra_d: Vec<f64> = nn.iter().map(|&(_, d, _)| d).collect();
     let nn_extra_d: Vec<f64> = nn.iter().map(|&(_, _, d)| d).collect();
-
-    let n1 = n1_mst(ys, dists);
-    let n2 = {
-        let intra: f64 = nn_intra_d.iter().filter(|d| d.is_finite()).sum();
-        let extra: f64 = nn_extra_d.iter().filter(|d| d.is_finite()).sum();
-        if intra + extra == 0.0 {
-            0.0
-        } else {
-            let r = if extra > 0.0 {
-                intra / extra
-            } else {
-                f64::INFINITY
-            };
-            r / (1.0 + r)
-        }
-    };
+    let n2 = n2_from_nn(&nn_intra_d, &nn_extra_d);
     let n3 = {
-        let errors = (0..n).filter(|&i| ys[nn_any[i]] != ys[i]).count();
+        let errors = (0..n).filter(|&i| ys[nn[i].0] != ys[i]).count();
         errors as f64 / n as f64
     };
-    let n4 = n4_interpolated(xs, ys, gower, n4_ratio, rng);
-    let t1 = t1_hyperspheres(dists, &nn_extra_d);
-    let lsc = lsc_measure(dists, &nn_extra_d);
-
+    let kept = t1_lsc.iter().filter(|&&(absorbed, _)| !absorbed).count();
+    let t1 = kept as f64 / n as f64;
+    let ls_total: usize = t1_lsc.iter().map(|&(_, ls)| ls).sum();
+    let lsc = 1.0 - ls_total as f64 / (n * n) as f64;
     NeighborhoodMeasures {
         n1,
         n2,
@@ -88,22 +132,63 @@ pub fn neighborhood_measures(
     }
 }
 
+/// Computes the whole group by streaming distance rows out of the engine —
+/// O(n) peak memory.
+pub fn neighborhood_measures(
+    ys: &[bool],
+    engine: &DistanceEngine,
+    n4_ratio: f64,
+    rng: &mut Prng,
+) -> NeighborhoodMeasures {
+    let n = engine.len();
+    let nn = engine.map_rows(|i, row| nn_scan(i, row, ys));
+    let nn_extra_d: Vec<f64> = nn.iter().map(|&(_, _, d)| d).collect();
+    let n1 = n1_mst(ys, engine);
+    let points: Vec<&[f64]> = (0..n).map(|i| engine.point(i)).collect();
+    let n4 = n4_interpolated(&points, ys, engine.space(), n4_ratio, rng);
+    let t1_lsc = engine.map_rows(|i, row| t1_lsc_scan(i, row, &nn_extra_d));
+    finish(ys, &nn, n1, n4, &t1_lsc)
+}
+
+/// Computes the whole group from a precomputed pairwise distance matrix —
+/// the O(n²)-memory ragged twin of [`neighborhood_measures`].
+pub fn neighborhood_measures_ragged<R: AsRef<[f64]> + Sync>(
+    xs: &[R],
+    ys: &[bool],
+    dists: &[Vec<f64>],
+    gower: &GowerSpace,
+    n4_ratio: f64,
+    rng: &mut Prng,
+) -> NeighborhoodMeasures {
+    let n = xs.len();
+    let nn = rlb_util::par::par_map_range(n, |i| nn_scan(i, &dists[i], ys));
+    let nn_extra_d: Vec<f64> = nn.iter().map(|&(_, _, d)| d).collect();
+    let n1 = n1_mst_ragged(ys, dists);
+    let points: Vec<&[f64]> = xs.iter().map(|x| x.as_ref()).collect();
+    let n4 = n4_interpolated(&points, ys, gower, n4_ratio, rng);
+    let t1_lsc = rlb_util::par::par_map_range(n, |i| t1_lsc_scan(i, &dists[i], &nn_extra_d));
+    finish(ys, &nn, n1, n4, &t1_lsc)
+}
+
 /// `n1`: fraction of points incident to an MST edge connecting the two
-/// classes (borderline points). Prim's algorithm on the dense matrix.
-fn n1_mst(ys: &[bool], dists: &[Vec<f64>]) -> f64 {
+/// classes (borderline points). Prim's algorithm over one reusable O(n) row
+/// buffer, shared by both layouts via a fill-row closure. Each node's row
+/// is consumed exactly once (when the node is picked), so the streaming
+/// path does the same total distance work as a full materialization — with
+/// O(n) peak memory instead of O(n²).
+fn n1_prim(ys: &[bool], mut fill_row: impl FnMut(usize, &mut [f64])) -> f64 {
     let n = ys.len();
     if n < 2 {
         return 0.0;
     }
+    let mut row = vec![0.0; n];
     let mut in_tree = vec![false; n];
     let mut best_d = vec![f64::INFINITY; n];
     let mut best_from = vec![0usize; n];
     let mut borderline = vec![false; n];
     in_tree[0] = true;
-    for j in 1..n {
-        best_d[j] = dists[0][j];
-        best_from[j] = 0;
-    }
+    fill_row(0, &mut row);
+    best_d[1..n].copy_from_slice(&row[1..n]);
     for _ in 1..n {
         let mut pick = usize::MAX;
         let mut pick_d = f64::INFINITY;
@@ -122,9 +207,10 @@ fn n1_mst(ys: &[bool], dists: &[Vec<f64>]) -> f64 {
             borderline[pick] = true;
             borderline[from] = true;
         }
+        fill_row(pick, &mut row);
         for j in 0..n {
-            if !in_tree[j] && dists[pick][j] < best_d[j] {
-                best_d[j] = dists[pick][j];
+            if !in_tree[j] && row[j] < best_d[j] {
+                best_d[j] = row[j];
                 best_from[j] = pick;
             }
         }
@@ -132,83 +218,62 @@ fn n1_mst(ys: &[bool], dists: &[Vec<f64>]) -> f64 {
     borderline.iter().filter(|&&b| b).count() as f64 / n as f64
 }
 
+/// Streaming `n1`: Prim over on-the-fly engine rows.
+fn n1_mst(ys: &[bool], engine: &DistanceEngine) -> f64 {
+    n1_prim(ys, |i, buf| engine.row_into(i, buf))
+}
+
+/// Ragged `n1` twin over the materialized matrix.
+fn n1_mst_ragged(ys: &[bool], dists: &[Vec<f64>]) -> f64 {
+    n1_prim(ys, |i, buf| buf.copy_from_slice(&dists[i]))
+}
+
 /// `n4`: 1-NN error on synthetic points interpolated between random
-/// same-class pairs.
+/// same-class pairs. Independent of the distance-matrix layout: the
+/// synthetic points are drawn sequentially (the `Prng` stream defines
+/// them), then classified in parallel against the originals.
 fn n4_interpolated(
-    xs: &[Vec<f64>],
+    points: &[&[f64]],
     ys: &[bool],
     gower: &GowerSpace,
     ratio: f64,
     rng: &mut Prng,
 ) -> f64 {
-    let n = xs.len();
+    let n = points.len();
     let n_new = ((n as f64 * ratio).round() as usize).max(1);
     let pos: Vec<usize> = (0..n).filter(|&i| ys[i]).collect();
     let neg: Vec<usize> = (0..n).filter(|&i| !ys[i]).collect();
-    let mut errors = 0usize;
-    let mut made = 0usize;
+    let mut synth: Vec<(Vec<f64>, bool)> = Vec::with_capacity(n_new);
     for k in 0..n_new {
         let class_pos = k % 2 == 0;
         let pool = if class_pos { &pos } else { &neg };
         if pool.len() < 2 {
             continue;
         }
-        let a = xs[*rng.choose(pool)].as_slice();
-        let b = xs[*rng.choose(pool)].as_slice();
+        let a = points[*rng.choose(pool)];
+        let b = points[*rng.choose(pool)];
         let t = rng.f64();
         let point: Vec<f64> = a.iter().zip(b).map(|(x, y)| x + t * (y - x)).collect();
-        // 1-NN over the original data.
+        synth.push((point, class_pos));
+    }
+    if synth.is_empty() {
+        return 0.0;
+    }
+    let errors: usize = rlb_util::par::par_map(&synth, |(point, class_pos)| {
         let mut best_j = 0usize;
         let mut best_d = f64::INFINITY;
-        for (j, xj) in xs.iter().enumerate() {
-            let d = gower.distance(&point, xj);
+        for (j, xj) in points.iter().enumerate() {
+            let d = gower.distance(point, xj);
             if d < best_d {
                 best_d = d;
                 best_j = j;
             }
         }
-        made += 1;
-        if ys[best_j] != class_pos {
-            errors += 1;
-        }
-    }
-    if made == 0 {
-        0.0
-    } else {
-        errors as f64 / made as f64
-    }
-}
-
-/// `t1`: fraction of hyperspheres remaining after absorption. Every point
-/// gets a sphere with radius = distance to its nearest enemy; a sphere fully
-/// contained in another is absorbed.
-fn t1_hyperspheres(dists: &[Vec<f64>], radius: &[f64]) -> f64 {
-    let n = radius.len();
-    let kept: usize = rlb_util::par::par_map_range(n, |i| {
-        let absorbed = (0..n).any(|j| {
-            j != i && radius[j].is_finite() && dists[i][j] + radius[i] <= radius[j] + 1e-12
-        });
-        usize::from(!absorbed)
+        usize::from(ys[best_j] != *class_pos)
     })
     .into_iter()
     .sum();
-    kept as f64 / n as f64
-}
-
-/// `lsc = 1 − Σ|LS(x)| / n²` where the local set `LS(x)` contains points
-/// strictly closer to `x` than its nearest enemy.
-fn lsc_measure(dists: &[Vec<f64>], nn_extra_d: &[f64]) -> f64 {
-    let n = nn_extra_d.len();
-    let total: usize = rlb_util::par::par_map_range(n, |i| {
-        let r = nn_extra_d[i];
-        if !r.is_finite() {
-            return 0;
-        }
-        (0..n).filter(|&j| j != i && dists[i][j] < r).count()
-    })
-    .into_iter()
-    .sum();
-    1.0 - total as f64 / (n * n) as f64
+    errors as f64 / synth.len() as f64
 }
 
 #[cfg(test)]
@@ -216,12 +281,36 @@ mod tests {
     use super::*;
     use crate::testdata::separated;
 
+    fn both(
+        xs: &[Vec<f64>],
+        ys: &[bool],
+        ratio: f64,
+        seed: u64,
+    ) -> (NeighborhoodMeasures, NeighborhoodMeasures) {
+        let engine = DistanceEngine::fit(xs).unwrap();
+        let mut rng = Prng::seed_from_u64(seed);
+        let streaming = neighborhood_measures(ys, &engine, ratio, &mut rng);
+        let gower = GowerSpace::fit(xs).unwrap();
+        let dists = gower.pairwise(xs);
+        let mut rng = Prng::seed_from_u64(seed);
+        let ragged = neighborhood_measures_ragged(xs, ys, &dists, &gower, ratio, &mut rng);
+        (streaming, ragged)
+    }
+
     fn run(overlap: f64, seed: u64) -> NeighborhoodMeasures {
         let (xs, ys) = separated(250, overlap, 0.4, seed);
-        let gower = GowerSpace::fit(&xs).unwrap();
-        let dists = gower.pairwise(&xs);
-        let mut rng = Prng::seed_from_u64(seed);
-        neighborhood_measures(&xs, &ys, &dists, &gower, 1.0, &mut rng)
+        let (streaming, ragged) = both(&xs, &ys, 1.0, seed);
+        for (s, r) in [
+            (streaming.n1, ragged.n1),
+            (streaming.n2, ragged.n2),
+            (streaming.n3, ragged.n3),
+            (streaming.n4, ragged.n4),
+            (streaming.t1, ragged.t1),
+            (streaming.lsc, ragged.lsc),
+        ] {
+            assert_eq!(s.to_bits(), r.to_bits(), "streaming vs ragged");
+        }
+        streaming
     }
 
     #[test]
@@ -260,9 +349,10 @@ mod tests {
         // MST, touching 2 of 4 points.
         let ys = vec![false, false, true, true];
         let xs = vec![vec![0.0], vec![0.1], vec![0.6], vec![0.7]];
-        let gower = GowerSpace::fit(&xs).unwrap();
-        let dists = gower.pairwise(&xs);
-        assert!((n1_mst(&ys, &dists) - 0.5).abs() < 1e-12);
+        let engine = DistanceEngine::fit(&xs).unwrap();
+        assert!((n1_mst(&ys, &engine) - 0.5).abs() < 1e-12);
+        let dists = engine.space().pairwise(&xs);
+        assert!((n1_mst_ragged(&ys, &dists) - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -277,10 +367,40 @@ mod tests {
             xs.push(vec![1.0 + i as f64 * 1e-4]);
             ys.push(false);
         }
-        let gower = GowerSpace::fit(&xs).unwrap();
-        let dists = gower.pairwise(&xs);
+        let engine = DistanceEngine::fit(&xs).unwrap();
         let mut rng = Prng::seed_from_u64(1);
-        let m = neighborhood_measures(&xs, &ys, &dists, &gower, 0.5, &mut rng);
+        let m = neighborhood_measures(&ys, &engine, 0.5, &mut rng);
         assert!(m.t1 < 0.2, "t1 {}", m.t1);
+    }
+
+    #[test]
+    fn n2_skips_single_member_class_points_in_both_sums() {
+        // Regression: point 0 is the only member of its class, so its intra
+        // distance is infinite. It must not contribute its (finite) extra
+        // distance to the denominator either.
+        let xs = vec![vec![0.0], vec![0.5], vec![0.6], vec![0.7], vec![1.0]];
+        let ys = vec![true, false, false, false, false];
+        let (streaming, ragged) = both(&xs, &ys, 1.0, 4);
+        // Remaining points: intra 0.1+0.1+0.1+0.3 = 0.6, extra
+        // 0.5+0.6+0.7+1.0 = 2.8 → n2 = (0.6/2.8)/(1+0.6/2.8) = 0.6/3.4.
+        let expected = 0.6 / 3.4;
+        assert!(
+            (streaming.n2 - expected).abs() < 1e-9,
+            "n2 {} vs {expected}",
+            streaming.n2
+        );
+        assert_eq!(streaming.n2.to_bits(), ragged.n2.to_bits());
+    }
+
+    #[test]
+    fn n2_helper_excludes_infinite_intra_from_both_sums() {
+        let intra = [f64::INFINITY, 0.25, 0.25];
+        let extra = [0.5, 0.5, 0.5];
+        // Only the two finite-intra points count: 0.5 / 1.0 → r = 0.5.
+        let n2 = n2_from_nn(&intra, &extra);
+        assert_eq!(n2, 0.5 / 1.5);
+        // All-finite input is the plain unfiltered ratio.
+        let n2 = n2_from_nn(&[0.2, 0.2], &[0.4, 0.4]);
+        assert_eq!(n2, (0.4 / 0.8) / 1.5);
     }
 }

@@ -5,11 +5,122 @@
 //! instances of *different* classes are then pruned (the paper's
 //! description). All three measures are reported complexity-oriented
 //! (`1 − value`), following `problexity`.
+//!
+//! [`network_measures`] streams distance rows out of a [`DistanceEngine`]
+//! into a packed bitset adjacency (n²/8 bytes, with parallel
+//! popcount-based triangle counting — dense ε-graphs at the 20 000-point
+//! default cap have average degree in the thousands, where per-edge
+//! neighbour-list intersection is intractable); [`network_measures_ragged`]
+//! is the materialized O(n²)-distance, adjacency-list twin. Both count the
+//! identical integer edge/triangle quantities and accumulate the same f64
+//! operations in the same order, so every value is byte-identical.
 
-/// Computes `(den, cls, hub)` from the distance matrix.
-pub fn network_measures(ys: &[bool], dists: &[Vec<f64>], epsilon: f64) -> (f64, f64, f64) {
+use rlb_textsim::gower::DistanceEngine;
+
+/// Computes `(den, cls, hub)` by streaming distance rows out of the engine.
+pub fn network_measures(ys: &[bool], engine: &DistanceEngine, epsilon: f64) -> (f64, f64, f64) {
     let n = ys.len();
-    // Adjacency after same-class pruning.
+    let stride = n.div_ceil(64);
+    // Row i's same-class ε-neighbours as a bitset. The predicate is
+    // symmetric and the diagonal is excluded, so the matrix is symmetric by
+    // construction — no assembly pass needed.
+    let rows: Vec<Vec<u64>> = engine.map_rows(|i, row| {
+        let mut bits = vec![0u64; stride];
+        for (j, (&d, &yj)) in row.iter().zip(ys).enumerate() {
+            if j != i && d < epsilon && yj == ys[i] {
+                bits[j / 64] |= 1 << (j % 64);
+            }
+        }
+        bits
+    });
+    let degrees: Vec<usize> = rows
+        .iter()
+        .map(|r| r.iter().map(|w| w.count_ones() as usize).sum())
+        .collect();
+    let edges = degrees.iter().sum::<usize>() / 2;
+
+    let possible = n * (n - 1) / 2;
+    let den = if possible == 0 {
+        1.0
+    } else {
+        1.0 - edges as f64 / possible as f64
+    };
+
+    // cls = 1 − mean local clustering coefficient. For node i, every
+    // closed neighbour pair {u, v} ⊆ N(i) is counted twice across the
+    // |N(i) ∩ N(u)| intersections (once via u, once via v), so the word-AND
+    // popcount sum halves to the exact pair count the ragged twin gets from
+    // its per-pair edge lookups.
+    let contributions: Vec<f64> = rlb_util::par::par_map_range(n, |i| {
+        let k = degrees[i];
+        if k < 2 {
+            return 0.0;
+        }
+        let ri = &rows[i];
+        let mut closed_twice = 0usize;
+        for u in iter_bits(ri) {
+            closed_twice += ri
+                .iter()
+                .zip(&rows[u])
+                .map(|(a, b)| (a & b).count_ones() as usize)
+                .sum::<usize>();
+        }
+        (closed_twice / 2) as f64 / (k * (k - 1) / 2) as f64
+    });
+    let mut cls_sum = 0.0;
+    for (i, c) in contributions.iter().enumerate() {
+        if degrees[i] >= 2 {
+            cls_sum += c;
+        }
+    }
+    let cls = 1.0 - cls_sum / n as f64;
+
+    // hub = 1 − mean normalized hub score (principal eigenvector of the
+    // adjacency matrix via power iteration). Each next[i] sums v[j] over
+    // set bits in ascending j — the ragged twin's sorted adjacency order.
+    let hub = {
+        let mut v = vec![1.0f64; n];
+        for _ in 0..50 {
+            let mut next: Vec<f64> = rlb_util::par::par_map_range(n, |i| {
+                let mut acc = 0.0f64;
+                for j in iter_bits(&rows[i]) {
+                    acc += v[j];
+                }
+                acc
+            });
+            let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-12 {
+                v = vec![0.0; n];
+                break;
+            }
+            for x in next.iter_mut() {
+                *x /= norm;
+            }
+            v = next;
+        }
+        hub_from_scores(&v, n)
+    };
+
+    (den, cls, hub)
+}
+
+/// Ascending indices of the set bits of a packed bitset.
+fn iter_bits(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(w, &bits)| {
+        std::iter::successors((bits != 0).then_some(bits), |b| {
+            let b = b & (b - 1);
+            (b != 0).then_some(b)
+        })
+        .map(move |b| w * 64 + b.trailing_zeros() as usize)
+    })
+}
+
+/// Computes `(den, cls, hub)` from a materialized distance matrix — the
+/// O(n²)-memory ragged twin of [`network_measures`].
+pub fn network_measures_ragged(ys: &[bool], dists: &[Vec<f64>], epsilon: f64) -> (f64, f64, f64) {
+    let n = ys.len();
+    // Ascending outer/inner loops keep every adjacency list sorted, which
+    // the closed-pair binary searches below rely on.
     let mut adj = vec![Vec::<usize>::new(); n];
     let mut edges = 0usize;
     for i in 0..n {
@@ -41,7 +152,7 @@ pub fn network_measures(ys: &[bool], dists: &[Vec<f64>], epsilon: f64) -> (f64, 
         for a in 0..k {
             for b in (a + 1)..k {
                 let (u, v) = (adj[i][a], adj[i][b]);
-                if adj[u].binary_search(&v).is_ok() || adj[u].contains(&v) {
+                if adj[u].binary_search(&v).is_ok() {
                     closed += 1;
                 }
             }
@@ -50,8 +161,7 @@ pub fn network_measures(ys: &[bool], dists: &[Vec<f64>], epsilon: f64) -> (f64, 
     }
     let cls = 1.0 - cls_sum / n as f64;
 
-    // hub = 1 − mean normalized hub score (principal eigenvector of the
-    // adjacency matrix via power iteration).
+    // hub = 1 − mean normalized hub score (power iteration).
     let hub = {
         let mut v = vec![1.0f64; n];
         for _ in 0..50 {
@@ -63,8 +173,7 @@ pub fn network_measures(ys: &[bool], dists: &[Vec<f64>], epsilon: f64) -> (f64, 
             }
             let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
             if norm < 1e-12 {
-                next = vec![0.0; n];
-                v = next;
+                v = vec![0.0; n];
                 break;
             }
             for x in next.iter_mut() {
@@ -72,16 +181,21 @@ pub fn network_measures(ys: &[bool], dists: &[Vec<f64>], epsilon: f64) -> (f64, 
             }
             v = next;
         }
-        let max = v.iter().copied().fold(0.0f64, f64::max);
-        if max <= 0.0 {
-            1.0 // no structure at all: maximally complex by this measure
-        } else {
-            let mean = v.iter().sum::<f64>() / n as f64 / max;
-            1.0 - mean
-        }
+        hub_from_scores(&v, n)
     };
 
     (den, cls, hub)
+}
+
+/// `1 − mean(v)/max(v)` over the converged hub scores, shared by both twins.
+fn hub_from_scores(v: &[f64], n: usize) -> f64 {
+    let max = v.iter().copied().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        1.0 // no structure at all: maximally complex by this measure
+    } else {
+        let mean = v.iter().sum::<f64>() / n as f64 / max;
+        1.0 - mean
+    }
 }
 
 #[cfg(test)]
@@ -89,10 +203,29 @@ mod tests {
     use super::*;
     use rlb_textsim::gower::GowerSpace;
 
+    /// Runs both layouts and asserts bit-identity before returning the
+    /// streaming result.
     fn graph_for(xs: &[Vec<f64>], ys: &[bool], eps: f64) -> (f64, f64, f64) {
+        let engine = DistanceEngine::fit(xs).unwrap();
+        let streaming = network_measures(ys, &engine, eps);
         let g = GowerSpace::fit(xs).unwrap();
         let d = g.pairwise(xs);
-        network_measures(ys, &d, eps)
+        let ragged = network_measures_ragged(ys, &d, eps);
+        assert_eq!(streaming.0.to_bits(), ragged.0.to_bits(), "den");
+        assert_eq!(streaming.1.to_bits(), ragged.1.to_bits(), "cls");
+        assert_eq!(streaming.2.to_bits(), ragged.2.to_bits(), "hub");
+        streaming
+    }
+
+    #[test]
+    fn bit_iteration_is_ascending_and_complete() {
+        let mut words = vec![0u64; 3];
+        let set = [0usize, 1, 63, 64, 100, 130, 191];
+        for &j in &set {
+            words[j / 64] |= 1 << (j % 64);
+        }
+        assert_eq!(iter_bits(&words).collect::<Vec<_>>(), set);
+        assert_eq!(iter_bits(&[0u64; 2]).count(), 0);
     }
 
     #[test]
@@ -148,5 +281,17 @@ mod tests {
         let (den_small, _, _) = graph_for(&xs, &ys, 0.05);
         let (den_large, _, _) = graph_for(&xs, &ys, 0.5);
         assert!(den_large < den_small, "{den_large} vs {den_small}");
+    }
+
+    #[test]
+    fn boundary_crossing_bitset_sizes_stay_identical() {
+        // n at and around the 64-bit word boundary exercises the packed
+        // adjacency's partial last word.
+        let mut rng = rlb_util::Prng::seed_from_u64(3);
+        for n in [63usize, 64, 65, 128, 129] {
+            let xs: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.f64(), rng.f64()]).collect();
+            let ys: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+            graph_for(&xs, &ys, 0.2);
+        }
     }
 }

@@ -11,15 +11,17 @@ pub struct StandardScaler {
 }
 
 impl StandardScaler {
-    /// Fits means and standard deviations on the data.
-    pub fn fit(xs: &[Vec<f64>]) -> Result<Self> {
+    /// Fits means and standard deviations on the data. Accepts any dense
+    /// row type (`Vec<f64>`, `[f64; 2]`, …).
+    pub fn fit<R: AsRef<[f64]>>(xs: &[R]) -> Result<Self> {
         if xs.is_empty() {
             return Err(Error::EmptyInput("scaler input"));
         }
-        let dim = xs[0].len();
+        let dim = xs[0].as_ref().len();
         let n = xs.len() as f64;
         let mut means = vec![0.0; dim];
         for x in xs {
+            let x = x.as_ref();
             if x.len() != dim {
                 return Err(Error::InvalidParameter("ragged feature matrix".into()));
             }
@@ -32,7 +34,7 @@ impl StandardScaler {
         }
         let mut stds = vec![0.0; dim];
         for x in xs {
-            for (d, v) in x.iter().enumerate() {
+            for (d, v) in x.as_ref().iter().enumerate() {
                 stds[d] += (v - means[d]) * (v - means[d]);
             }
         }
@@ -59,8 +61,8 @@ impl StandardScaler {
     }
 
     /// Transforms a batch.
-    pub fn transform_batch(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        xs.iter().map(|x| self.transform(x)).collect()
+    pub fn transform_batch<R: AsRef<[f64]>>(&self, xs: &[R]) -> Vec<Vec<f64>> {
+        xs.iter().map(|x| self.transform(x.as_ref())).collect()
     }
 }
 
@@ -95,7 +97,7 @@ mod tests {
 
     #[test]
     fn empty_input_errors() {
-        assert!(StandardScaler::fit(&[]).is_err());
+        assert!(StandardScaler::fit::<Vec<f64>>(&[]).is_err());
     }
 
     #[test]

@@ -16,16 +16,18 @@ pub struct GowerSpace {
 }
 
 impl GowerSpace {
-    /// Learns per-dimension `[min, max]` ranges from the data.
+    /// Learns per-dimension `[min, max]` ranges from the data. Accepts any
+    /// dense row type (`Vec<f64>`, `[f64; 2]`, `&[f64]`, …).
     ///
     /// Returns `None` for empty input. Zero-range dimensions contribute zero
     /// distance (all values equal), matching the reference definition.
-    pub fn fit(data: &[Vec<f64>]) -> Option<Self> {
-        let first = data.first()?;
+    pub fn fit<R: AsRef<[f64]>>(data: &[R]) -> Option<Self> {
+        let first = data.first()?.as_ref();
         let dims = first.len();
         let mut mins = vec![f64::INFINITY; dims];
         let mut maxs = vec![f64::NEG_INFINITY; dims];
         for row in data {
+            let row = row.as_ref();
             assert_eq!(row.len(), dims, "ragged feature matrix");
             for (d, &v) in row.iter().enumerate() {
                 mins[d] = mins[d].min(v);
@@ -67,17 +69,158 @@ impl GowerSpace {
     /// Rows are computed in parallel. `distance` is exactly symmetric
     /// (`|a−b| == |b−a|` per dimension), so filling each row independently
     /// produces the same matrix as mirroring the upper triangle.
-    pub fn pairwise(&self, data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    ///
+    /// O(n²) memory — this is the materialized twin of [`DistanceEngine`];
+    /// prefer the engine for anything larger than a few thousand points.
+    pub fn pairwise<R: AsRef<[f64]> + Sync>(&self, data: &[R]) -> Vec<Vec<f64>> {
         let n = data.len();
         rlb_util::par::par_map_range(n, |i| {
             let mut row = vec![0.0; n];
             for (j, other) in data.iter().enumerate() {
                 if i != j {
-                    row[j] = self.distance(&data[i], other);
+                    row[j] = self.distance(data[i].as_ref(), other.as_ref());
                 }
             }
             row
         })
+    }
+}
+
+/// Streaming tiled Gower-distance engine: O(n) memory instead of the O(n²)
+/// matrix [`GowerSpace::pairwise`] materializes.
+///
+/// The engine copies the fitted points into one flat `Vec<f64>` (row-major,
+/// `n × dims`) and computes distance rows on demand into reusable flat row
+/// buffers — one buffer of `n` doubles per in-flight tile, so peak
+/// distance-buffer memory is `O(tile × n)` with `tile` bounded by the worker
+/// count, never `O(n²)`. Row values are bit-for-bit identical to the
+/// corresponding `pairwise` matrix entries: both paths call
+/// [`GowerSpace::distance`] on the same `f64` values in the same order.
+///
+/// Tiles run in parallel via [`rlb_util::par`]; each tile emits a
+/// `complexity.tile` span and bumps the `complexity.tiles` /
+/// `complexity.tile.rows` counters (the complexity crate is the engine's
+/// consumer — see Table I's neighborhood and network measure groups).
+#[derive(Debug, Clone)]
+pub struct DistanceEngine {
+    space: GowerSpace,
+    flat: Vec<f64>,
+    n: usize,
+    dims: usize,
+    tile_rows: usize,
+}
+
+impl DistanceEngine {
+    /// Fits the Gower ranges and flattens the points. Returns `None` for
+    /// empty input, like [`GowerSpace::fit`].
+    pub fn fit<R: AsRef<[f64]>>(data: &[R]) -> Option<Self> {
+        let space = GowerSpace::fit(data)?;
+        let n = data.len();
+        let dims = space.dims();
+        let mut flat = Vec::with_capacity(n * dims);
+        for row in data {
+            flat.extend_from_slice(row.as_ref());
+        }
+        // Tile size targets ~8 tiles per worker so uneven row cost balances;
+        // the floor of 32 tiles keeps the tile count above par_map_range's
+        // sequential cutoff even on low-core machines.
+        let tile_targets = (rlb_util::par::thread_count() * 8).max(32);
+        let tile_rows = n.div_ceil(tile_targets).max(1);
+        Some(DistanceEngine {
+            space,
+            flat,
+            n,
+            dims,
+            tile_rows,
+        })
+    }
+
+    /// Number of fitted points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the engine holds no points (never constructed by [`fit`],
+    /// which refuses empty input; kept for API completeness).
+    ///
+    /// [`fit`]: DistanceEngine::fit
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The fitted normalization space.
+    pub fn space(&self) -> &GowerSpace {
+        &self.space
+    }
+
+    /// Rows per tile in [`map_rows`](DistanceEngine::map_rows).
+    pub fn tile_rows(&self) -> usize {
+        self.tile_rows
+    }
+
+    /// The `i`-th fitted point.
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.flat[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// Gower distance between fitted points `i` and `j`.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        self.space.distance(self.point(i), self.point(j))
+    }
+
+    /// Fills `out` with distance row `i` (`out[j] = d(i, j)`, zero
+    /// diagonal), bit-identical to row `i` of [`GowerSpace::pairwise`].
+    pub fn row_into(&self, i: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.n, "row buffer length");
+        for (j, slot) in out.iter_mut().enumerate() {
+            *slot = if i == j { 0.0 } else { self.distance(i, j) };
+        }
+    }
+
+    /// Streams every distance row through `f` and collects the results in
+    /// row order: the streaming equivalent of mapping over `pairwise` rows.
+    ///
+    /// Rows are produced tile by tile in parallel; each tile reuses a single
+    /// flat row buffer, so the buffer passed to `f` is only valid for that
+    /// call.
+    pub fn map_rows<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &[f64]) -> T + Sync,
+    {
+        let tiles = self.n.div_ceil(self.tile_rows);
+        let per_tile: Vec<Vec<T>> = rlb_util::par::par_map_range(tiles, |t| {
+            let start = t * self.tile_rows;
+            let end = ((t + 1) * self.tile_rows).min(self.n);
+            let _span = rlb_obs::span!("complexity.tile", "rows {start}..{end} of {}", self.n);
+            rlb_obs::counter_add("complexity.tiles", 1);
+            rlb_obs::counter_add("complexity.tile.rows", (end - start) as u64);
+            let mut buf = vec![0.0; self.n];
+            let mut out = Vec::with_capacity(end - start);
+            for i in start..end {
+                self.row_into(i, &mut buf);
+                out.push(f(i, &buf));
+            }
+            out
+        });
+        let mut out = Vec::with_capacity(self.n);
+        for part in per_tile {
+            out.extend(part);
+        }
+        out
+    }
+
+    /// Bytes of one flat row buffer (`n` doubles).
+    pub fn row_buffer_bytes(&self) -> usize {
+        self.n * std::mem::size_of::<f64>()
+    }
+
+    /// Upper bound on concurrently live distance-buffer bytes during
+    /// [`map_rows`](DistanceEngine::map_rows): one row buffer per in-flight
+    /// tile, at most one tile per worker thread.
+    pub fn peak_buffer_bytes(&self) -> usize {
+        let tiles = self.n.div_ceil(self.tile_rows.max(1)).max(1);
+        tiles.min(rlb_util::par::thread_count()) * self.row_buffer_bytes()
     }
 }
 
@@ -87,7 +230,8 @@ mod tests {
 
     #[test]
     fn fit_requires_data() {
-        assert!(GowerSpace::fit(&[]).is_none());
+        assert!(GowerSpace::fit::<Vec<f64>>(&[]).is_none());
+        assert!(DistanceEngine::fit::<Vec<f64>>(&[]).is_none());
     }
 
     #[test]
@@ -139,5 +283,66 @@ mod tests {
         }
         assert_eq!(m[0][1], 1.0);
         assert_eq!(m[0][2], 0.5);
+    }
+
+    #[test]
+    fn engine_rows_match_pairwise_bitwise() {
+        let mut rng = rlb_util::Prng::seed_from_u64(7);
+        for &n in &[2usize, 3, 33, 200] {
+            let data: Vec<Vec<f64>> = (0..n)
+                .map(|_| vec![rng.f64(), rng.f64() * 10.0, rng.f64() - 0.5])
+                .collect();
+            let space = GowerSpace::fit(&data).unwrap();
+            let matrix = space.pairwise(&data);
+            let engine = DistanceEngine::fit(&data).unwrap();
+            assert_eq!(engine.len(), n);
+            let mut buf = vec![0.0; n];
+            for (i, expected) in matrix.iter().enumerate() {
+                engine.row_into(i, &mut buf);
+                for (j, (got, want)) in buf.iter().zip(expected).enumerate() {
+                    assert_eq!(got.to_bits(), want.to_bits(), "({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_map_rows_preserves_row_order() {
+        let data: Vec<Vec<f64>> = (0..150).map(|i| vec![i as f64]).collect();
+        let engine = DistanceEngine::fit(&data).unwrap();
+        let sums = engine.map_rows(|i, row| (i, row.iter().sum::<f64>()));
+        assert_eq!(sums.len(), 150);
+        let matrix = engine.space().pairwise(&data);
+        for (i, (idx, sum)) in sums.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(
+                sum.to_bits(),
+                matrix[i].iter().sum::<f64>().to_bits(),
+                "row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_accepts_dense_array_rows() {
+        let ragged = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![0.25, 0.75]];
+        let dense: Vec<[f64; 2]> = ragged.iter().map(|r| [r[0], r[1]]).collect();
+        let a = DistanceEngine::fit(&ragged).unwrap();
+        let b = DistanceEngine::fit(&dense).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(a.distance(i, j).to_bits(), b.distance(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn engine_buffer_accounting_is_linear_in_n() {
+        let data: Vec<Vec<f64>> = (0..1000).map(|i| vec![i as f64, 0.0]).collect();
+        let engine = DistanceEngine::fit(&data).unwrap();
+        assert_eq!(engine.row_buffer_bytes(), 1000 * 8);
+        assert!(engine.tile_rows() >= 1);
+        assert!(engine.peak_buffer_bytes() >= engine.row_buffer_bytes());
+        assert!(engine.peak_buffer_bytes() <= rlb_util::par::thread_count() * 1000 * 8);
     }
 }

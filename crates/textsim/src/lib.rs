@@ -27,6 +27,7 @@ pub mod sets;
 pub mod tfidf;
 pub mod tokenize;
 
+pub use gower::{DistanceEngine, GowerSpace};
 pub use intern::{IdSet, TokenInterner};
 pub use sets::TokenSet;
 pub use tokenize::{qgrams, tokens};
