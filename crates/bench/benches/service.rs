@@ -1,0 +1,240 @@
+//! Resident-service bench: ingest and query throughput through the wire
+//! protocol, plus the incremental-vs-rebuild twin assertion.
+//!
+//! The engine ingests a synthetic benchmark in many small batches via
+//! `handle_request` (the same dispatch the `rlb-serve` binary runs), then
+//! answers `link` and `assess` queries. Two jobs:
+//!
+//! - **Identity**: after the staged ingest, the incremental views/index
+//!   must produce `to_bits`-identical assessments and identical retrievals
+//!   to a from-scratch batch rebuild over the same records.
+//! - **Throughput**: records/sec through staged ingest, requests/sec for
+//!   `link` and `assess`, and request-latency p50/p99 from the engine's own
+//!   `serve.request_us` histogram.
+//!
+//! Results go to `BENCH_service.json` (the CI smoke run asserts
+//! `"identical": true`).
+
+use rlb_bench::timing::{group, Harness};
+use rlb_serve::{handle_request, Engine};
+use rlb_synth::{BenchmarkProfile, DifficultyKnobs, Domain};
+use rlb_util::json::Value;
+use std::hint::black_box;
+
+const INGEST_BATCHES: usize = 25;
+const LINK_K: usize = 10;
+
+fn synth_task(seed: u64) -> rlb_data::MatchingTask {
+    rlb_synth::generate_task(&BenchmarkProfile {
+        id: "serve-bench",
+        stands_for: "service throughput bench",
+        domain: Domain::Product,
+        left_size: 400,
+        right_size: 500,
+        n_matches: 250,
+        labeled_pairs: 1200,
+        positive_fraction: 0.2,
+        knobs: DifficultyKnobs {
+            match_noise: 0.35,
+            hard_negative_fraction: 0.3,
+            anchor_attrs: 1,
+            dirty: false,
+            style_noise: 0.05,
+            right_terse: false,
+            base_missing: 0.05,
+        },
+        seed,
+    })
+}
+
+fn records_value(records: &[rlb_data::Record]) -> Value {
+    Value::Arr(
+        records
+            .iter()
+            .map(|r| Value::Arr(r.values.iter().map(|v| Value::Str(v.clone())).collect()))
+            .collect(),
+    )
+}
+
+fn pairs_value(
+    task: &rlb_data::MatchingTask,
+    lo_l: usize,
+    hi_l: usize,
+    lo_r: usize,
+    hi_r: usize,
+) -> Value {
+    let eligible = |lp: &rlb_data::LabeledPair, split: &str| -> Option<Value> {
+        let (l, r) = (lp.pair.left as usize, lp.pair.right as usize);
+        (l < hi_l && r < hi_r && (l >= lo_l || r >= lo_r)).then(|| {
+            Value::Obj(vec![
+                ("left".into(), Value::Num(lp.pair.left as f64)),
+                ("right".into(), Value::Num(lp.pair.right as f64)),
+                ("match".into(), Value::Bool(lp.is_match)),
+                ("split".into(), Value::Str(split.into())),
+            ])
+        })
+    };
+    let mut out = Vec::new();
+    for (pairs, split) in [
+        (&task.train, "train"),
+        (&task.val, "val"),
+        (&task.test, "test"),
+    ] {
+        out.extend(pairs.iter().filter_map(|lp| eligible(lp, split)));
+    }
+    Value::Arr(out)
+}
+
+/// Drives the full ingest as `INGEST_BATCHES` wire requests; returns the
+/// total records ingested and the wall time.
+fn staged_ingest(
+    engine: &mut Engine,
+    task: &rlb_data::MatchingTask,
+) -> (usize, std::time::Duration) {
+    let started = std::time::Instant::now();
+    let (nl, nr) = (task.left.len(), task.right.len());
+    let (mut sent_l, mut sent_r) = (0usize, 0usize);
+    for b in 0..INGEST_BATCHES {
+        let to_l = (nl * (b + 1)) / INGEST_BATCHES;
+        let to_r = (nr * (b + 1)) / INGEST_BATCHES;
+        let mut fields = vec![
+            ("op".to_string(), Value::Str("ingest".into())),
+            (
+                "left".into(),
+                records_value(&task.left.records[sent_l..to_l]),
+            ),
+            (
+                "right".into(),
+                records_value(&task.right.records[sent_r..to_r]),
+            ),
+            (
+                "pairs".into(),
+                pairs_value(task, sent_l, to_l, sent_r, to_r),
+            ),
+        ];
+        if b == 0 {
+            fields.push((
+                "attributes".into(),
+                Value::Arr(
+                    task.left
+                        .attributes
+                        .iter()
+                        .map(|a| Value::Str(a.clone()))
+                        .collect(),
+                ),
+            ));
+        }
+        let (resp, _) = handle_request(engine, &Value::Obj(fields));
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "ingest batch {b} failed: {resp:?}"
+        );
+        (sent_l, sent_r) = (to_l, to_r);
+    }
+    (nl + nr, started.elapsed())
+}
+
+/// The twin assertion: incremental assessment and retrieval must match a
+/// from-scratch batch rebuild exactly.
+fn assert_twin(engine: &Engine) {
+    let incremental = engine.assess().expect("incremental assess");
+    let rebuilt = engine.assess_rebuilt().expect("rebuilt assess");
+    for ((name, a), (_, b)) in incremental
+        .complexity
+        .values()
+        .iter()
+        .zip(rebuilt.complexity.values())
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "{name} diverged: {a} vs {b}");
+    }
+    assert_eq!(
+        rlb_util::json::to_string(&incremental),
+        rlb_util::json::to_string(&rebuilt),
+        "assessment diverged"
+    );
+    assert_eq!(
+        engine.link(LINK_K).ranked,
+        engine.link_rebuilt(LINK_K).ranked,
+        "retrieval diverged"
+    );
+    println!("  incremental ingest == batch rebuild: assessment + retrieval bit-identical");
+}
+
+fn main() {
+    rlb_obs::init();
+    let mut h = Harness::new();
+    let task = synth_task(0x5EEB);
+
+    group("staged ingest through the wire protocol");
+    let mut engine = Engine::new("serve-bench");
+    let (records, ingest_wall) = staged_ingest(&mut engine, &task);
+    let ingest_rps = records as f64 / ingest_wall.as_secs_f64();
+    println!(
+        "  {records} records in {INGEST_BATCHES} batches: {:.1} ms total, {:.0} records/sec",
+        ingest_wall.as_secs_f64() * 1e3,
+        ingest_rps
+    );
+
+    group("incremental twin identity");
+    assert_twin(&engine);
+
+    group("query throughput (handle_request)");
+    let link_req = Value::parse(&format!(r#"{{"op":"link","k":{LINK_K},"limit":10}}"#)).unwrap();
+    let link_stats = h.bench("link", || black_box(handle_request(&mut engine, &link_req)));
+    let assess_req = Value::parse(r#"{"op":"assess"}"#).unwrap();
+    let assess_stats = h.bench("assess", || {
+        black_box(handle_request(&mut engine, &assess_req))
+    });
+    let stats_req = Value::parse(r#"{"op":"stats"}"#).unwrap();
+    let (stats_resp, _) = handle_request(&mut engine, &stats_req);
+    assert_eq!(stats_resp.get("ok").and_then(Value::as_bool), Some(true));
+
+    // Request latency quantiles from the engine's own histogram.
+    let snap = rlb_obs::snapshot();
+    let request_us = snap
+        .histogram("serve.request_us")
+        .expect("requests recorded a latency histogram");
+    let (p50, p99) = (request_us.quantile(0.50), request_us.quantile(0.99));
+    println!(
+        "  {} requests: p50 {p50} us, p99 {p99} us",
+        request_us.count
+    );
+
+    let out = Value::Obj(vec![
+        ("identical".into(), Value::Bool(true)),
+        (
+            "threads".into(),
+            Value::Num(rlb_util::par::thread_count() as f64),
+        ),
+        ("records".into(), Value::Num(records as f64)),
+        ("ingest_batches".into(), Value::Num(INGEST_BATCHES as f64)),
+        (
+            "ingest_ms".into(),
+            Value::Num(ingest_wall.as_secs_f64() * 1e3),
+        ),
+        ("ingest_records_per_sec".into(), Value::Num(ingest_rps)),
+        (
+            "link_median_ms".into(),
+            Value::Num(link_stats.median.as_secs_f64() * 1e3),
+        ),
+        (
+            "link_per_sec".into(),
+            Value::Num(1.0 / link_stats.median.as_secs_f64()),
+        ),
+        (
+            "assess_median_ms".into(),
+            Value::Num(assess_stats.median.as_secs_f64() * 1e3),
+        ),
+        (
+            "assess_per_sec".into(),
+            Value::Num(1.0 / assess_stats.median.as_secs_f64()),
+        ),
+        ("requests".into(), Value::Num(request_us.count as f64)),
+        ("request_p50_us".into(), Value::Num(p50 as f64)),
+        ("request_p99_us".into(), Value::Num(p99 as f64)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    std::fs::write(path, out.to_json_string_pretty()).expect("write BENCH_service.json");
+    println!("wrote BENCH_service.json");
+}

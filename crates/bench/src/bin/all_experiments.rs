@@ -5,22 +5,110 @@
 //! ```text
 //! cargo run --release -p rlb-bench --bin all_experiments | tee experiments_output.txt
 //! ```
+//!
+//! A failing experiment no longer aborts the sweep: the failure is logged,
+//! the remaining binaries still run, and the process exits non-zero with a
+//! per-binary summary so a partial regeneration is still usable.
 
-use std::process::Command;
+use std::process::{Command, ExitCode};
 
-fn main() {
-    let bins = [
-        "table2", "table3", "fig1", "fig2", "table4", "fig3", "table5", "table7", "fig4", "fig5",
-        "table6", "fig6",
-    ];
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
-    for bin in bins {
-        println!("\n================================================================");
-        let status = Command::new(dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(status.success(), "{bin} failed");
+const BINS: [&str; 12] = [
+    "table2", "table3", "fig1", "fig2", "table4", "fig3", "table5", "table7", "fig4", "fig5",
+    "table6", "fig6",
+];
+
+/// Runs one sibling binary, mapping launch failures and non-zero exits to a
+/// human-readable error.
+fn run_one(dir: &std::path::Path, bin: &str) -> Result<(), String> {
+    let status = Command::new(dir.join(bin))
+        .status()
+        .map_err(|e| format!("failed to launch: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(format!("exited with {status}"))
     }
-    println!("\nAll experiments completed.");
+}
+
+/// Renders the final per-binary summary; the flag is `true` iff every
+/// experiment passed.
+fn summarize(results: &[(&str, Result<(), String>)]) -> (String, bool) {
+    let failed: Vec<&(&str, Result<(), String>)> =
+        results.iter().filter(|(_, r)| r.is_err()).collect();
+    let mut out = format!(
+        "{} of {} experiments completed.\n",
+        results.len() - failed.len(),
+        results.len()
+    );
+    for (bin, result) in &failed {
+        if let Err(e) = result {
+            out.push_str(&format!("  FAILED {bin}: {e}\n"));
+        }
+    }
+    (out, failed.is_empty())
+}
+
+fn main() -> ExitCode {
+    rlb_obs::init();
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("cannot locate own executable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(dir) = exe.parent() else {
+        eprintln!("own executable has no parent directory");
+        return ExitCode::FAILURE;
+    };
+    let mut results = Vec::with_capacity(BINS.len());
+    for bin in BINS {
+        println!("\n================================================================");
+        let result = run_one(dir, bin);
+        if let Err(e) = &result {
+            rlb_obs::warn!("{bin}: {e}; continuing with the remaining experiments");
+        }
+        results.push((bin, result));
+    }
+    let (summary, all_ok) = summarize(&results);
+    println!("\n{summary}");
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_reports_total_when_all_pass() {
+        let results: Vec<(&str, Result<(), String>)> = vec![("table2", Ok(())), ("fig1", Ok(()))];
+        let (text, ok) = summarize(&results);
+        assert!(ok);
+        assert!(text.contains("2 of 2 experiments completed"));
+        assert!(!text.contains("FAILED"));
+    }
+
+    #[test]
+    fn summary_lists_each_failure_and_flags_the_run() {
+        let results: Vec<(&str, Result<(), String>)> = vec![
+            ("table2", Ok(())),
+            ("fig1", Err("exited with exit status: 3".into())),
+            ("fig2", Err("failed to launch: not found".into())),
+        ];
+        let (text, ok) = summarize(&results);
+        assert!(!ok);
+        assert!(text.contains("1 of 3 experiments completed"));
+        assert!(text.contains("FAILED fig1: exited with exit status: 3"));
+        assert!(text.contains("FAILED fig2: failed to launch: not found"));
+    }
+
+    #[test]
+    fn launching_a_missing_binary_is_a_graceful_error() {
+        let err = run_one(std::path::Path::new("/nonexistent-dir"), "no-such-bin").unwrap_err();
+        assert!(err.contains("failed to launch"), "{err}");
+    }
 }

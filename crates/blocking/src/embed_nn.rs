@@ -132,19 +132,123 @@ impl EmbeddingNnBlocker {
             IndexSide::Left => (embed_all(&left.records), embed_all(&right.records)),
             IndexSide::Right => (embed_all(&right.records), embed_all(&left.records)),
         };
-        let ranked = query_vecs
-            .iter()
-            .map(|q| {
-                let mut top = TopK::new(k_max);
-                for (i, v) in index_vecs.iter().enumerate() {
-                    top.push(rlb_util::linalg::cosine_f32(q, v) as f64, i as u32);
-                }
-                top.into_sorted().into_iter().map(|(_, i)| i).collect()
-            })
-            .collect();
         Retrieval {
             side,
-            ranked,
+            ranked: rank_queries(&index_vecs, &query_vecs, k_max),
+            k_max,
+        }
+    }
+
+    /// Starts an empty incremental index with this configuration indexing
+    /// `side`. See [`NnIndex`] for the twin guarantee.
+    ///
+    /// # Panics
+    /// If `perturb_seed` is non-zero: perturbation draws from one `Prng`
+    /// sequenced across *all* records of a batch run, which has no
+    /// order-independent incremental counterpart.
+    pub fn index(&self, side: IndexSide) -> NnIndex {
+        assert_eq!(
+            self.perturb_seed, 0,
+            "incremental NnIndex requires deterministic embeddings (perturb_seed = 0)"
+        );
+        NnIndex {
+            embedder: HashedEmbedder::new(self.dim, 0xB10C),
+            config: self.clone(),
+            side,
+            vectors: Vec::new(),
+        }
+    }
+}
+
+/// Exact brute-force cosine ranking of every query against every indexed
+/// vector — the single scoring kernel shared by the batch
+/// [`EmbeddingNnBlocker::retrieve`] and the incremental [`NnIndex`], so both
+/// paths execute the identical float-op sequence per (query, index) pair.
+fn rank_queries(index_vecs: &[Vec<f32>], query_vecs: &[Vec<f32>], k_max: usize) -> Vec<Vec<u32>> {
+    query_vecs
+        .iter()
+        .map(|q| {
+            let mut top = TopK::new(k_max);
+            for (i, v) in index_vecs.iter().enumerate() {
+                top.push(rlb_util::linalg::cosine_f32(q, v) as f64, i as u32);
+            }
+            top.into_sorted().into_iter().map(|(_, i)| i).collect()
+        })
+        .collect()
+}
+
+/// An incrementally insertable embedding index over one source.
+///
+/// The batch [`EmbeddingNnBlocker::retrieve`] embeds both sources and ranks
+/// in one pass, then throws everything away — unusable for a resident
+/// engine that ingests records over time. `NnIndex` keeps the indexed side's
+/// vectors and supports appending records one batch at a time; queries rank
+/// against the vectors present at call time.
+///
+/// **Twin guarantee.** With deterministic embeddings (`perturb_seed = 0`,
+/// enforced at construction) each record's vector depends only on its own
+/// text, and ranking goes through the same [`rank_queries`] kernel as the
+/// batch path in the same insertion order — so after any sequence of
+/// inserts, [`NnIndex::retrieval`] is *identical* (ids and order, hence
+/// bitwise) to a from-scratch [`EmbeddingNnBlocker::retrieve`] over the same
+/// records. Asserted in tests and the service property suite.
+#[derive(Debug, Clone)]
+pub struct NnIndex {
+    config: EmbeddingNnBlocker,
+    embedder: HashedEmbedder,
+    side: IndexSide,
+    vectors: Vec<Vec<f32>>,
+}
+
+impl NnIndex {
+    /// Which source this index holds.
+    pub fn side(&self) -> IndexSide {
+        self.side
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether no record has been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Embeds and appends one record, returning its index id.
+    pub fn insert(&mut self, record: &Record) -> u32 {
+        let v = self.config.embed(&self.embedder, record, None);
+        self.vectors.push(v);
+        (self.vectors.len() - 1) as u32
+    }
+
+    /// Appends a batch of records in order.
+    pub fn insert_all(&mut self, records: &[Record]) {
+        self.vectors.reserve(records.len());
+        for r in records {
+            self.insert(r);
+        }
+    }
+
+    /// Ranked index ids for one query record, best first (at most `k_max`).
+    pub fn query(&self, record: &Record, k_max: usize) -> Vec<u32> {
+        let q = self.config.embed(&self.embedder, record, None);
+        rank_queries(&self.vectors, std::slice::from_ref(&q), k_max)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Full retrieval for a query set — the incremental twin of
+    /// [`EmbeddingNnBlocker::retrieve`] over the records inserted so far.
+    pub fn retrieval(&self, queries: &[Record], k_max: usize) -> Retrieval {
+        let query_vecs: Vec<Vec<f32>> = queries
+            .iter()
+            .map(|r| self.config.embed(&self.embedder, r, None))
+            .collect();
+        Retrieval {
+            side: self.side,
+            ranked: rank_queries(&self.vectors, &query_vecs, k_max),
             k_max,
         }
     }
@@ -230,6 +334,68 @@ mod tests {
         };
         let c = pert2.retrieve(&l, &r, IndexSide::Right, 4);
         assert_eq!(b.candidates(4), c.candidates(4));
+    }
+
+    /// Retrievals must agree exactly: same side, same k, same ranked ids in
+    /// the same order.
+    fn assert_same_retrieval(a: &Retrieval, b: &Retrieval) {
+        assert_eq!(a.side, b.side);
+        assert_eq!(a.k_max, b.k_max);
+        assert_eq!(a.ranked, b.ranked);
+    }
+
+    #[test]
+    fn incremental_index_equals_batch_retrieve() {
+        let (l, r) = sources();
+        let blocker = EmbeddingNnBlocker::default();
+        for side in [IndexSide::Left, IndexSide::Right] {
+            let (indexed, queries) = match side {
+                IndexSide::Left => (&l, &r),
+                IndexSide::Right => (&r, &l),
+            };
+            // Insert in two uneven chunks, then one at a time.
+            let mut index = blocker.index(side);
+            index.insert_all(&indexed.records[..1]);
+            for rec in &indexed.records[1..] {
+                index.insert(rec);
+            }
+            assert_eq!(index.len(), indexed.len());
+            let incremental = index.retrieval(&queries.records, 3);
+            let batch = blocker.retrieve(&l, &r, side, 3);
+            assert_same_retrieval(&incremental, &batch);
+            assert_eq!(incremental.candidates(2), batch.candidates(2));
+        }
+    }
+
+    #[test]
+    fn single_query_agrees_with_full_retrieval() {
+        let (l, r) = sources();
+        let mut index = EmbeddingNnBlocker::default().index(IndexSide::Right);
+        index.insert_all(&r.records);
+        let full = index.retrieval(&l.records, 2);
+        for (q, rec) in l.records.iter().enumerate() {
+            assert_eq!(index.query(rec, 2), full.ranked[q], "query {q}");
+        }
+    }
+
+    #[test]
+    fn empty_index_returns_no_candidates() {
+        let (l, _) = sources();
+        let index = EmbeddingNnBlocker::default().index(IndexSide::Right);
+        assert!(index.is_empty());
+        let ret = index.retrieval(&l.records, 3);
+        assert_eq!(ret.candidates(3), vec![]);
+        assert!(index.query(&l.records[0], 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "perturb_seed")]
+    fn perturbed_config_cannot_build_an_incremental_index() {
+        let blocker = EmbeddingNnBlocker {
+            perturb_seed: 9,
+            ..Default::default()
+        };
+        let _ = blocker.index(IndexSide::Left);
     }
 
     #[test]

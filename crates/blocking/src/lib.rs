@@ -22,7 +22,7 @@ pub mod metrics;
 pub mod token;
 pub mod tuner;
 
-pub use embed_nn::{EmbeddingNnBlocker, IndexSide, Retrieval};
+pub use embed_nn::{EmbeddingNnBlocker, IndexSide, NnIndex, Retrieval};
 pub use metrics::{blocking_metrics, BlockingMetrics};
 pub use token::{QGramBlocker, TokenBlocker};
 pub use tuner::{tune, BlockerChoice, TunerConfig};

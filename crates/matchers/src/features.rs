@@ -11,7 +11,7 @@
 //! in `rlb-core::linearity`).
 
 use rlb_data::{MatchingTask, PairRef, Record};
-use rlb_textsim::{intern, sets, IdSet, TokenInterner, TokenSet};
+use rlb_textsim::{intern, sets, IdSet, ShardedInterner, TokenInterner, TokenSet};
 use std::sync::{Arc, OnceLock};
 
 /// Character q-gram lengths the ESDE q-gram variants sweep (Section IV-C).
@@ -59,7 +59,7 @@ pub struct TaskViews {
     pub right: RecordViews,
     /// Shared attribute count.
     pub arity: usize,
-    vocab: usize,
+    interner: Arc<ShardedInterner>,
     qgram_full: OnceLock<QgramViews>,
     qgram_attr: OnceLock<QgramAttrViews>,
 }
@@ -75,46 +75,69 @@ fn tokenize_source(records: &[Record], arity: usize) -> Vec<Vec<Vec<String>>> {
     })
 }
 
-/// Interns pre-tokenized records into views. Sequential: id assignment
-/// order (and therefore the exact dictionary) must not depend on thread
-/// scheduling.
-fn intern_source(token_lists: Vec<Vec<Vec<String>>>, interner: &mut TokenInterner) -> RecordViews {
-    let mut full = Vec::with_capacity(token_lists.len());
-    let mut per_attr = Vec::with_capacity(token_lists.len());
+/// Interns pre-tokenized records, appending the resulting views to `out`.
+/// Sequential in record order, so a fresh interner assigns a deterministic
+/// dictionary; similarity outputs are id-label-independent either way (see
+/// the twin-policy note on [`ShardedInterner`]).
+fn intern_into(
+    token_lists: Vec<Vec<Vec<String>>>,
+    interner: &ShardedInterner,
+    out: &mut RecordViews,
+) {
+    out.full.reserve(token_lists.len());
+    out.per_attr.reserve(token_lists.len());
     for attrs in token_lists {
         let attr_sets: Vec<IdSet> = attrs
             .into_iter()
-            .map(|toks| IdSet::from_tokens(interner, toks.iter()))
+            .map(|toks| IdSet::from_tokens_shared(interner, toks.iter()))
             .collect();
-        full.push(IdSet::union_of(&attr_sets));
-        per_attr.push(attr_sets);
+        out.full.push(IdSet::union_of(&attr_sets));
+        out.per_attr.push(attr_sets);
     }
-    RecordViews { full, per_attr }
 }
 
 impl TaskViews {
     /// Computes the token views for a task (tokenization parallel, interning
     /// sequential; one dictionary shared by both sources).
     pub fn build(task: &MatchingTask) -> Self {
+        Self::build_with(task, Arc::new(ShardedInterner::new()))
+    }
+
+    /// [`TaskViews::build`] against a caller-supplied dictionary. The
+    /// resident service builds its first views this way and then extends
+    /// them through the same interner on every ingest.
+    pub fn build_with(task: &MatchingTask, interner: Arc<ShardedInterner>) -> Self {
         let arity = task.left.arity().max(task.right.arity());
         let left_toks = tokenize_source(&task.left.records, arity);
         let right_toks = tokenize_source(&task.right.records, arity);
-        let mut interner = TokenInterner::new();
-        let left = intern_source(left_toks, &mut interner);
-        let right = intern_source(right_toks, &mut interner);
+        let mut left = RecordViews {
+            full: Vec::new(),
+            per_attr: Vec::new(),
+        };
+        let mut right = RecordViews {
+            full: Vec::new(),
+            per_attr: Vec::new(),
+        };
+        intern_into(left_toks, &interner, &mut left);
+        intern_into(right_toks, &interner, &mut right);
         TaskViews {
             left,
             right,
             arity,
-            vocab: interner.len(),
+            interner,
             qgram_full: OnceLock::new(),
             qgram_attr: OnceLock::new(),
         }
     }
 
+    /// The shared token dictionary behind these views.
+    pub fn interner(&self) -> &Arc<ShardedInterner> {
+        &self.interner
+    }
+
     /// Number of distinct tokens in the task's dictionary.
     pub fn vocab_size(&self) -> usize {
-        self.vocab
+        self.interner.len()
     }
 
     /// `[CS, JS]` — the canonical 2-D representation of Section III-B, used
@@ -262,6 +285,50 @@ impl TaskViewCache {
     /// The shared views.
     pub fn views(&self) -> &TaskViews {
         &self.views
+    }
+
+    /// Extends this cache over records appended to `task` since it was
+    /// built, returning a new cache. Existing per-record views are reused
+    /// (cloned id vectors — no re-tokenization, no re-interning) and only
+    /// the appended tail is tokenized and interned, through the *same*
+    /// shared dictionary; the interner is append-only, so the old ids stay
+    /// valid. Readers holding the previous `Arc` are never disturbed.
+    ///
+    /// The q-gram views are deliberately not carried over: they intern
+    /// through their own per-build dictionary, so they rebuild lazily on
+    /// first use after an extension.
+    ///
+    /// # Panics
+    /// If `task` has fewer records on either side than this cache covers,
+    /// or a different arity — extension is strictly append-only.
+    pub fn extended(&self, task: &MatchingTask) -> TaskViewCache {
+        let arity = task.left.arity().max(task.right.arity());
+        assert_eq!(arity, self.views.arity, "arity changed across extension");
+        let interner = self.views.interner.clone();
+        let extend_side = |old: &RecordViews, records: &[Record]| -> RecordViews {
+            assert!(
+                records.len() >= old.full.len(),
+                "records shrank across extension ({} -> {})",
+                old.full.len(),
+                records.len()
+            );
+            let tail = tokenize_source(&records[old.full.len()..], arity);
+            let mut out = old.clone();
+            intern_into(tail, &interner, &mut out);
+            out
+        };
+        let left = extend_side(&self.views.left, &task.left.records);
+        let right = extend_side(&self.views.right, &task.right.records);
+        TaskViewCache {
+            views: Arc::new(TaskViews {
+                left,
+                right,
+                arity,
+                interner,
+                qgram_full: OnceLock::new(),
+                qgram_attr: OnceLock::new(),
+            }),
+        }
     }
 }
 
@@ -469,6 +536,72 @@ mod tests {
         let cache = TaskViewCache::build(&task);
         let clone = cache.clone();
         assert!(std::ptr::eq(cache.views(), clone.views()));
+    }
+
+    /// Truncates a task's record stores to a prefix (labelled pairs are
+    /// irrelevant here — views are per-record).
+    fn prefix_task(task: &MatchingTask, left: usize, right: usize) -> MatchingTask {
+        let mut t = task.clone();
+        t.left.records.truncate(left);
+        t.right.records.truncate(right);
+        t
+    }
+
+    #[test]
+    fn extended_views_match_batch_rebuild_bitwise() {
+        let task = small(0.4, 11);
+        let (nl, nr) = (task.left.len(), task.right.len());
+        // Build on a prefix, then extend in two unequal steps (the second
+        // leaves one side untouched) up to the full task.
+        let cache = TaskViewCache::build(&prefix_task(&task, nl / 2, nr / 3));
+        let cache = cache.extended(&prefix_task(&task, nl - 1, nr));
+        let grown = cache.extended(&task);
+        let batch = TaskViewCache::build(&task);
+        assert_eq!(grown.left.full.len(), nl);
+        assert_eq!(grown.right.full.len(), nr);
+        for lp in task.all_pairs() {
+            let p = lp.pair;
+            let [gc, gj] = grown.cs_js(p);
+            let [bc, bj] = batch.cs_js(p);
+            assert_eq!(gc.to_bits(), bc.to_bits());
+            assert_eq!(gj.to_bits(), bj.to_bits());
+            for (a, b) in grown
+                .sa_features(p)
+                .iter()
+                .chain(grown.sb_features(p).iter())
+                .zip(batch.sa_features(p).iter().chain(&batch.sb_features(p)))
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn extension_shares_the_interner_and_reuses_old_views() {
+        let task = small(0.3, 12);
+        let prefix = prefix_task(&task, task.left.len() - 2, task.right.len());
+        let cache = TaskViewCache::build(&prefix);
+        let vocab_before = cache.vocab_size();
+        let grown = cache.extended(&task);
+        // Same dictionary object; it can only have grown.
+        assert!(Arc::ptr_eq(cache.interner(), grown.interner()));
+        assert!(grown.vocab_size() >= vocab_before);
+        // Old per-record views carry over untouched.
+        assert_eq!(grown.left.full[0], cache.left.full[0]);
+        // The previous cache still answers queries (readers undisturbed).
+        let p = prefix.train[0].pair;
+        assert_eq!(cache.cs_js(p)[0].to_bits(), grown.cs_js(p)[0].to_bits());
+    }
+
+    #[test]
+    fn empty_extension_is_identity_on_views() {
+        let task = small(0.3, 13);
+        let cache = TaskViewCache::build(&task);
+        let same = cache.extended(&task);
+        assert_eq!(same.left.full.len(), cache.left.full.len());
+        assert_eq!(same.left.full, cache.left.full);
+        assert_eq!(same.right.full, cache.right.full);
+        assert_eq!(same.vocab_size(), cache.vocab_size());
     }
 
     #[test]

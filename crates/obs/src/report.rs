@@ -102,10 +102,10 @@ mod tests {
         );
         assert!(v.get("threads").and_then(Value::as_f64).unwrap() >= 1.0);
         let wall_ms = v.get("wall_ms").and_then(Value::as_f64).unwrap();
-        let spans = match v.get("spans") {
-            Some(Value::Arr(s)) => s,
-            other => panic!("spans not an array: {other:?}"),
-        };
+        let spans = v
+            .get("spans")
+            .and_then(Value::as_arr)
+            .expect("spans should serialize as an array");
         // Both spans present; this thread's roots sum to at most the wall.
         let this_thread = crate::span::thread_id() as f64;
         let root_sum_us: f64 = spans

@@ -54,18 +54,15 @@ pub fn clear_sink() {
 /// every write site is a coarse pipeline stage, so the syscall cost is
 /// irrelevant and the file stays readable even if the process aborts.
 pub(crate) fn write_record(record: Value) {
-    let mut line = record.to_json_string();
-    line.push('\n');
     let mut sink = SINK.lock().expect("sink poisoned");
     match sink.as_mut() {
         Some(Target::File(w)) => {
-            let _ = w.write_all(line.as_bytes());
+            let _ = rlb_util::json::write_line(w, &record);
             let _ = w.flush();
         }
         Some(Target::Buffer(buf)) => {
-            buf.lock()
-                .expect("test sink poisoned")
-                .extend_from_slice(line.as_bytes());
+            let _ =
+                rlb_util::json::write_line(&mut *buf.lock().expect("test sink poisoned"), &record);
         }
         None => {}
     }

@@ -1,0 +1,58 @@
+//! The resident linkage service binary: JSONL requests on stdin, JSONL
+//! responses on stdout, one object per line (see `rlb_serve::protocol`).
+//!
+//! ```text
+//! echo '{"op":"stats"}' | rlb-serve
+//! ```
+//!
+//! Environment:
+//! - `RLB_SERVE_MAX_LINE` — per-request line cap in bytes (default 4 MiB);
+//! - `RLB_SERVE_METRICS` — where to write the `RUN_METRICS.json` artifact
+//!   on exit (default `RUN_METRICS.json`; empty string disables it);
+//! - plus the observability variables `rlb_obs::init` reads (`RLB_LOG`,
+//!   `RLB_OBS_FILE`, `RLB_THREADS`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    rlb_obs::init();
+    let started = std::time::Instant::now();
+    let max_line = std::env::var("RLB_SERVE_MAX_LINE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(rlb_util::json::DEFAULT_MAX_LINE_BYTES);
+    let mut engine = rlb_serve::Engine::new("serve");
+    let result = rlb_serve::serve(
+        &mut engine,
+        std::io::stdin().lock(),
+        std::io::stdout().lock(),
+        max_line,
+    );
+    let metrics_path =
+        std::env::var("RLB_SERVE_METRICS").unwrap_or_else(|_| "RUN_METRICS.json".into());
+    if !metrics_path.is_empty() {
+        if let Err(e) = rlb_obs::write_run_metrics(&metrics_path, started.elapsed()) {
+            rlb_obs::warn!("failed to write {metrics_path}: {e}");
+        }
+    }
+    match result {
+        Ok(summary) => {
+            rlb_obs::info!(
+                "served {} requests ({} errors), {}",
+                summary.requests,
+                summary.errors,
+                if summary.shut_down {
+                    "shut down"
+                } else {
+                    "input closed"
+                }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            rlb_obs::warn!("serve loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! `rlb-serve`: the resident linkage service.
+//!
+//! Where every other binary in the workspace is batch (build task → measure
+//! → exit), this crate keeps a linkage engine alive: records arrive in
+//! ingest batches, blocking and assessment queries run against everything
+//! ingested so far, and the incremental structures (shared token
+//! dictionary, extended task views, embedding index) guarantee the answers
+//! are byte-identical to a from-scratch batch rebuild — see [`engine`] for
+//! the twin policy and [`protocol`] for the stdin-JSONL wire format the
+//! `rlb-serve` binary speaks.
+
+pub mod engine;
+pub mod protocol;
+
+pub use engine::{Engine, IngestBatch, IngestPair, IngestStats, Split};
+pub use protocol::{handle_request, serve, ServeSummary, DEFAULT_K, DEFAULT_LINK_LIMIT};

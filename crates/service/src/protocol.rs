@@ -1,0 +1,435 @@
+//! The stdin-JSONL wire protocol in front of [`Engine`].
+//!
+//! One JSON object per line in, one per line out. Every request carries an
+//! `"op"` field; every response carries `"ok"` (`true` with op-specific
+//! payload, `false` with an `"error"` string). Malformed, oversized or
+//! over-deep lines get an error response and the stream keeps going — only
+//! `shutdown`, end of input, or a real I/O failure stop the loop.
+//!
+//! ```text
+//! {"op":"ingest","attributes":["name"],"left":[["acme"]],"right":[["acme"]],
+//!  "pairs":[{"left":0,"right":0,"match":true,"split":"train"}]}
+//! {"op":"link","k":5,"limit":100}
+//! {"op":"assess"}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Every request runs inside an `rlb-obs` span and feeds per-op counters
+//! (`serve.<op>`), the shared latency histogram `serve.request_us`, and a
+//! per-op histogram `serve.<op>_us`; the `stats` op surfaces the full
+//! counter/histogram snapshot so a client can watch the engine without
+//! touching `RUN_METRICS.json`.
+
+use crate::engine::{Engine, IngestBatch, IngestPair, Split};
+use rlb_util::json::{read_line, write_line, JsonLine, Value, MAX_DEPTH};
+use rlb_util::ToJson;
+use std::io::{BufRead, Write};
+
+/// Default number of neighbours per query for `link`.
+pub const DEFAULT_K: usize = 5;
+/// Default cap on candidate pairs echoed in a `link` response (`"total"`
+/// always reports the uncapped count).
+pub const DEFAULT_LINK_LIMIT: usize = 100;
+
+/// What the serve loop saw, returned to the binary for logging.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests answered (ok or error).
+    pub requests: u64,
+    /// Error responses among them.
+    pub errors: u64,
+    /// Whether the loop ended via `shutdown` (vs. end of input).
+    pub shut_down: bool,
+}
+
+/// Per-op `&'static` metric names (the obs layer interns by static name).
+fn op_metrics(op: &str) -> Option<(&'static str, &'static str)> {
+    match op {
+        "ingest" => Some(("serve.ingest", "serve.ingest_us")),
+        "link" => Some(("serve.link", "serve.link_us")),
+        "assess" => Some(("serve.assess", "serve.assess_us")),
+        "stats" => Some(("serve.stats", "serve.stats_us")),
+        "shutdown" => Some(("serve.shutdown", "serve.shutdown_us")),
+        _ => None,
+    }
+}
+
+fn err_response(msg: impl Into<String>) -> Value {
+    Value::Obj(vec![
+        ("ok".into(), Value::Bool(false)),
+        ("error".into(), Value::Str(msg.into())),
+    ])
+}
+
+fn ok_response(fields: Vec<(String, Value)>) -> Value {
+    let mut obj = vec![("ok".into(), Value::Bool(true))];
+    obj.extend(fields);
+    Value::Obj(obj)
+}
+
+/// Runs the request loop until `shutdown`, end of input, or an I/O error.
+/// `max_line_bytes` bounds each request line (`RLB_SERVE_MAX_LINE` in the
+/// binary); responses are flushed per line so a piped client can converse.
+pub fn serve<R: BufRead, W: Write>(
+    engine: &mut Engine,
+    mut input: R,
+    mut output: W,
+    max_line_bytes: usize,
+) -> std::io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    loop {
+        let request = match read_line(&mut input, max_line_bytes, MAX_DEPTH)? {
+            JsonLine::Eof => break,
+            JsonLine::Bad(e) => {
+                summary.requests += 1;
+                summary.errors += 1;
+                rlb_obs::counter_add("serve.bad_line", 1);
+                write_line(&mut output, &err_response(e.to_string()))?;
+                output.flush()?;
+                continue;
+            }
+            JsonLine::Record(v) => v,
+        };
+        let (response, shutdown) = handle_request(engine, &request);
+        summary.requests += 1;
+        if response.get("ok").and_then(Value::as_bool) != Some(true) {
+            summary.errors += 1;
+        }
+        write_line(&mut output, &response)?;
+        output.flush()?;
+        if shutdown {
+            summary.shut_down = true;
+            break;
+        }
+    }
+    Ok(summary)
+}
+
+/// Dispatches one parsed request; returns the response and whether to stop.
+/// Public so the service bench can drive the protocol without pipes.
+pub fn handle_request(engine: &mut Engine, request: &Value) -> (Value, bool) {
+    let started = std::time::Instant::now();
+    let op = match request.get("op").and_then(Value::as_str) {
+        Some(op) => op.to_owned(),
+        None => return (err_response("request has no \"op\" field"), false),
+    };
+    let _span = rlb_obs::span!("serve.request", "{op}");
+    let (response, shutdown) = match op.as_str() {
+        "ingest" => (handle_ingest(engine, request), false),
+        "link" => (handle_link(engine, request), false),
+        "assess" => (
+            match engine.assess() {
+                Ok(a) => ok_response(vec![("assessment".into(), a.to_json())]),
+                Err(e) => err_response(e),
+            },
+            false,
+        ),
+        "stats" => (handle_stats(engine), false),
+        "shutdown" => (ok_response(vec![]), true),
+        other => (err_response(format!("unknown op {other:?}")), false),
+    };
+    let elapsed_us = started.elapsed().as_micros() as u64;
+    rlb_obs::histogram_record("serve.request_us", elapsed_us);
+    if let Some((counter, histogram)) = op_metrics(&op) {
+        rlb_obs::counter_add(counter, 1);
+        rlb_obs::histogram_record(histogram, elapsed_us);
+    }
+    if response.get("ok").and_then(Value::as_bool) != Some(true) {
+        rlb_obs::counter_add("serve.errors", 1);
+    }
+    (response, shutdown)
+}
+
+fn parse_records(v: &Value, field: &str) -> Result<Vec<Vec<String>>, String> {
+    let Some(rows) = v.get(field) else {
+        return Ok(Vec::new());
+    };
+    let rows = rows
+        .as_arr()
+        .ok_or_else(|| format!("\"{field}\" must be an array of records"))?;
+    rows.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let values = row
+                .as_arr()
+                .ok_or_else(|| format!("{field}[{i}] must be an array of strings"))?;
+            values
+                .iter()
+                .enumerate()
+                .map(|(j, s)| {
+                    s.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| format!("{field}[{i}][{j}] must be a string"))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn parse_pairs(v: &Value) -> Result<Vec<IngestPair>, String> {
+    let Some(pairs) = v.get("pairs") else {
+        return Ok(Vec::new());
+    };
+    let pairs = pairs
+        .as_arr()
+        .ok_or_else(|| "\"pairs\" must be an array".to_string())?;
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let id = |field: &str| -> Result<u32, String> {
+                p.get(field)
+                    .and_then(Value::as_f64)
+                    .filter(|x| x.fract() == 0.0 && *x >= 0.0 && *x <= u32::MAX as f64)
+                    .map(|x| x as u32)
+                    .ok_or_else(|| format!("pairs[{i}].{field} must be a record id"))
+            };
+            Ok(IngestPair {
+                left: id("left")?,
+                right: id("right")?,
+                is_match: p
+                    .get("match")
+                    .and_then(Value::as_bool)
+                    .ok_or_else(|| format!("pairs[{i}].match must be a boolean"))?,
+                split: Split::parse(p.get("split").and_then(Value::as_str).unwrap_or("train"))?,
+            })
+        })
+        .collect()
+}
+
+fn handle_ingest(engine: &mut Engine, request: &Value) -> Value {
+    let batch = (|| -> Result<IngestBatch, String> {
+        let attributes = match request.get("attributes") {
+            None => None,
+            Some(a) => Some(
+                a.as_arr()
+                    .ok_or_else(|| "\"attributes\" must be an array of strings".to_string())?
+                    .iter()
+                    .map(|s| {
+                        s.as_str()
+                            .map(str::to_owned)
+                            .ok_or_else(|| "\"attributes\" must be an array of strings".to_string())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+        };
+        Ok(IngestBatch {
+            attributes,
+            left: parse_records(request, "left")?,
+            right: parse_records(request, "right")?,
+            pairs: parse_pairs(request)?,
+        })
+    })();
+    match batch.and_then(|b| engine.ingest(b)) {
+        Ok(stats) => ok_response(vec![
+            ("left".into(), Value::Num(stats.left as f64)),
+            ("right".into(), Value::Num(stats.right as f64)),
+            ("pairs".into(), Value::Num(stats.pairs as f64)),
+            ("vocab".into(), Value::Num(stats.vocab as f64)),
+        ]),
+        Err(e) => err_response(e),
+    }
+}
+
+fn handle_link(engine: &mut Engine, request: &Value) -> Value {
+    let usize_field = |field: &str, default: usize| -> Result<usize, String> {
+        match request.get(field) {
+            None => Ok(default),
+            Some(v) => v
+                .as_f64()
+                .filter(|x| x.fract() == 0.0 && *x >= 1.0)
+                .map(|x| x as usize)
+                .ok_or_else(|| format!("\"{field}\" must be a positive integer")),
+        }
+    };
+    let (k, limit) = match (
+        usize_field("k", DEFAULT_K),
+        usize_field("limit", DEFAULT_LINK_LIMIT),
+    ) {
+        (Ok(k), Ok(limit)) => (k, limit),
+        (Err(e), _) | (_, Err(e)) => return err_response(e),
+    };
+    let retrieval = engine.link(k);
+    let candidates = retrieval.candidates(k);
+    let echoed: Vec<Value> = candidates
+        .iter()
+        .take(limit)
+        .map(|p| {
+            Value::Arr(vec![
+                Value::Num(f64::from(p.left)),
+                Value::Num(f64::from(p.right)),
+            ])
+        })
+        .collect();
+    ok_response(vec![
+        ("k".into(), Value::Num(k as f64)),
+        ("total".into(), Value::Num(candidates.len() as f64)),
+        ("pairs".into(), Value::Arr(echoed)),
+    ])
+}
+
+fn handle_stats(engine: &Engine) -> Value {
+    let stats = engine.stats();
+    let snap = rlb_obs::snapshot();
+    ok_response(vec![
+        (
+            "records".into(),
+            Value::Obj(vec![
+                ("left".into(), Value::Num(stats.left as f64)),
+                ("right".into(), Value::Num(stats.right as f64)),
+                ("pairs".into(), Value::Num(stats.pairs as f64)),
+                ("vocab".into(), Value::Num(stats.vocab as f64)),
+            ]),
+        ),
+        (
+            "counters".into(),
+            Value::Obj(
+                snap.counters
+                    .iter()
+                    .map(|(n, v)| (n.clone(), Value::Num(*v as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms".into(),
+            Value::Obj(
+                snap.histograms
+                    .iter()
+                    .map(|(n, h)| (n.clone(), h.to_value()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(script: &str) -> (Vec<Value>, ServeSummary) {
+        let mut engine = Engine::new("test");
+        let mut out = Vec::new();
+        let summary = serve(
+            &mut engine,
+            std::io::BufReader::new(script.as_bytes()),
+            &mut out,
+            4096,
+        )
+        .unwrap();
+        let responses = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Value::parse(l).expect("response parses"))
+            .collect();
+        (responses, summary)
+    }
+
+    fn ok(v: &Value) -> bool {
+        v.get("ok").and_then(Value::as_bool) == Some(true)
+    }
+
+    #[test]
+    fn full_session_over_the_wire() {
+        let script = concat!(
+            r#"{"op":"ingest","attributes":["name"],"left":[["acme widget"],["zen speaker"]],"#,
+            r#""right":[["acme wdget"],["zen speakers"]],"pairs":[{"left":0,"right":0,"match":true,"split":"train"}]}"#,
+            "\n",
+            r#"{"op":"link","k":1}"#,
+            "\n",
+            r#"{"op":"stats"}"#,
+            "\n",
+            r#"{"op":"shutdown"}"#,
+            "\n",
+        );
+        let (responses, summary) = drive(script);
+        assert_eq!(responses.len(), 4);
+        assert!(responses.iter().all(ok), "{responses:?}");
+        assert_eq!(responses[0].get("left").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(responses[1].get("total").and_then(Value::as_f64), Some(2.0));
+        let counters = responses[2].get("counters").expect("counters");
+        assert!(counters.get("serve.ingest").is_some());
+        let hists = responses[2].get("histograms").expect("histograms");
+        assert!(hists.get("serve.request_us").is_some());
+        assert_eq!(
+            summary,
+            ServeSummary {
+                requests: 4,
+                errors: 0,
+                shut_down: true
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_do_not_stop_the_loop() {
+        let script = concat!(
+            "{broken\n",
+            r#"{"op":"teleport"}"#,
+            "\n",
+            r#"{"no_op":1}"#,
+            "\n",
+            r#"{"op":"stats"}"#,
+            "\n",
+        );
+        let (responses, summary) = drive(script);
+        assert_eq!(responses.len(), 4);
+        assert!(!ok(&responses[0]));
+        assert!(responses[1]
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("unknown op"));
+        assert!(!ok(&responses[2]));
+        assert!(ok(&responses[3]));
+        assert!(!summary.shut_down, "ended on EOF, not shutdown");
+        assert_eq!(summary.errors, 3);
+    }
+
+    #[test]
+    fn oversized_request_line_is_an_error_response() {
+        let huge = format!("{{\"op\":\"ingest\",\"pad\":\"{}\"}}\n", "x".repeat(8192));
+        let script = format!("{huge}{}\n", r#"{"op":"stats"}"#);
+        let (responses, _) = drive(&script);
+        assert_eq!(responses.len(), 2);
+        assert!(responses[0]
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("4096-byte"));
+        assert!(ok(&responses[1]), "stream stays aligned after oversize");
+    }
+
+    #[test]
+    fn assess_over_the_wire_matches_direct_call() {
+        let mut engine = Engine::new("twin");
+        let ingest = Value::parse(concat!(
+            r#"{"op":"ingest","left":[["acme widget pro"],["zen speaker ultra"],["kordia laptop"],["other thing"]],"#,
+            r#""right":[["acme wdget pro"],["zen speakers"],["kordia laptops"],["unrelated junk"]],"#,
+            r#""pairs":[{"left":0,"right":0,"match":true,"split":"train"},"#,
+            r#"{"left":1,"right":1,"match":true,"split":"train"},"#,
+            r#"{"left":2,"right":2,"match":true,"split":"val"},"#,
+            r#"{"left":0,"right":3,"match":false,"split":"train"},"#,
+            r#"{"left":3,"right":1,"match":false,"split":"test"},"#,
+            r#"{"left":2,"right":3,"match":false,"split":"test"}]}"#
+        ))
+        .unwrap();
+        let (resp, _) = handle_request(&mut engine, &ingest);
+        assert!(ok(&resp), "{resp:?}");
+        let (resp, _) = handle_request(&mut engine, &Value::parse(r#"{"op":"assess"}"#).unwrap());
+        assert!(ok(&resp), "{resp:?}");
+        let wire = resp.get("assessment").expect("assessment payload");
+        let direct = engine.assess().unwrap();
+        assert_eq!(*wire, direct.to_json(), "wire assessment == direct");
+    }
+
+    #[test]
+    fn bad_pair_fields_are_reported_with_location() {
+        let (responses, _) = drive(concat!(
+            r#"{"op":"ingest","left":[["a"]],"right":[["a"]],"pairs":[{"left":0,"right":0.5,"match":true}]}"#,
+            "\n"
+        ));
+        let err = responses[0].get("error").and_then(Value::as_str).unwrap();
+        assert!(err.contains("pairs[0].right"), "{err}");
+    }
+}

@@ -19,8 +19,14 @@
 
 use std::fmt::Write as _;
 
-/// Maximum nesting depth accepted by the parser (arrays + objects).
-const MAX_DEPTH: usize = 128;
+/// Maximum nesting depth accepted by [`Value::parse`] (arrays + objects).
+/// JSONL readers can tighten this per line via [`read_line`].
+pub const MAX_DEPTH: usize = 128;
+
+/// Default per-line byte cap for [`read_line`]: generous enough for any
+/// request the workspace produces, small enough that a runaway producer
+/// cannot balloon resident memory.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 4 * 1024 * 1024;
 
 /// A parsed JSON document.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,9 +69,17 @@ impl std::error::Error for JsonError {}
 impl Value {
     /// Parses a complete JSON document (rejecting trailing input).
     pub fn parse(text: &str) -> Result<Value, JsonError> {
+        Value::parse_with_depth(text, MAX_DEPTH)
+    }
+
+    /// [`Value::parse`] with an explicit nesting-depth cap — JSONL protocol
+    /// readers use a tighter bound than the document default so one
+    /// adversarial line cannot force deep recursion.
+    pub fn parse_with_depth(text: &str, max_depth: usize) -> Result<Value, JsonError> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            max_depth,
         };
         p.skip_ws();
         let v = p.value(0)?;
@@ -88,6 +102,22 @@ impl Value {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -225,6 +255,7 @@ fn write_string(out: &mut String, s: &str) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    max_depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -261,7 +292,7 @@ impl<'a> Parser<'a> {
     }
 
     fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
-        if depth > MAX_DEPTH {
+        if depth > self.max_depth {
             return Err(self.err("document nests too deeply"));
         }
         match self.bytes.get(self.pos) {
@@ -458,6 +489,83 @@ pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
 /// Parses a document and converts it to `T`.
 pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
     T::from_json(&Value::parse(text)?)
+}
+
+/// Outcome of reading one record from a JSON-lines stream via [`read_line`].
+#[derive(Debug)]
+pub enum JsonLine {
+    /// A parsed record.
+    Record(Value),
+    /// The line was unusable (oversized, malformed, over-deep). The stream
+    /// is still aligned on a line boundary, so the caller can report the
+    /// error and keep reading.
+    Bad(JsonError),
+    /// End of stream.
+    Eof,
+}
+
+/// Reads the next non-blank line from a JSON-lines stream and parses it.
+///
+/// Limits are enforced per line: a line longer than `max_bytes` is drained
+/// to its trailing newline (keeping the stream aligned) and reported as
+/// [`JsonLine::Bad`] with a clear oversize message; nesting beyond
+/// `max_depth` is likewise a per-line error, never a stream abort. Only a
+/// real I/O failure returns `Err`.
+pub fn read_line<R: std::io::BufRead>(
+    reader: &mut R,
+    max_bytes: usize,
+    max_depth: usize,
+) -> std::io::Result<JsonLine> {
+    use std::io::{BufRead as _, Read as _};
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        // Read at most one byte past the cap so "exactly at the cap" and
+        // "over the cap" are distinguishable.
+        let mut limited = reader.take(max_bytes as u64 + 1);
+        let n = limited.read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            return Ok(JsonLine::Eof);
+        }
+        if buf.last() != Some(&b'\n') && n > max_bytes {
+            // Oversized: discard the rest of the physical line in bounded
+            // chunks so the next read starts on a fresh line, then fail
+            // just this record.
+            loop {
+                buf.clear();
+                let mut limited = reader.take(8192);
+                let read = limited.read_until(b'\n', &mut buf)?;
+                if read == 0 || buf.last() == Some(&b'\n') {
+                    break;
+                }
+            }
+            return Ok(JsonLine::Bad(JsonError::new(format!(
+                "line exceeds the {max_bytes}-byte limit"
+            ))));
+        }
+        let text = match std::str::from_utf8(&buf) {
+            Ok(t) => t.trim_end_matches(['\n', '\r']).trim(),
+            Err(_) => {
+                return Ok(JsonLine::Bad(JsonError::new("line is not valid UTF-8")));
+            }
+        };
+        if text.is_empty() {
+            continue; // skip blank lines
+        }
+        return Ok(match Value::parse_with_depth(text, max_depth) {
+            Ok(v) => JsonLine::Record(v),
+            Err(e) => JsonLine::Bad(e),
+        });
+    }
+}
+
+/// Writes one record as a compact JSON line (record + `\n`, single
+/// `write_all`). The JSONL twin of [`read_line`]; the `RLB_OBS_FILE` sink
+/// and the `rlb-serve` protocol both emit through this.
+pub fn write_line<W: std::io::Write>(writer: &mut W, record: &Value) -> std::io::Result<()> {
+    let mut line = record.to_json_string();
+    line.push('\n');
+    writer.write_all(line.as_bytes())
 }
 
 impl ToJson for Value {
@@ -707,13 +815,12 @@ mod tests {
     fn parses_nested_structures() {
         let v = Value::parse(r#"{"a": [1, {"b": null}], "c": "x"}"#).unwrap();
         assert_eq!(v.get("c").and_then(Value::as_str), Some("x"));
-        match v.get("a") {
-            Some(Value::Arr(items)) => {
-                assert_eq!(items[0], Value::Num(1.0));
-                assert_eq!(items[1].get("b"), Some(&Value::Null));
-            }
-            other => panic!("unexpected {other:?}"),
-        }
+        let items = v
+            .get("a")
+            .and_then(Value::as_arr)
+            .expect("\"a\" should parse as an array");
+        assert_eq!(items[0], Value::Num(1.0));
+        assert_eq!(items[1].get("b"), Some(&Value::Null));
     }
 
     #[test]
@@ -856,5 +963,95 @@ mod tests {
         let pair = ("label".to_string(), 0.25f64);
         let back: (String, f64) = from_str(&to_string(&pair)).unwrap();
         assert_eq!(back, pair);
+    }
+
+    fn next_record(reader: &mut impl std::io::BufRead, max_bytes: usize) -> JsonLine {
+        read_line(reader, max_bytes, MAX_DEPTH).unwrap()
+    }
+
+    #[test]
+    fn jsonl_roundtrips_and_skips_blank_lines() {
+        let mut out = Vec::new();
+        write_line(
+            &mut out,
+            &Value::Obj(vec![("op".into(), Value::Str("a".into()))]),
+        )
+        .unwrap();
+        out.extend_from_slice(b"\n  \n");
+        write_line(&mut out, &Value::Num(2.0)).unwrap();
+        let mut reader = std::io::BufReader::new(&out[..]);
+        let first = next_record(&mut reader, 1024);
+        match first {
+            JsonLine::Record(v) => assert_eq!(v.get("op").and_then(Value::as_str), Some("a")),
+            other => panic!("expected record, got {other:?}"),
+        }
+        assert!(matches!(
+            next_record(&mut reader, 1024),
+            JsonLine::Record(Value::Num(n)) if n == 2.0
+        ));
+        assert!(matches!(next_record(&mut reader, 1024), JsonLine::Eof));
+    }
+
+    #[test]
+    fn jsonl_oversized_line_fails_without_losing_alignment() {
+        let mut input = Vec::new();
+        input.extend_from_slice(b"\"");
+        input.extend(std::iter::repeat_n(b'x', 40_000));
+        input.extend_from_slice(b"\"\n{\"ok\":true}\n");
+        let mut reader = std::io::BufReader::new(&input[..]);
+        match next_record(&mut reader, 64) {
+            JsonLine::Bad(e) => assert!(e.to_string().contains("64-byte"), "{e}"),
+            other => panic!("expected oversize error, got {other:?}"),
+        }
+        // The stream stayed aligned: the next line still parses.
+        match next_record(&mut reader, 64) {
+            JsonLine::Record(v) => assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true)),
+            other => panic!("expected record after drain, got {other:?}"),
+        }
+        assert!(matches!(next_record(&mut reader, 64), JsonLine::Eof));
+    }
+
+    #[test]
+    fn jsonl_line_exactly_at_limit_is_accepted() {
+        // 12 bytes of JSON, cap of 12: must pass (the cap is on the line,
+        // not the line plus its newline).
+        let input = b"{\"ab\":12345}\n";
+        assert_eq!(input.len() - 1, 12);
+        let mut reader = std::io::BufReader::new(&input[..]);
+        assert!(matches!(next_record(&mut reader, 12), JsonLine::Record(_)));
+    }
+
+    #[test]
+    fn jsonl_depth_limit_is_per_line() {
+        let mut reader = std::io::BufReader::new(&b"[[[1]]]\n[1]\n"[..]);
+        assert!(matches!(
+            read_line(&mut reader, 1024, 2).unwrap(),
+            JsonLine::Bad(_)
+        ));
+        assert!(matches!(
+            read_line(&mut reader, 1024, 2).unwrap(),
+            JsonLine::Record(_)
+        ));
+    }
+
+    #[test]
+    fn jsonl_malformed_line_reports_bad_not_io_error() {
+        let mut reader = std::io::BufReader::new(&b"{not json}\n3\n"[..]);
+        assert!(matches!(next_record(&mut reader, 1024), JsonLine::Bad(_)));
+        assert!(matches!(
+            next_record(&mut reader, 1024),
+            JsonLine::Record(Value::Num(n)) if n == 3.0
+        ));
+    }
+
+    #[test]
+    fn accessors_return_none_on_type_mismatch() {
+        assert_eq!(Value::Num(1.0).as_arr(), None);
+        assert_eq!(
+            Value::Arr(vec![Value::Null]).as_arr().map(<[Value]>::len),
+            Some(1)
+        );
+        assert_eq!(Value::Bool(false).as_bool(), Some(false));
+        assert_eq!(Value::Str("true".into()).as_bool(), None);
     }
 }
