@@ -1,25 +1,45 @@
 //! Streaming-vs-ragged bench for the 17 complexity measures.
 //!
-//! Two jobs:
+//! Four jobs:
 //!
-//! - **Identity**: [`rlb_complexity::compute`] (streaming
-//!   [`DistanceEngine`](rlb_textsim::gower::DistanceEngine) tiles) and
+//! - **Identity**: [`rlb_complexity::compute`] (streaming columnar
+//!   [`DistanceEngine`](rlb_textsim::gower::DistanceEngine) kernels) and
 //!   [`rlb_complexity::compute_ragged`] (materialized O(n²) matrix) must be
 //!   byte-identical on every one of the 17 values, at every scale where the
 //!   ragged matrix is still feasible.
-//! - **Throughput**: points/sec of the streaming path at the old 1500-point
-//!   default cap and at the new 20000-point default, plus the peak
-//!   distance-buffer footprint against what the ragged matrix would cost.
+//! - **Thread scaling**: the big exact run is repeated at `RLB_THREADS` ∈
+//!   {1, 2, 4, max}, the full report is asserted bit-identical across every
+//!   level (thread-count invariance at scale, not just in unit tests), and
+//!   the timing curve lands in the artifact with per-sample thread metadata.
+//! - **Baseline tracking**: the 20000-point exact run is compared against
+//!   the recorded pre-columnar baseline median.
+//! - **Estimator**: the landmark estimator assesses a ≥100k-point synthetic
+//!   set and its mean must land within the declared error bound of the
+//!   exact (subsampled-to-cap) twin's.
 //!
-//! Results go to `BENCH_complexity.json` (the CI smoke run asserts the file
-//! exists and carries `"identical": true`).
+//! Results go to `BENCH_complexity.json` (the CI smoke runs — one at
+//! `RLB_THREADS=1`, one at `=4` — assert the file carries
+//! `"identical": true`, the scaling curve, and the threads metadata).
+//!
+//! Smoke knobs: `RLB_BENCH_SAMPLES` / `RLB_BENCH_WARMUP` (harness),
+//! `RLB_BENCH_POINTS` (thread-sweep scale, default 20000),
+//! `RLB_BENCH_ESTIMATOR_POINTS` (estimator scale, default 100000).
 
-use rlb_bench::timing::{group, Harness};
-use rlb_complexity::{compute, compute_ragged, ComplexityConfig};
+use rlb_bench::timing::{group, threads_metadata, Harness};
+use rlb_complexity::{
+    compute, compute_ragged, estimator_bound, ComplexityConfig, ComplexityReport,
+};
 use rlb_textsim::gower::DistanceEngine;
 use rlb_util::json::Value;
 use rlb_util::Prng;
 use std::hint::black_box;
+use std::time::Instant;
+
+/// Median of the 20000-point exact run recorded by the last pre-columnar
+/// artifact (row-major scalar kernel, ragged bitset rows): the baseline the
+/// columnar/thread-scaled kernels are measured against.
+const RECORDED_BASELINE_MS: f64 = 86_842.7;
+const BASELINE_POINTS: usize = 20_000;
 
 /// Similarity-style 2-D data, mirroring the complexity crate's test fixture:
 /// positives clustered high, negatives low, with controllable overlap.
@@ -54,20 +74,32 @@ fn cfg_with_cap(cap: usize) -> ComplexityConfig {
     }
 }
 
+fn env_points(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
 /// Asserts all 17 measures agree bit-for-bit between the twins.
 fn assert_identical(points: usize, cap: usize) {
     let (xs, ys) = synthetic(points, 0.5, 0.25, 0xC0_FFEE ^ points as u64);
     let cfg = cfg_with_cap(cap);
     let streaming = compute(&xs, &ys, &cfg).expect("streaming compute");
     let ragged = compute_ragged(&xs, &ys, &cfg).expect("ragged compute");
-    for ((name, s), (_, r)) in streaming.values().iter().zip(ragged.values()) {
+    assert_reports_identical(&streaming, &ragged, &format!("{points} points (cap {cap})"));
+    println!("  {points:>5} points (cap {cap:>5}): all 17 measures bit-identical");
+}
+
+fn assert_reports_identical(a: &ComplexityReport, b: &ComplexityReport, what: &str) {
+    for ((name, va), (_, vb)) in a.values().iter().zip(b.values()) {
         assert_eq!(
-            s.to_bits(),
-            r.to_bits(),
-            "{name} diverged at {points} points (cap {cap}): {s} vs {r}"
+            va.to_bits(),
+            vb.to_bits(),
+            "{name} diverged at {what}: {va} vs {vb}"
         );
     }
-    println!("  {points:>5} points (cap {cap:>5}): all 17 measures bit-identical");
 }
 
 /// Times the streaming path at `points` and reports throughput + memory.
@@ -88,7 +120,7 @@ fn bench_scale(h: &mut Harness, points: usize) -> Value {
         ragged_bytes / 1024,
         ragged_bytes / peak.max(1)
     );
-    Value::Obj(vec![
+    let mut fields = vec![
         ("points".into(), Value::Num(points as f64)),
         (
             "median_ms".into(),
@@ -100,6 +132,122 @@ fn bench_scale(h: &mut Harness, points: usize) -> Value {
             "ragged_matrix_bytes".into(),
             Value::Num(ragged_bytes as f64),
         ),
+    ];
+    fields.extend(threads_metadata());
+    Value::Obj(fields)
+}
+
+/// Repeats the exact run at `RLB_THREADS` ∈ {1, 2, 4, max}: every level's
+/// full report must be bit-identical (the thread-invariance contract at
+/// scale), and each level's timing lands in the scaling curve with the
+/// thread metadata that actually produced it. Restores the ambient
+/// `RLB_THREADS` before returning so the rest of the bench (and the CI
+/// smoke's external setting) is untouched.
+fn sweep_threads(h: &mut Harness, points: usize) -> Vec<Value> {
+    let ambient = std::env::var("RLB_THREADS").ok();
+    let max = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut levels: Vec<usize> = vec![1, 2, 4, max];
+    levels.sort_unstable();
+    levels.dedup();
+
+    let (xs, ys) = synthetic(points, 0.5, 0.25, 0xBE_7C ^ points as u64);
+    let cfg = cfg_with_cap(points);
+    let mut reference: Option<ComplexityReport> = None;
+    let mut curve = Vec::new();
+    let mut base_median = f64::NAN;
+    for &t in &levels {
+        std::env::set_var("RLB_THREADS", t.to_string());
+        let mut last: Option<ComplexityReport> = None;
+        let stats = h.bench(&format!("exact n={points}, RLB_THREADS={t}"), || {
+            let r = compute(&xs, &ys, &cfg).unwrap();
+            let mean = r.mean();
+            last = Some(r);
+            black_box(mean)
+        });
+        let report = last.expect("at least one sample ran");
+        match &reference {
+            None => reference = Some(report),
+            Some(want) => {
+                assert_reports_identical(&report, want, &format!("RLB_THREADS={t}"));
+            }
+        }
+        let median_ms = stats.median.as_secs_f64() * 1e3;
+        if t == levels[0] {
+            base_median = median_ms;
+        }
+        let mut entry = vec![
+            ("points".into(), Value::Num(points as f64)),
+            ("median_ms".into(), Value::Num(median_ms)),
+            (
+                "points_per_sec".into(),
+                Value::Num(points as f64 / stats.median.as_secs_f64()),
+            ),
+            (
+                "speedup_vs_1_thread".into(),
+                Value::Num(base_median / median_ms),
+            ),
+            ("report_identical".into(), Value::Bool(true)),
+        ];
+        entry.extend(threads_metadata());
+        curve.push(Value::Obj(entry));
+    }
+    match ambient {
+        Some(v) => std::env::set_var("RLB_THREADS", v),
+        None => std::env::remove_var("RLB_THREADS"),
+    }
+    println!("  report bit-identical across RLB_THREADS {levels:?}");
+    curve
+}
+
+/// Runs the landmark estimator against the exact twin on a large synthetic
+/// set: the estimator's 17-measure mean must land within the declared
+/// [`estimator_bound`] of the exact mean.
+fn bench_estimator(points: usize) -> Value {
+    let (xs, ys) = synthetic(points, 0.5, 0.25, 0x0E57 ^ points as u64);
+    let sample = (points / 25).clamp(400, 4_000);
+
+    let exact_cfg = ComplexityConfig::default();
+    let t = Instant::now();
+    let exact = compute(&xs, &ys, &exact_cfg).expect("exact compute");
+    let exact_s = t.elapsed().as_secs_f64();
+
+    let est_cfg = ComplexityConfig {
+        estimator_sample: Some(sample),
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let est = compute(&xs, &ys, &est_cfg).expect("estimator compute");
+    let est_s = t.elapsed().as_secs_f64();
+
+    let bound = estimator_bound(sample);
+    let gap = (est.mean() - exact.mean()).abs();
+    assert!(
+        gap <= bound,
+        "estimator mean {:.5} strayed {gap:.5} from exact {:.5}, declared bound {bound:.5}",
+        est.mean(),
+        exact.mean()
+    );
+    let snap = rlb_obs::snapshot();
+    assert!(
+        snap.counter("complexity.estimator.sample") >= sample as u64,
+        "estimator runs must report their sample size to rlb-obs"
+    );
+    println!(
+        "  {points} points: exact {:.2}s (cap {}), estimator {:.2}s ({sample} landmarks); \
+         mean gap {gap:.5} within declared bound {bound:.5}",
+        exact_s, exact_cfg.max_points, est_s
+    );
+    Value::Obj(vec![
+        ("points".into(), Value::Num(points as f64)),
+        ("sample".into(), Value::Num(sample as f64)),
+        ("declared_bound".into(), Value::Num(bound)),
+        ("exact_mean".into(), Value::Num(exact.mean())),
+        ("estimator_mean".into(), Value::Num(est.mean())),
+        ("mean_gap".into(), Value::Num(gap)),
+        ("within_bound".into(), Value::Bool(true)),
+        ("exact_ms".into(), Value::Num(exact_s * 1e3)),
+        ("estimator_ms".into(), Value::Num(est_s * 1e3)),
+        ("estimator_speedup".into(), Value::Num(exact_s / est_s)),
     ])
 }
 
@@ -114,11 +262,35 @@ fn main() {
         assert_identical(points, cap);
     }
 
-    group("streaming throughput (old default cap 1500 vs new default 20000)");
-    let scales: Vec<Value> = [1500usize, 20_000]
-        .iter()
-        .map(|&n| bench_scale(&mut h, n))
-        .collect();
+    group("streaming throughput (old default cap 1500)");
+    let scales = vec![bench_scale(&mut h, 1500)];
+
+    let sweep_points = env_points("RLB_BENCH_POINTS", BASELINE_POINTS);
+    group("thread scaling (exact run, report asserted identical per level)");
+    let curve = sweep_threads(&mut h, sweep_points);
+
+    // Baseline comparison: only meaningful at the recorded baseline's scale.
+    let mut baseline_fields = vec![
+        ("points".into(), Value::Num(BASELINE_POINTS as f64)),
+        ("median_ms".into(), Value::Num(RECORDED_BASELINE_MS)),
+    ];
+    if sweep_points == BASELINE_POINTS {
+        let best = curve
+            .iter()
+            .filter_map(|e| e.get("median_ms").and_then(Value::as_f64))
+            .fold(f64::INFINITY, f64::min);
+        let speedup = RECORDED_BASELINE_MS / best;
+        println!(
+            "  best exact median {best:.0} ms vs recorded baseline \
+             {RECORDED_BASELINE_MS:.0} ms: {speedup:.2}x"
+        );
+        baseline_fields.push(("best_median_ms".into(), Value::Num(best)));
+        baseline_fields.push(("speedup".into(), Value::Num(speedup)));
+    }
+
+    group("landmark estimator vs exact twin");
+    let estimator_points = env_points("RLB_BENCH_ESTIMATOR_POINTS", 100_000);
+    let estimator = bench_estimator(estimator_points);
 
     let tile_rows = rlb_obs::snapshot().counter("complexity.tile.rows");
     assert!(
@@ -128,17 +300,18 @@ fn main() {
     let tiles = rlb_obs::snapshot().counter("complexity.tiles");
     println!("\nobs: {tiles} tiles mapped, {tile_rows} rows streamed");
 
-    let out = Value::Obj(vec![
-        ("identical".into(), Value::Bool(true)),
-        (
-            "threads".into(),
-            Value::Num(rlb_util::par::thread_count() as f64),
-        ),
+    let mut fields = vec![("identical".into(), Value::Bool(true))];
+    fields.extend(threads_metadata());
+    fields.extend([
         ("samples".into(), Value::Num(h.results()[0].samples as f64)),
         ("scales".into(), Value::Arr(scales)),
+        ("scaling_curve".into(), Value::Arr(curve)),
+        ("recorded_baseline".into(), Value::Obj(baseline_fields)),
+        ("estimator".into(), estimator),
         ("tile_rows".into(), Value::Num(tile_rows as f64)),
         ("tiles".into(), Value::Num(tiles as f64)),
     ]);
+    let out = Value::Obj(fields);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_complexity.json");
     std::fs::write(path, out.to_json_string_pretty()).expect("write BENCH_complexity.json");
     println!("wrote BENCH_complexity.json");

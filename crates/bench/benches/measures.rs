@@ -129,9 +129,9 @@ fn bench_interned_vs_string(h: &mut Harness) -> Value {
          ({speedup_e2e:.2}x including view build) on {threads} threads \
          (target >= 2x): {verdict}"
     );
-    Value::Obj(vec![
-        ("pairs".into(), Value::Num(PAIRS as f64)),
-        ("threads".into(), Value::Num(threads as f64)),
+    let mut fields = vec![("pairs".into(), Value::Num(PAIRS as f64))];
+    fields.extend(rlb_bench::timing::threads_metadata());
+    fields.extend([
         ("samples".into(), Value::Num(string.samples as f64)),
         (
             "string_pairs_per_sec".into(),
@@ -149,7 +149,8 @@ fn bench_interned_vs_string(h: &mut Harness) -> Value {
         ("speedup_e2e".into(), Value::Num(speedup_e2e)),
         ("reports_identical".into(), Value::Bool(true)),
         ("verdict".into(), Value::Str(verdict.into())),
-    ])
+    ]);
+    Value::Obj(fields)
 }
 
 fn bench_complexity(h: &mut Harness) {

@@ -201,12 +201,9 @@ fn main() {
         request_us.count
     );
 
-    let out = Value::Obj(vec![
-        ("identical".into(), Value::Bool(true)),
-        (
-            "threads".into(),
-            Value::Num(rlb_util::par::thread_count() as f64),
-        ),
+    let mut fields = vec![("identical".into(), Value::Bool(true))];
+    fields.extend(rlb_bench::timing::threads_metadata());
+    fields.extend([
         ("records".into(), Value::Num(records as f64)),
         ("ingest_batches".into(), Value::Num(INGEST_BATCHES as f64)),
         (
@@ -234,6 +231,7 @@ fn main() {
         ("request_p50_us".into(), Value::Num(p50 as f64)),
         ("request_p99_us".into(), Value::Num(p99 as f64)),
     ]);
+    let out = Value::Obj(fields);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
     std::fs::write(path, out.to_json_string_pretty()).expect("write BENCH_service.json");
     println!("wrote BENCH_service.json");

@@ -9,8 +9,30 @@
 //! Sample counts mirror the old criterion configuration (`sample_size(10)`)
 //! and can be lowered for smoke runs via `RLB_BENCH_SAMPLES`.
 
+use rlb_util::json::Value;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+/// Thread-count metadata for bench artifacts: the worker count
+/// [`rlb_util::par::thread_count`] actually resolved **and** the raw
+/// `RLB_THREADS` environment value (JSON `null` when unset).
+///
+/// Earlier artifacts recorded a single `"threads"` number with no record of
+/// where it came from, so a run whose `RLB_THREADS` was ignored (typo'd,
+/// clamped, or overridden by a sweep) was indistinguishable from a run that
+/// honored it. Every `BENCH_*.json` writer embeds both fields — at the top
+/// level and once per sweep sample — so recorded metadata can be audited
+/// against the environment that produced it.
+pub fn threads_metadata() -> Vec<(String, Value)> {
+    let raw = std::env::var("RLB_THREADS").ok();
+    vec![
+        (
+            "threads_resolved".into(),
+            Value::Num(rlb_util::par::thread_count() as f64),
+        ),
+        ("threads_env".into(), raw.map_or(Value::Null, Value::Str)),
+    ]
+}
 
 /// Timing summary of one benchmark.
 #[derive(Debug, Clone)]
@@ -61,16 +83,23 @@ impl Default for Harness {
 }
 
 impl Harness {
-    /// Default configuration: 2 warm-up runs, 10 timed samples (override the
-    /// sample count with `RLB_BENCH_SAMPLES`).
+    /// Default configuration: 2 warm-up runs, 10 timed samples. Override the
+    /// sample count with `RLB_BENCH_SAMPLES` and the warm-up count with
+    /// `RLB_BENCH_WARMUP` (0 is allowed — ahead-of-time-compiled workloads
+    /// at multi-second scale don't need warming, and skipping it keeps full
+    /// 20k-point regeneration runs affordable).
     pub fn new() -> Self {
-        let samples = std::env::var("RLB_BENCH_SAMPLES")
-            .ok()
-            .and_then(|s| s.parse().ok())
+        let env_count = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+        };
+        let samples = env_count("RLB_BENCH_SAMPLES")
             .filter(|&n| n > 0)
             .unwrap_or(10);
+        let warmup = env_count("RLB_BENCH_WARMUP").unwrap_or(2);
         Harness {
-            warmup: 2,
+            warmup,
             samples,
             results: Vec::new(),
         }
@@ -159,6 +188,21 @@ mod tests {
             ..fast.clone()
         };
         assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threads_metadata_reports_resolved_and_raw() {
+        let fields = threads_metadata();
+        assert_eq!(fields[0].0, "threads_resolved");
+        match &fields[0].1 {
+            Value::Num(n) => assert!(*n >= 1.0),
+            other => panic!("threads_resolved should be a number, got {other:?}"),
+        }
+        assert_eq!(fields[1].0, "threads_env");
+        match &fields[1].1 {
+            Value::Null | Value::Str(_) => {}
+            other => panic!("threads_env should be raw string or null, got {other:?}"),
+        }
     }
 
     #[test]

@@ -94,20 +94,54 @@ fn f1v_2d(pos: &[&[f64]], neg: &[&[f64]]) -> f64 {
     1.0 / (1.0 + df)
 }
 
+/// Per-chunk elements for the parallel column scans below: large enough
+/// that chunk-claim overhead vanishes, small enough to balance.
+const SCAN_CHUNK: usize = 4096;
+
+/// Exact column `(min, max)` via parallel chunked scans merged with the
+/// same `f64::{min, max}` fold `rlb_util::stats::{min, max}` uses, so the
+/// result equals the sequential reduction at any thread count (NaN-free
+/// input assumed, as documented there). `None` when `points` is empty.
+fn column_min_max(points: &[&[f64]], d: usize) -> Option<(f64, f64)> {
+    if points.is_empty() {
+        return None;
+    }
+    rlb_util::par::par_chunks(points, SCAN_CHUNK, |_, chunk| {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for p in chunk {
+            lo = lo.min(p[d]);
+            hi = hi.max(p[d]);
+        }
+        (lo, hi)
+    })
+    .into_iter()
+    .reduce(|(alo, ahi), (blo, bhi)| (alo.min(blo), ahi.max(bhi)))
+}
+
+/// Number of points whose `d`-th coordinate lies in `[lo, hi]` — an
+/// order-independent integer, counted in parallel chunks.
+fn column_count_in(points: &[&[f64]], d: usize, lo: f64, hi: f64) -> usize {
+    rlb_util::par::par_chunks(points, SCAN_CHUNK, |_, chunk| {
+        chunk.iter().filter(|p| p[d] >= lo && p[d] <= hi).count()
+    })
+    .into_iter()
+    .sum()
+}
+
 /// `f2`: product over features of the normalized class-overlap interval.
+///
+/// An empty class (possible when a subsampled stratum comes up empty) has
+/// no overlap interval: degrade to `0.0` — the measure's "perfectly
+/// separable" pole — instead of panicking mid-assessment.
 fn f2_measure(pos: &[&[f64]], neg: &[&[f64]], dim: usize) -> f64 {
+    if pos.is_empty() || neg.is_empty() {
+        return 0.0;
+    }
     let mut vol = 1.0;
     for d in 0..dim {
-        let cp = column(pos, d);
-        let cn = column(neg, d);
-        let (minp, maxp) = (
-            rlb_util::stats::min(&cp).unwrap(),
-            rlb_util::stats::max(&cp).unwrap(),
-        );
-        let (minn, maxn) = (
-            rlb_util::stats::min(&cn).unwrap(),
-            rlb_util::stats::max(&cn).unwrap(),
-        );
+        let (minp, maxp) = column_min_max(pos, d).expect("nonempty class");
+        let (minn, maxn) = column_min_max(neg, d).expect("nonempty class");
         let overlap = (maxp.min(maxn) - minp.max(minn)).max(0.0);
         let range = maxp.max(maxn) - minp.min(minn);
         vol *= if range > 0.0 { overlap / range } else { 0.0 };
@@ -118,23 +152,21 @@ fn f2_measure(pos: &[&[f64]], neg: &[&[f64]], dim: usize) -> f64 {
 /// `f3`: minimum over features of the fraction of points inside the
 /// class-overlap interval of that feature (points no single threshold on
 /// the feature can separate).
+///
+/// Degrades to `0.0` when a class is empty, like [`f2_measure`].
 fn f3_measure(pos: &[&[f64]], neg: &[&[f64]], dim: usize) -> f64 {
+    if pos.is_empty() || neg.is_empty() {
+        return 0.0;
+    }
     let n = (pos.len() + neg.len()) as f64;
     let mut best = 1.0f64;
     for d in 0..dim {
-        let cp = column(pos, d);
-        let cn = column(neg, d);
-        let lo = rlb_util::stats::min(&cp)
-            .unwrap()
-            .max(rlb_util::stats::min(&cn).unwrap());
-        let hi = rlb_util::stats::max(&cp)
-            .unwrap()
-            .min(rlb_util::stats::max(&cn).unwrap());
-        let overlapping = cp
-            .iter()
-            .chain(cn.iter())
-            .filter(|&&v| v >= lo && v <= hi)
-            .count() as f64;
+        let (minp, maxp) = column_min_max(pos, d).expect("nonempty class");
+        let (minn, maxn) = column_min_max(neg, d).expect("nonempty class");
+        let lo = minp.max(minn);
+        let hi = maxp.min(maxn);
+        let overlapping =
+            (column_count_in(pos, d, lo, hi) + column_count_in(neg, d, lo, hi)) as f64;
         let frac = if hi >= lo { overlapping / n } else { 0.0 };
         best = best.min(frac);
     }
@@ -220,6 +252,53 @@ mod tests {
         let (pos, neg) = split(&xs, &ys);
         let f3 = f3_measure(&pos, &neg, 2);
         assert!((f3 - 0.5).abs() < 1e-12, "f3 {f3}");
+    }
+
+    #[test]
+    fn empty_class_degrades_to_zero_instead_of_panicking() {
+        // Regression: the per-class min/max used to be bare `unwrap()`s, so
+        // a class emptied by subsampling panicked mid-assessment.
+        let xs = vec![vec![0.1, 0.2], vec![0.3, 0.4], vec![0.5, 0.6]];
+        let all: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        let none: Vec<&[f64]> = Vec::new();
+        assert_eq!(f2_measure(&all, &none, 2), 0.0);
+        assert_eq!(f2_measure(&none, &all, 2), 0.0);
+        assert_eq!(f3_measure(&all, &none, 2), 0.0);
+        assert_eq!(f3_measure(&none, &all, 2), 0.0);
+        // And through the public entry point with a one-class labeling.
+        let ys = vec![true, true, true];
+        let (f1, _f1v, f2, f3) = feature_measures(&xs, &ys);
+        assert!(f1.is_finite());
+        assert_eq!(f2, 0.0);
+        assert_eq!(f3, 0.0);
+    }
+
+    #[test]
+    fn single_member_classes_stay_defined() {
+        let xs = vec![vec![0.2, 0.8], vec![0.7, 0.3]];
+        let ys = vec![true, false];
+        let (f1, f1v, f2, f3) = feature_measures(&xs, &ys);
+        for v in [f1, f1v, f2, f3] {
+            assert!(v.is_finite(), "{v}");
+        }
+        // Two distinct single points: disjoint per-feature intervals.
+        assert_eq!(f2, 0.0);
+        assert_eq!(f3, 0.0, "empty overlap interval admits no points");
+    }
+
+    #[test]
+    fn parallel_column_scans_match_sequential_stats() {
+        let mut rng = rlb_util::Prng::seed_from_u64(77);
+        let xs: Vec<Vec<f64>> = (0..9000).map(|_| vec![rng.f64(), rng.f64()]).collect();
+        let refs: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        for d in 0..2 {
+            let col = column(&refs, d);
+            let (lo, hi) = column_min_max(&refs, d).unwrap();
+            assert_eq!(lo.to_bits(), rlb_util::stats::min(&col).unwrap().to_bits());
+            assert_eq!(hi.to_bits(), rlb_util::stats::max(&col).unwrap().to_bits());
+            let want = col.iter().filter(|&&v| (0.25..=0.75).contains(&v)).count();
+            assert_eq!(column_count_in(&refs, d, 0.25, 0.75), want);
+        }
     }
 
     #[test]

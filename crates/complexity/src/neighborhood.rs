@@ -145,7 +145,14 @@ pub fn neighborhood_measures(
     let nn_extra_d: Vec<f64> = nn.iter().map(|&(_, _, d)| d).collect();
     let n1 = n1_mst(ys, engine);
     let points: Vec<&[f64]> = (0..n).map(|i| engine.point(i)).collect();
-    let n4 = n4_interpolated(&points, ys, engine.space(), n4_ratio, rng);
+    // Classify each synthetic point through the chunked columnar kernel; the
+    // per-pair FP op order matches `GowerSpace::distance` exactly, so the
+    // argmin (and thus n4) is bit-identical to the ragged twin's scalar scan.
+    let n4 = n4_interpolated(&points, ys, n4_ratio, rng, |q| {
+        let mut buf = vec![0.0; n];
+        engine.query_row_into(q, &mut buf);
+        argmin(&buf)
+    });
     let t1_lsc = engine.map_rows(|i, row| t1_lsc_scan(i, row, &nn_extra_d));
     finish(ys, &nn, n1, n4, &t1_lsc)
 }
@@ -165,7 +172,18 @@ pub fn neighborhood_measures_ragged<R: AsRef<[f64]> + Sync>(
     let nn_extra_d: Vec<f64> = nn.iter().map(|&(_, _, d)| d).collect();
     let n1 = n1_mst_ragged(ys, dists);
     let points: Vec<&[f64]> = xs.iter().map(|x| x.as_ref()).collect();
-    let n4 = n4_interpolated(&points, ys, gower, n4_ratio, rng);
+    let n4 = n4_interpolated(&points, ys, n4_ratio, rng, |q| {
+        let mut best_j = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (j, xj) in points.iter().enumerate() {
+            let d = gower.distance(q, xj);
+            if d < best_d {
+                best_d = d;
+                best_j = j;
+            }
+        }
+        best_j
+    });
     let t1_lsc = rlb_util::par::par_map_range(n, |i| t1_lsc_scan(i, &dists[i], &nn_extra_d));
     finish(ys, &nn, n1, n4, &t1_lsc)
 }
@@ -218,9 +236,11 @@ fn n1_prim(ys: &[bool], mut fill_row: impl FnMut(usize, &mut [f64])) -> f64 {
     borderline.iter().filter(|&&b| b).count() as f64 / n as f64
 }
 
-/// Streaming `n1`: Prim over on-the-fly engine rows.
+/// Streaming `n1`: Prim over on-the-fly engine rows. The frontier row is
+/// the only distance work per step, so it is filled by all workers in
+/// disjoint spans (`row_into_par`) — span boundaries cannot change bits.
 fn n1_mst(ys: &[bool], engine: &DistanceEngine) -> f64 {
-    n1_prim(ys, |i, buf| engine.row_into(i, buf))
+    n1_prim(ys, |i, buf| engine.row_into_par(i, buf))
 }
 
 /// Ragged `n1` twin over the materialized matrix.
@@ -228,16 +248,33 @@ fn n1_mst_ragged(ys: &[bool], dists: &[Vec<f64>]) -> f64 {
     n1_prim(ys, |i, buf| buf.copy_from_slice(&dists[i]))
 }
 
+/// First strict minimum of a distance row — the 1-NN index under the
+/// ascending-`j`, strictly-less-wins scan both n4 twins share.
+fn argmin(row: &[f64]) -> usize {
+    let mut best_j = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (j, &d) in row.iter().enumerate() {
+        if d < best_d {
+            best_d = d;
+            best_j = j;
+        }
+    }
+    best_j
+}
+
 /// `n4`: 1-NN error on synthetic points interpolated between random
-/// same-class pairs. Independent of the distance-matrix layout: the
-/// synthetic points are drawn sequentially (the `Prng` stream defines
-/// them), then classified in parallel against the originals.
+/// same-class pairs. The synthetic points are drawn sequentially (the
+/// `Prng` stream defines them), then classified in parallel by `nearest`,
+/// which maps a query point to the index of its nearest original. Both
+/// layouts plug in a `nearest` with identical distance bits and identical
+/// argmin tie-breaking (ascending scan, strictly-less wins), so the
+/// measure is layout-independent.
 fn n4_interpolated(
     points: &[&[f64]],
     ys: &[bool],
-    gower: &GowerSpace,
     ratio: f64,
     rng: &mut Prng,
+    nearest: impl Fn(&[f64]) -> usize + Sync,
 ) -> f64 {
     let n = points.len();
     let n_new = ((n as f64 * ratio).round() as usize).max(1);
@@ -260,16 +297,7 @@ fn n4_interpolated(
         return 0.0;
     }
     let errors: usize = rlb_util::par::par_map(&synth, |(point, class_pos)| {
-        let mut best_j = 0usize;
-        let mut best_d = f64::INFINITY;
-        for (j, xj) in points.iter().enumerate() {
-            let d = gower.distance(point, xj);
-            if d < best_d {
-                best_d = d;
-                best_j = j;
-            }
-        }
-        usize::from(ys[best_j] != *class_pos)
+        usize::from(ys[nearest(point)] != *class_pos)
     })
     .into_iter()
     .sum();

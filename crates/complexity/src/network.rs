@@ -7,32 +7,67 @@
 //! (`1 − value`), following `problexity`.
 //!
 //! [`network_measures`] streams distance rows out of a [`DistanceEngine`]
-//! into a packed bitset adjacency (n²/8 bytes, with parallel
-//! popcount-based triangle counting — dense ε-graphs at the 20 000-point
-//! default cap have average degree in the thousands, where per-edge
-//! neighbour-list intersection is intractable); [`network_measures_ragged`]
-//! is the materialized O(n²)-distance, adjacency-list twin. Both count the
+//! into packed bitset adjacency (2·n²/8 bytes: one copy in original node
+//! order for the hub power iteration, one in cluster-sorted order for
+//! triangle counting — dense ε-graphs at the 20 000-point default cap have
+//! average degree in the thousands, where per-edge neighbour-list
+//! intersection is intractable); [`network_measures_ragged`] is the
+//! materialized O(n²)-distance, adjacency-list twin. Both count the
 //! identical integer edge/triangle quantities and accumulate the same f64
 //! operations in the same order, so every value is byte-identical.
+//!
+//! The cluster-sorted relabeling exploits ε-graph geometry: Gower distance
+//! `< ε` bounds every per-dimension normalized difference by `ε · dims`, so
+//! after sorting nodes by (class, key-dimension value) each node's
+//! neighbourhood occupies a narrow contiguous band of ranks. Bitset rows in
+//! that space are short runs of nonzero words; intersecting only the
+//! overlap of two rows' nonzero spans (and only bits above the iterated
+//! endpoint, counting each closed pair once instead of twice) turns the
+//! full-stride AND-popcount into a banded one. Triangle counts are
+//! integers, so the relabeling cannot change a single output bit.
 
 use rlb_textsim::gower::DistanceEngine;
+
+/// Consecutive ranks per block in the clustering sweep: large enough to
+/// amortize each `ru` slice load across the block's rows (consecutive ranks
+/// share most of their neighbourhood), small enough that the block's own
+/// rows stay cache-resident.
+const CLS_BLOCK: usize = 64;
 
 /// Computes `(den, cls, hub)` by streaming distance rows out of the engine.
 pub fn network_measures(ys: &[bool], engine: &DistanceEngine, epsilon: f64) -> (f64, f64, f64) {
     let n = ys.len();
     let stride = n.div_ceil(64);
-    // Row i's same-class ε-neighbours as a bitset. The predicate is
-    // symmetric and the diagonal is excluded, so the matrix is symmetric by
-    // construction — no assembly pass needed.
-    let rows: Vec<Vec<u64>> = engine.map_rows(|i, row| {
+    let rank = cluster_rank(ys, engine);
+    // Row i's same-class ε-neighbours as bitsets in both labelings. The
+    // predicate is symmetric and the diagonal is excluded, so both matrices
+    // are symmetric by construction — no assembly pass needed.
+    let built: Vec<(Vec<u64>, Vec<u64>)> = engine.map_rows(|i, row| {
         let mut bits = vec![0u64; stride];
+        let mut sorted = vec![0u64; stride];
         for (j, (&d, &yj)) in row.iter().zip(ys).enumerate() {
             if j != i && d < epsilon && yj == ys[i] {
                 bits[j / 64] |= 1 << (j % 64);
+                let r = rank[j];
+                sorted[r / 64] |= 1 << (r % 64);
             }
         }
-        bits
+        (bits, sorted)
     });
+    let mut rows: Vec<Vec<u64>> = Vec::with_capacity(n);
+    // Contiguous rank-major bit matrix: row r at `smat[r*stride..]`. One
+    // allocation keeps band-adjacent rows physically adjacent, which the
+    // blocked intersection sweep below depends on for prefetch locality.
+    let mut smat = vec![0u64; n * stride];
+    for (i, (orig, sorted)) in built.into_iter().enumerate() {
+        smat[rank[i] * stride..(rank[i] + 1) * stride].copy_from_slice(&sorted);
+        rows.push(orig);
+    }
+    // Nonzero-word span per sorted-space row: the "band" the intersection
+    // loop below is allowed to skip outside of. Empty rows get an empty
+    // span (lo > hi).
+    let spans: Vec<(usize, usize)> = smat.chunks_exact(stride.max(1)).map(word_span).collect();
+
     let degrees: Vec<usize> = rows
         .iter()
         .map(|r| r.iter().map(|w| w.count_ones() as usize).sum())
@@ -46,31 +81,94 @@ pub fn network_measures(ys: &[bool], engine: &DistanceEngine, epsilon: f64) -> (
         1.0 - edges as f64 / possible as f64
     };
 
-    // cls = 1 − mean local clustering coefficient. For node i, every
-    // closed neighbour pair {u, v} ⊆ N(i) is counted twice across the
-    // |N(i) ∩ N(u)| intersections (once via u, once via v), so the word-AND
-    // popcount sum halves to the exact pair count the ragged twin gets from
-    // its per-pair edge lookups.
-    let contributions: Vec<f64> = rlb_util::par::par_map_range(n, |i| {
-        let k = degrees[i];
-        if k < 2 {
-            return 0.0;
+    // cls = 1 − mean local clustering coefficient. For node i, each closed
+    // neighbour pair {u, v} ⊆ N(i) is counted exactly once: iterating the
+    // lower endpoint u and popcounting only intersection bits strictly
+    // above u. The count matches the ragged twin's per-pair edge lookups as
+    // an integer, so the f64 contribution is bit-identical.
+    //
+    // The scan runs in *rank* order: consecutive ranks share most of their
+    // neighbourhood band, so the `ru` rows a node intersects are the ones
+    // its predecessor just touched — the whole band stays cache-resident
+    // instead of being refetched per node.
+    let nblocks = n.div_ceil(CLS_BLOCK);
+    let closed_blocks: Vec<Vec<usize>> = rlb_util::par::par_map_range(nblocks, |blk| {
+        let b0 = blk * CLS_BLOCK;
+        let b1 = (b0 + CLS_BLOCK).min(n);
+        let mut closed = vec![0usize; b1 - b0];
+        // Union of the block rows' bands: every neighbour of every row in
+        // the block lives inside it.
+        let (mut blo, mut bhi) = (usize::MAX, 0usize);
+        for &(lo, hi) in &spans[b0..b1] {
+            if lo <= hi {
+                blo = blo.min(lo);
+                bhi = bhi.max(hi);
+            }
         }
-        let ri = &rows[i];
-        let mut closed_twice = 0usize;
-        for u in iter_bits(ri) {
-            closed_twice += ri
-                .iter()
-                .zip(&rows[u])
-                .map(|(a, b)| (a & b).count_ones() as usize)
-                .sum::<usize>();
+        if blo > bhi {
+            return closed; // every row in the block is isolated
         }
-        (closed_twice / 2) as f64 / (k * (k - 1) / 2) as f64
+        for u in blo * 64..((bhi + 1) * 64).min(n) {
+            let (ulo, uhi) = spans[u];
+            if ulo > uhi {
+                continue;
+            }
+            let uw = u / 64;
+            let ubit = 1u64 << (u % 64);
+            let above = above_bit_mask(u % 64);
+            let ru = &smat[u * stride..(u + 1) * stride];
+            for (slot, r) in (b0..b1).enumerate() {
+                let ri = &smat[r * stride..(r + 1) * stride];
+                if ri[uw] & ubit == 0 {
+                    continue; // u is not a neighbour of r
+                }
+                let (ilo, ihi) = spans[r];
+                let lo = ilo.max(ulo).max(uw);
+                let hi = ihi.min(uhi);
+                if lo > hi {
+                    continue;
+                }
+                // lo >= uw by construction, so u's own word needs masking
+                // only when it opens the overlap; the rest is a straight
+                // slice zip the optimizer turns into branch-free
+                // AND+popcount.
+                let ri_s = &ri[lo..=hi];
+                let ru_s = &ru[lo..=hi];
+                let mut skip = 0;
+                if lo == uw {
+                    closed[slot] += (ri_s[0] & ru_s[0] & above).count_ones() as usize;
+                    skip = 1;
+                }
+                closed[slot] += ri_s[skip..]
+                    .iter()
+                    .zip(&ru_s[skip..])
+                    .map(|(a, b)| (a & b).count_ones() as usize)
+                    .sum::<usize>();
+            }
+        }
+        closed
     });
+    let mut by_rank: Vec<f64> = Vec::with_capacity(n);
+    for (blk, block) in closed_blocks.iter().enumerate() {
+        for (slot, &c) in block.iter().enumerate() {
+            let r = blk * CLS_BLOCK + slot;
+            let k: usize = smat[r * stride..(r + 1) * stride]
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum();
+            by_rank.push(if k < 2 {
+                0.0
+            } else {
+                c as f64 / (k * (k - 1) / 2) as f64
+            });
+        }
+    }
+    // Contributions are per-node f64s; summing in ascending *original* node
+    // order keeps the accumulation sequence identical to the ragged twin's.
     let mut cls_sum = 0.0;
-    for (i, c) in contributions.iter().enumerate() {
+    for (i, &r) in rank.iter().enumerate() {
         if degrees[i] >= 2 {
-            cls_sum += c;
+            cls_sum += by_rank[r];
         }
     }
     let cls = 1.0 - cls_sum / n as f64;
@@ -81,12 +179,51 @@ pub fn network_measures(ys: &[bool], engine: &DistanceEngine, epsilon: f64) -> (
     let hub = {
         let mut v = vec![1.0f64; n];
         for _ in 0..50 {
-            let mut next: Vec<f64> = rlb_util::par::par_map_range(n, |i| {
+            // Each row's sum walks its set bits in ascending j — identical
+            // FP order to the ragged twin's sorted adjacency lists. Rows are
+            // processed four at a time so the four independent accumulator
+            // chains overlap in the pipeline (a single chain is bound by
+            // FP-add latency); interleaving across rows reorders nothing
+            // within any row.
+            let row_sum = |i: usize| {
                 let mut acc = 0.0f64;
-                for j in iter_bits(&rows[i]) {
-                    acc += v[j];
+                for (w, &bits) in rows[i].iter().enumerate() {
+                    let base = w * 64;
+                    let mut b = bits;
+                    while b != 0 {
+                        acc += v[base + b.trailing_zeros() as usize];
+                        b &= b - 1;
+                    }
                 }
                 acc
+            };
+            let mut next: Vec<f64> = vec![0.0; n];
+            rlb_util::par::par_fill(&mut next, |start, span| {
+                let mut i = 0;
+                while i + 4 <= span.len() {
+                    let quad = [start + i, start + i + 1, start + i + 2, start + i + 3];
+                    let mut accs = [0.0f64; 4];
+                    // `w` walks the words of four *different* rows in
+                    // lockstep; clippy's iterator rewrite would walk `rows`
+                    // (n entries) instead of the per-row word vectors.
+                    #[allow(clippy::needless_range_loop)]
+                    for w in 0..stride {
+                        let base = w * 64;
+                        for (q, &row) in quad.iter().enumerate() {
+                            let mut b = rows[row][w];
+                            while b != 0 {
+                                accs[q] += v[base + b.trailing_zeros() as usize];
+                                b &= b - 1;
+                            }
+                        }
+                    }
+                    span[i..i + 4].copy_from_slice(&accs);
+                    i += 4;
+                }
+                while i < span.len() {
+                    span[i] = row_sum(start + i);
+                    i += 1;
+                }
             });
             let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
             if norm < 1e-12 {
@@ -104,7 +241,63 @@ pub fn network_measures(ys: &[bool], engine: &DistanceEngine, epsilon: f64) -> (
     (den, cls, hub)
 }
 
-/// Ascending indices of the set bits of a packed bitset.
+/// Relabels nodes so ε-neighbourhoods become contiguous rank bands: sort by
+/// (class, key-dimension value, original index), where the key dimension is
+/// the active (positive-range) dimension with the largest fitted range
+/// (ties broken toward the lowest index). Returns `rank[i]` = position of
+/// original node `i` in the sorted order. With no active dimension every
+/// distance is zero and the class-major identity order is returned.
+fn cluster_rank(ys: &[bool], engine: &DistanceEngine) -> Vec<usize> {
+    let n = ys.len();
+    let ranges = engine.space().ranges();
+    let mut key = None;
+    for (d, &r) in ranges.iter().enumerate() {
+        if r > 0.0 && key.is_none_or(|k: usize| r > ranges[k]) {
+            key = Some(d);
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let by_class = ys[a].cmp(&ys[b]);
+        match key {
+            Some(d) => by_class
+                .then(engine.point(a)[d].total_cmp(&engine.point(b)[d]))
+                .then(a.cmp(&b)),
+            None => by_class.then(a.cmp(&b)),
+        }
+    });
+    let mut rank = vec![0usize; n];
+    for (r, &i) in order.iter().enumerate() {
+        rank[i] = r;
+    }
+    rank
+}
+
+/// Indices of the first and last nonzero words, or `(1, 0)` (an empty
+/// range) when every word is zero.
+fn word_span(words: &[u64]) -> (usize, usize) {
+    let lo = words.iter().position(|&w| w != 0);
+    match lo {
+        Some(lo) => (lo, words.iter().rposition(|&w| w != 0).unwrap_or(lo)),
+        None => (1, 0),
+    }
+}
+
+/// Mask of the bits strictly above position `b` within one word.
+fn above_bit_mask(b: usize) -> u64 {
+    debug_assert!(b < 64);
+    if b == 63 {
+        0
+    } else {
+        !0u64 << (b + 1)
+    }
+}
+
+/// Ascending indices of the set bits of a packed bitset. The hot loops
+/// (hub's row sums, the cls intersection sweep) hand-roll this walk for
+/// speed; the helper stays as the executable specification the
+/// `bit_iteration_is_ascending_and_complete` test pins.
+#[cfg(test)]
 fn iter_bits(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
     words.iter().enumerate().flat_map(|(w, &bits)| {
         std::iter::successors((bits != 0).then_some(bits), |b| {
@@ -281,6 +474,58 @@ mod tests {
         let (den_small, _, _) = graph_for(&xs, &ys, 0.05);
         let (den_large, _, _) = graph_for(&xs, &ys, 0.5);
         assert!(den_large < den_small, "{den_large} vs {den_small}");
+    }
+
+    #[test]
+    fn word_span_finds_nonzero_run() {
+        assert_eq!(word_span(&[0, 0, 0]), (1, 0));
+        assert_eq!(word_span(&[]), (1, 0));
+        assert_eq!(word_span(&[5, 0, 0]), (0, 0));
+        assert_eq!(word_span(&[0, 1, 0, 8, 0]), (1, 3));
+    }
+
+    #[test]
+    fn above_bit_mask_covers_strictly_higher_bits() {
+        assert_eq!(above_bit_mask(63), 0);
+        assert_eq!(above_bit_mask(0), !1u64);
+        for b in 0..64usize {
+            let m = above_bit_mask(b);
+            for j in 0..64usize {
+                assert_eq!(m & (1 << j) != 0, j > b, "b={b} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_rank_is_a_permutation_grouped_by_class() {
+        let mut rng = rlb_util::Prng::seed_from_u64(9);
+        let xs: Vec<Vec<f64>> = (0..70).map(|_| vec![rng.f64(), rng.f64() * 0.2]).collect();
+        let ys: Vec<bool> = (0..70).map(|i| i % 3 != 0).collect();
+        let engine = DistanceEngine::fit(&xs).unwrap();
+        let rank = cluster_rank(&ys, &engine);
+        let mut seen = [false; 70];
+        for &r in &rank {
+            assert!(!seen[r], "duplicate rank {r}");
+            seen[r] = true;
+        }
+        // Class-major: every false-class rank below every true-class rank,
+        // and within a class ranks ascend with the key (largest-range) dim.
+        let n_false = ys.iter().filter(|&&y| !y).count();
+        for (i, &r) in rank.iter().enumerate() {
+            assert_eq!(r < n_false, !ys[i], "node {i}");
+        }
+    }
+
+    #[test]
+    fn constant_features_fall_back_to_identity_order() {
+        // No active dimension: all distances zero, graph = same-class clique.
+        let xs = vec![vec![1.5, 2.5]; 12];
+        let ys: Vec<bool> = (0..12).map(|i| i < 7).collect();
+        let (den, cls, hub) = graph_for(&xs, &ys, 0.15);
+        assert!(den < 1.0);
+        // Cliques: clustering coefficient 1 for every node with deg ≥ 2.
+        assert!(cls < 1e-9, "cls {cls}");
+        assert!((0.0..=1.0).contains(&hub));
     }
 
     #[test]

@@ -109,7 +109,10 @@ pub fn assess_with(
         feats.push(views.cs_js(lp.pair));
         labels.push(lp.is_match);
     }
-    let complexity = rlb_complexity::compute_cs_js(&feats, &labels, &ComplexityConfig::default())?;
+    // `from_env` honors the `RLB_COMPLEXITY_*` knobs, so a deployment can
+    // switch the assess path to the error-bounded landmark estimator
+    // (RLB_COMPLEXITY_SAMPLE) without a rebuild; defaults stay exact.
+    let complexity = rlb_complexity::compute_cs_js(&feats, &labels, &ComplexityConfig::from_env())?;
     let practical = (!runs.is_empty()).then(|| practical_measures(runs));
     let flags = EasyFlags {
         by_linearity: linearity.max_f1() >= LINEARITY_EASY,

@@ -48,6 +48,11 @@ impl GowerSpace {
         &self.mins
     }
 
+    /// Per-dimension ranges (`max − min`) observed during fit.
+    pub fn ranges(&self) -> &[f64] {
+        &self.ranges
+    }
+
     /// Gower distance in `[0, 1]` between two vectors.
     pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), self.dims());
@@ -86,16 +91,31 @@ impl GowerSpace {
     }
 }
 
+/// Width of the columnar kernel's accumulator block: enough independent
+/// point-pairs to fill two 4-lane AVX2 registers (or four 2-lane SSE ones).
+/// Values are chunk-invariant — see [`DistanceEngine::query_span_into`].
+const CHUNK: usize = 8;
+
 /// Streaming tiled Gower-distance engine: O(n) memory instead of the O(n²)
 /// matrix [`GowerSpace::pairwise`] materializes.
 ///
-/// The engine copies the fitted points into one flat `Vec<f64>` (row-major,
-/// `n × dims`) and computes distance rows on demand into reusable flat row
-/// buffers — one buffer of `n` doubles per in-flight tile, so peak
-/// distance-buffer memory is `O(tile × n)` with `tile` bounded by the worker
-/// count, never `O(n²)`. Row values are bit-for-bit identical to the
-/// corresponding `pairwise` matrix entries: both paths call
-/// [`GowerSpace::distance`] on the same `f64` values in the same order.
+/// The engine keeps the fitted points twice: row-major (`flat`, for
+/// [`point`](DistanceEngine::point) and scalar lookups) and column-major
+/// (`cols`, one contiguous `n`-length column per dimension). Distance rows
+/// are produced by a hand-rolled chunked kernel over the columnar layout:
+/// [`CHUNK`] independent point-pairs accumulate side by side, one dimension
+/// at a time, so the inner loop autovectorizes (subtract / abs / divide /
+/// min / add over `CHUNK` lanes), with a scalar tail for the remainder.
+///
+/// **Chunk-invariance / twin policy.** Each pair's floating-point op
+/// sequence is exactly [`GowerSpace::distance`]'s: per active (non-zero
+/// range) dimension in ascending order, `((a[d]−b[d]).abs() / range_d)
+/// .min(1.0)` added to that pair's private accumulator, then one division
+/// by `dims`. Batching pairs into lanes reorders nothing *within* a pair,
+/// so every row value is bit-for-bit identical to the corresponding
+/// `pairwise` matrix entry regardless of chunk width, stripe boundaries, or
+/// thread count — the invariant the property suite pins with `to_bits`
+/// twin assertions.
 ///
 /// Tiles run in parallel via [`rlb_util::par`]; each tile emits a
 /// `complexity.tile` span and bumps the `complexity.tiles` /
@@ -105,14 +125,19 @@ impl GowerSpace {
 pub struct DistanceEngine {
     space: GowerSpace,
     flat: Vec<f64>,
+    /// Column-major copy: `cols[d * n + j]` is dimension `d` of point `j`.
+    cols: Vec<f64>,
+    /// Dimensions with a positive fitted range, ascending — the only ones
+    /// [`GowerSpace::distance`] lets contribute.
+    active: Vec<usize>,
     n: usize,
     dims: usize,
     tile_rows: usize,
 }
 
 impl DistanceEngine {
-    /// Fits the Gower ranges and flattens the points. Returns `None` for
-    /// empty input, like [`GowerSpace::fit`].
+    /// Fits the Gower ranges and lays the points out both row-major and
+    /// columnar. Returns `None` for empty input, like [`GowerSpace::fit`].
     pub fn fit<R: AsRef<[f64]>>(data: &[R]) -> Option<Self> {
         let space = GowerSpace::fit(data)?;
         let n = data.len();
@@ -121,6 +146,13 @@ impl DistanceEngine {
         for row in data {
             flat.extend_from_slice(row.as_ref());
         }
+        let mut cols = vec![0.0; n * dims];
+        for (j, row) in flat.chunks_exact(dims.max(1)).enumerate() {
+            for (d, &v) in row.iter().enumerate() {
+                cols[d * n + j] = v;
+            }
+        }
+        let active = (0..dims).filter(|&d| space.ranges[d] > 0.0).collect();
         // Tile size targets ~8 tiles per worker so uneven row cost balances;
         // the floor of 32 tiles keeps the tile count above par_map_range's
         // sequential cutoff even on low-core machines.
@@ -129,6 +161,8 @@ impl DistanceEngine {
         Some(DistanceEngine {
             space,
             flat,
+            cols,
+            active,
             n,
             dims,
             tile_rows,
@@ -168,13 +202,83 @@ impl DistanceEngine {
         self.space.distance(self.point(i), self.point(j))
     }
 
+    /// Columnar chunked kernel: fills `out[k] = d(q, point(j0 + k))` for a
+    /// contiguous span of fitted points.
+    ///
+    /// [`CHUNK`] pairs accumulate side by side over the column-major layout
+    /// (the inner loop is `CHUNK` independent subtract/abs/divide/min/add
+    /// lanes, which the optimizer vectorizes), then a scalar tail finishes
+    /// the remainder. Per-pair FP op order is exactly
+    /// [`GowerSpace::distance`]'s — active dimensions ascending into a
+    /// private accumulator, one final division by `dims` — so results are
+    /// `to_bits`-identical to the scalar kernel for every span offset and
+    /// length.
+    pub fn query_span_into(&self, q: &[f64], j0: usize, out: &mut [f64]) {
+        debug_assert_eq!(q.len(), self.dims, "query dims");
+        assert!(j0 + out.len() <= self.n, "span out of bounds");
+        if self.dims == 0 {
+            out.fill(0.0);
+            return;
+        }
+        let n = self.n;
+        let dims = self.dims as f64;
+        let len = out.len();
+        let mut j = 0;
+        while j + CHUNK <= len {
+            let mut acc = [0.0f64; CHUNK];
+            for &d in &self.active {
+                let qv = q[d];
+                let range = self.space.ranges[d];
+                let base = d * n + j0 + j;
+                let col = &self.cols[base..base + CHUNK];
+                for w in 0..CHUNK {
+                    acc[w] += ((qv - col[w]).abs() / range).min(1.0);
+                }
+            }
+            for w in 0..CHUNK {
+                out[j + w] = acc[w] / dims;
+            }
+            j += CHUNK;
+        }
+        while j < len {
+            let mut total = 0.0;
+            for &d in &self.active {
+                let v = self.cols[d * n + j0 + j];
+                total += ((q[d] - v).abs() / self.space.ranges[d]).min(1.0);
+            }
+            out[j] = total / dims;
+            j += 1;
+        }
+    }
+
+    /// Fills `out` with the distance from an arbitrary query vector to every
+    /// fitted point (`out[j] = d(q, point(j))`, no diagonal zeroing — `q`
+    /// need not be a fitted point). Used by n4's interpolated-point scans.
+    pub fn query_row_into(&self, q: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.n, "row buffer length");
+        self.query_span_into(q, 0, out);
+    }
+
     /// Fills `out` with distance row `i` (`out[j] = d(i, j)`, zero
     /// diagonal), bit-identical to row `i` of [`GowerSpace::pairwise`].
     pub fn row_into(&self, i: usize, out: &mut [f64]) {
         assert_eq!(out.len(), self.n, "row buffer length");
-        for (j, slot) in out.iter_mut().enumerate() {
-            *slot = if i == j { 0.0 } else { self.distance(i, j) };
-        }
+        self.query_span_into(self.point(i), 0, out);
+        out[i] = 0.0;
+    }
+
+    /// Parallel [`row_into`](DistanceEngine::row_into): workers fill
+    /// disjoint contiguous spans of the same row buffer via
+    /// [`rlb_util::par::par_fill`]. Span boundaries cannot change bits
+    /// (see [`query_span_into`](DistanceEngine::query_span_into)), so the
+    /// result is identical to the sequential fill at any thread count.
+    /// Worth it for single hot rows (e.g. Prim's MST frontier); `map_rows`
+    /// already parallelizes across rows and should keep its per-tile fill.
+    pub fn row_into_par(&self, i: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.n, "row buffer length");
+        let q = self.point(i);
+        rlb_util::par::par_fill(out, |start, span| self.query_span_into(q, start, span));
+        out[i] = 0.0;
     }
 
     /// Streams every distance row through `f` and collects the results in
@@ -320,6 +424,84 @@ mod tests {
                 matrix[i].iter().sum::<f64>().to_bits(),
                 "row {i}"
             );
+        }
+    }
+
+    #[test]
+    fn engine_rows_bitwise_at_chunk_edge_geometry() {
+        // Every n straddling the CHUNK boundary, plus a constant (zero-range)
+        // column and a column that is the only active one.
+        let mut rng = rlb_util::Prng::seed_from_u64(0xC0DE);
+        for n in 1..=(3 * CHUNK + 1) {
+            let data: Vec<Vec<f64>> = (0..n)
+                .map(|_| vec![4.25, rng.f64() * 3.0, -1.0, rng.f64()])
+                .collect();
+            let space = GowerSpace::fit(&data).unwrap();
+            let matrix = space.pairwise(&data);
+            let engine = DistanceEngine::fit(&data).unwrap();
+            let mut buf = vec![0.0; n];
+            let mut par_buf = vec![0.0; n];
+            for (i, expected) in matrix.iter().enumerate() {
+                engine.row_into(i, &mut buf);
+                engine.row_into_par(i, &mut par_buf);
+                for j in 0..n {
+                    assert_eq!(buf[j].to_bits(), expected[j].to_bits(), "n={n} ({i},{j})");
+                    assert_eq!(
+                        par_buf[j].to_bits(),
+                        buf[j].to_bits(),
+                        "par n={n} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_all_constant_columns_give_zero_distance() {
+        let data = vec![vec![2.0, 7.0]; 10];
+        let engine = DistanceEngine::fit(&data).unwrap();
+        let mut buf = vec![1.0; 10];
+        engine.row_into(3, &mut buf);
+        assert!(buf.iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn engine_query_row_matches_scalar_distance() {
+        let mut rng = rlb_util::Prng::seed_from_u64(11);
+        let data: Vec<Vec<f64>> = (0..37).map(|_| vec![rng.f64(), rng.f64() * 5.0]).collect();
+        let engine = DistanceEngine::fit(&data).unwrap();
+        // Interpolated query point not in the fitted set, like n4 generates.
+        let q = [0.31_f64, 2.77];
+        let mut buf = vec![0.0; 37];
+        engine.query_row_into(&q, &mut buf);
+        for (j, row) in data.iter().enumerate() {
+            let want = engine.space().distance(&q, row);
+            assert_eq!(buf[j].to_bits(), want.to_bits(), "query vs point {j}");
+        }
+    }
+
+    #[test]
+    fn engine_span_offsets_do_not_change_bits() {
+        let mut rng = rlb_util::Prng::seed_from_u64(23);
+        let n = 50;
+        let data: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.f64(), rng.f64()]).collect();
+        let engine = DistanceEngine::fit(&data).unwrap();
+        let q = engine.point(7).to_vec();
+        let mut whole = vec![0.0; n];
+        engine.query_span_into(&q, 0, &mut whole);
+        // Refill through misaligned spans: same bits everywhere.
+        for split in [1usize, 7, 8, 9, 13, 49] {
+            let mut pieced = vec![f64::NAN; n];
+            let (a, b) = pieced.split_at_mut(split);
+            engine.query_span_into(&q, 0, a);
+            engine.query_span_into(&q, split, b);
+            for j in 0..n {
+                assert_eq!(
+                    pieced[j].to_bits(),
+                    whole[j].to_bits(),
+                    "split={split} j={j}"
+                );
+            }
         }
     }
 
