@@ -300,19 +300,16 @@ fn main() {
     let tiles = rlb_obs::snapshot().counter("complexity.tiles");
     println!("\nobs: {tiles} tiles mapped, {tile_rows} rows streamed");
 
-    let mut fields = vec![("identical".into(), Value::Bool(true))];
-    fields.extend(threads_metadata());
-    fields.extend([
-        ("samples".into(), Value::Num(h.results()[0].samples as f64)),
+    // Top-level samples/threads metadata comes from the shared artifact
+    // envelope; the scaling-curve entries keep their own per-level copy.
+    let fields = vec![
+        ("identical".into(), Value::Bool(true)),
         ("scales".into(), Value::Arr(scales)),
         ("scaling_curve".into(), Value::Arr(curve)),
         ("recorded_baseline".into(), Value::Obj(baseline_fields)),
         ("estimator".into(), estimator),
         ("tile_rows".into(), Value::Num(tile_rows as f64)),
         ("tiles".into(), Value::Num(tiles as f64)),
-    ]);
-    let out = Value::Obj(fields);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_complexity.json");
-    std::fs::write(path, out.to_json_string_pretty()).expect("write BENCH_complexity.json");
-    println!("wrote BENCH_complexity.json");
+    ];
+    rlb_bench::artifact::write("complexity", fields);
 }

@@ -101,7 +101,7 @@ fn pairs_per_sec(pairs: usize, stats: &Stats) -> f64 {
     pairs as f64 / stats.median.as_secs_f64()
 }
 
-fn bench_interned_vs_string(h: &mut Harness) -> Value {
+fn bench_interned_vs_string(h: &mut Harness) -> Vec<(String, Value)> {
     group("degree_of_linearity interned vs string twin (10k pairs)");
     const PAIRS: usize = 10_000;
     let task = reference_task(PAIRS);
@@ -129,10 +129,10 @@ fn bench_interned_vs_string(h: &mut Harness) -> Value {
          ({speedup_e2e:.2}x including view build) on {threads} threads \
          (target >= 2x): {verdict}"
     );
-    let mut fields = vec![("pairs".into(), Value::Num(PAIRS as f64))];
-    fields.extend(rlb_bench::timing::threads_metadata());
-    fields.extend([
-        ("samples".into(), Value::Num(string.samples as f64)),
+    // Sample counts and thread metadata come from the shared artifact
+    // envelope; only the bench-specific numbers live here.
+    vec![
+        ("pairs".into(), Value::Num(PAIRS as f64)),
         (
             "string_pairs_per_sec".into(),
             Value::Num(pairs_per_sec(PAIRS, &string)),
@@ -149,8 +149,7 @@ fn bench_interned_vs_string(h: &mut Harness) -> Value {
         ("speedup_e2e".into(), Value::Num(speedup_e2e)),
         ("reports_identical".into(), Value::Bool(true)),
         ("verdict".into(), Value::Str(verdict.into())),
-    ]);
-    Value::Obj(fields)
+    ]
 }
 
 fn bench_complexity(h: &mut Harness) {
@@ -242,11 +241,8 @@ fn main() {
     bench_pair_featurization(&mut h);
     roster_smoke();
 
-    // Anchor to the workspace root: cargo runs benches with the package dir
-    // (crates/bench) as CWD.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_measures.json");
-    std::fs::write(path, measures.to_json_string_pretty()).expect("write BENCH_measures.json");
-    println!("\nwrote BENCH_measures.json");
+    println!();
+    rlb_bench::artifact::write("measures", measures);
 
     let metrics_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../RUN_METRICS.json");
     rlb_obs::write_run_metrics(metrics_path, wall_start.elapsed()).expect("write RUN_METRICS.json");

@@ -201,9 +201,10 @@ fn main() {
         request_us.count
     );
 
-    let mut fields = vec![("identical".into(), Value::Bool(true))];
-    fields.extend(rlb_bench::timing::threads_metadata());
-    fields.extend([
+    // Thread metadata and the sample/warmup knobs come from the shared
+    // artifact envelope.
+    let fields = vec![
+        ("identical".into(), Value::Bool(true)),
         ("records".into(), Value::Num(records as f64)),
         ("ingest_batches".into(), Value::Num(INGEST_BATCHES as f64)),
         (
@@ -230,9 +231,6 @@ fn main() {
         ("requests".into(), Value::Num(request_us.count as f64)),
         ("request_p50_us".into(), Value::Num(p50 as f64)),
         ("request_p99_us".into(), Value::Num(p99 as f64)),
-    ]);
-    let out = Value::Obj(fields);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
-    std::fs::write(path, out.to_json_string_pretty()).expect("write BENCH_service.json");
-    println!("wrote BENCH_service.json");
+    ];
+    rlb_bench::artifact::write("service", fields);
 }

@@ -8,6 +8,7 @@
 //! blocking tuning behind Table V) are cached as JSON under
 //! `target/rlb-results/` so the figure binaries can reuse them.
 
+pub mod artifact;
 pub mod cache;
 pub mod fmt;
 pub mod runner;

@@ -34,6 +34,26 @@ pub fn threads_metadata() -> Vec<(String, Value)> {
     ]
 }
 
+fn env_count(name: &str) -> Option<usize> {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+}
+
+/// Timed samples per benchmark: `RLB_BENCH_SAMPLES` (positive) or 10.
+/// Shared by [`Harness::new`] and the artifact envelope so every
+/// `BENCH_*.json` records the knobs its numbers were measured with.
+pub fn resolved_samples() -> usize {
+    env_count("RLB_BENCH_SAMPLES")
+        .filter(|&n| n > 0)
+        .unwrap_or(10)
+}
+
+/// Warm-up runs per benchmark: `RLB_BENCH_WARMUP` (0 allowed) or 2.
+pub fn resolved_warmup() -> usize {
+    env_count("RLB_BENCH_WARMUP").unwrap_or(2)
+}
+
 /// Timing summary of one benchmark.
 #[derive(Debug, Clone)]
 pub struct Stats {
@@ -89,18 +109,9 @@ impl Harness {
     /// at multi-second scale don't need warming, and skipping it keeps full
     /// 20k-point regeneration runs affordable).
     pub fn new() -> Self {
-        let env_count = |name: &str| {
-            std::env::var(name)
-                .ok()
-                .and_then(|s| s.parse::<usize>().ok())
-        };
-        let samples = env_count("RLB_BENCH_SAMPLES")
-            .filter(|&n| n > 0)
-            .unwrap_or(10);
-        let warmup = env_count("RLB_BENCH_WARMUP").unwrap_or(2);
         Harness {
-            warmup,
-            samples,
+            warmup: resolved_warmup(),
+            samples: resolved_samples(),
             results: Vec::new(),
         }
     }

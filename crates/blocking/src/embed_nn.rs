@@ -3,15 +3,24 @@
 //! DeepBlocker (Thirumuruganathan et al., VLDB 2021) embeds every record
 //! with fastText + a self-supervised autoencoder and retrieves the `K` most
 //! similar index records per query record. The substitute keeps the exact
-//! same interface and tuning surface: pooled subword embeddings, exact
-//! cosine top-K retrieval, a choice of blocked attribute, optional cleaning,
-//! and a choice of which source is indexed. A perturbation seed adds the
+//! same interface and tuning surface: pooled subword embeddings, cosine
+//! top-K retrieval, a choice of blocked attribute, optional cleaning, and a
+//! choice of which source is indexed. A perturbation seed adds the
 //! run-to-run variance of the original's stochastic training (the paper
 //! averages 10 repetitions).
+//!
+//! Vectors live in a flat [`VecArena`] (not `Vec<Vec<f32>>`), the exact
+//! kernel fans out over queries through [`rlb_util::par`], and the resident
+//! [`NnIndex`] carries an [`IvfIndex`] so large corpora can be probed
+//! approximately ([`NnIndex::retrieval_ann`]) while the exact paths stay
+//! available as bitwise twins. Zero-norm embeddings (empty or no-gram
+//! records) score [`crate::arena::ZERO_NORM_SCORE`] and rank
+//! deterministically last — see `arena` for the policy.
 
+use crate::arena::{rank_all, VecArena};
+use crate::ivf::{IvfIndex, IvfParams};
 use rlb_data::{PairRef, Record, Source};
 use rlb_embed::HashedEmbedder;
-use rlb_util::select::TopK;
 use rlb_util::Prng;
 
 /// Which source is indexed (the other provides the query records). In the
@@ -32,7 +41,7 @@ pub struct EmbeddingNnBlocker {
     pub attribute: Option<usize>,
     /// Stop-word removal + stemming before embedding (`cl.` column).
     pub clean: bool,
-    /// Embedding dimensionality (small: retrieval is brute-force exact).
+    /// Embedding dimensionality.
     pub dim: usize,
     /// Stochasticity seed; `0` = deterministic embeddings. Non-zero values
     /// perturb each record vector slightly, emulating DeepBlocker's
@@ -111,8 +120,52 @@ impl EmbeddingNnBlocker {
         v
     }
 
-    /// Runs retrieval with the given indexed side and `k_max` neighbours per
-    /// query.
+    /// Embeds a record slice into a flat arena. Deterministic configs embed
+    /// in parallel (each vector depends only on its own record); a perturbed
+    /// config draws from one `Prng` sequenced across records, so it must
+    /// stay serial to preserve the per-seed stream.
+    fn embed_arena(
+        &self,
+        embedder: &HashedEmbedder,
+        records: &[Record],
+        mut perturb: Option<&mut Prng>,
+    ) -> VecArena {
+        let mut arena = VecArena::new(self.dim);
+        arena.reserve(records.len());
+        if perturb.is_some() {
+            for r in records {
+                arena.push(&self.embed(embedder, r, perturb.as_deref_mut()));
+            }
+        } else {
+            for v in rlb_util::par::par_map(records, |r| self.embed(embedder, r, None)) {
+                arena.push(&v);
+            }
+        }
+        arena
+    }
+
+    /// Embeds both sources into `(index, query)` arenas for `side`. The
+    /// indexed side embeds first so a perturbation stream consumes records
+    /// in the same order as every earlier revision of this blocker.
+    pub(crate) fn embed_arenas(
+        &self,
+        left: &Source,
+        right: &Source,
+        side: IndexSide,
+    ) -> (VecArena, VecArena) {
+        let embedder = HashedEmbedder::new(self.dim, 0xB10C);
+        let mut perturb = (self.perturb_seed != 0).then(|| Prng::seed_from_u64(self.perturb_seed));
+        let (indexed, queries) = match side {
+            IndexSide::Left => (&left.records, &right.records),
+            IndexSide::Right => (&right.records, &left.records),
+        };
+        let index_arena = self.embed_arena(&embedder, indexed, perturb.as_mut());
+        let query_arena = self.embed_arena(&embedder, queries, perturb.as_mut());
+        (index_arena, query_arena)
+    }
+
+    /// Runs exact retrieval with the given indexed side and `k_max`
+    /// neighbours per query.
     pub fn retrieve(
         &self,
         left: &Source,
@@ -120,60 +173,83 @@ impl EmbeddingNnBlocker {
         side: IndexSide,
         k_max: usize,
     ) -> Retrieval {
-        let embedder = HashedEmbedder::new(self.dim, 0xB10C);
-        let mut perturb = (self.perturb_seed != 0).then(|| Prng::seed_from_u64(self.perturb_seed));
-        let mut embed_all = |records: &[Record]| -> Vec<Vec<f32>> {
-            records
-                .iter()
-                .map(|r| self.embed(&embedder, r, perturb.as_mut()))
-                .collect()
-        };
-        let (index_vecs, query_vecs) = match side {
-            IndexSide::Left => (embed_all(&left.records), embed_all(&right.records)),
-            IndexSide::Right => (embed_all(&right.records), embed_all(&left.records)),
-        };
+        let _span = rlb_obs::span!("blocking.retrieve", "exact k_max={k_max}");
+        let (index_arena, query_arena) = self.embed_arenas(left, right, side);
         Retrieval {
             side,
-            ranked: rank_queries(&index_vecs, &query_vecs, k_max),
+            ranked: rank_queries(&index_arena, &query_arena, k_max),
+            k_max,
+        }
+    }
+
+    /// Runs IVF-probed retrieval: trains a coarse quantizer once over the
+    /// indexed side, then probes `params.nprobe` lists per query. At
+    /// `nprobe >= nlists` this is bitwise identical to [`Self::retrieve`].
+    pub fn retrieve_ann(
+        &self,
+        left: &Source,
+        right: &Source,
+        side: IndexSide,
+        k_max: usize,
+        params: IvfParams,
+    ) -> Retrieval {
+        let _span = rlb_obs::span!("blocking.retrieve", "ann nprobe={}", params.nprobe);
+        let (index_arena, query_arena) = self.embed_arenas(left, right, side);
+        let mut ivf = IvfIndex::new(params);
+        if index_arena.len() >= params.min_train {
+            ivf.train(&index_arena);
+        }
+        Retrieval {
+            side,
+            ranked: rlb_util::par::par_map_range(query_arena.len(), |qi| {
+                ivf.search(&index_arena, query_arena.get(qi), k_max, params.nprobe)
+            }),
             k_max,
         }
     }
 
     /// Starts an empty incremental index with this configuration indexing
-    /// `side`. See [`NnIndex`] for the twin guarantee.
+    /// `side`, with ANN knobs from the environment (`RLB_ANN_*`). See
+    /// [`NnIndex`] for the twin guarantee.
     ///
     /// # Panics
     /// If `perturb_seed` is non-zero: perturbation draws from one `Prng`
     /// sequenced across *all* records of a batch run, which has no
     /// order-independent incremental counterpart.
     pub fn index(&self, side: IndexSide) -> NnIndex {
+        self.index_with(side, IvfParams::from_env())
+    }
+
+    /// [`Self::index`] with explicit ANN knobs.
+    pub fn index_with(&self, side: IndexSide, params: IvfParams) -> NnIndex {
         assert_eq!(
             self.perturb_seed, 0,
             "incremental NnIndex requires deterministic embeddings (perturb_seed = 0)"
         );
         NnIndex {
             embedder: HashedEmbedder::new(self.dim, 0xB10C),
+            arena: VecArena::new(self.dim),
+            ivf: IvfIndex::new(params),
             config: self.clone(),
             side,
-            vectors: Vec::new(),
         }
     }
 }
 
-/// Exact brute-force cosine ranking of every query against every indexed
-/// vector — the single scoring kernel shared by the batch
-/// [`EmbeddingNnBlocker::retrieve`] and the incremental [`NnIndex`], so both
-/// paths execute the identical float-op sequence per (query, index) pair.
-fn rank_queries(index_vecs: &[Vec<f32>], query_vecs: &[Vec<f32>], k_max: usize) -> Vec<Vec<u32>> {
-    query_vecs
-        .iter()
-        .map(|q| {
-            let mut top = TopK::new(k_max);
-            for (i, v) in index_vecs.iter().enumerate() {
-                top.push(rlb_util::linalg::cosine_f32(q, v) as f64, i as u32);
-            }
-            top.into_sorted().into_iter().map(|(_, i)| i).collect()
-        })
+/// Exact cosine ranking of every query against every indexed vector,
+/// parallel over queries — the single scoring kernel shared by the batch
+/// [`EmbeddingNnBlocker::retrieve`] and the incremental [`NnIndex`]. Element
+/// `q` of the output is a pure function of query `q` alone, so the result is
+/// bitwise identical to [`rank_queries_serial`] at any thread count.
+pub fn rank_queries(index: &VecArena, queries: &VecArena, k_max: usize) -> Vec<Vec<u32>> {
+    rlb_util::par::par_map_range(queries.len(), |qi| rank_all(index, queries.get(qi), k_max))
+}
+
+/// Serial twin of [`rank_queries`], kept for the bench baseline and the
+/// parallel-equivalence assertions.
+pub fn rank_queries_serial(index: &VecArena, queries: &VecArena, k_max: usize) -> Vec<Vec<u32>> {
+    (0..queries.len())
+        .map(|qi| rank_all(index, queries.get(qi), k_max))
         .collect()
 }
 
@@ -182,22 +258,27 @@ fn rank_queries(index_vecs: &[Vec<f32>], query_vecs: &[Vec<f32>], k_max: usize) 
 /// The batch [`EmbeddingNnBlocker::retrieve`] embeds both sources and ranks
 /// in one pass, then throws everything away — unusable for a resident
 /// engine that ingests records over time. `NnIndex` keeps the indexed side's
-/// vectors and supports appending records one batch at a time; queries rank
-/// against the vectors present at call time.
+/// vectors in a flat [`VecArena`], maintains an [`IvfIndex`] over them via
+/// the per-insert policy (train at `min_train`, assign afterwards, re-train
+/// on growth — see [`crate::ivf`]), and supports appending records one batch
+/// at a time; queries rank against the vectors present at call time.
 ///
 /// **Twin guarantee.** With deterministic embeddings (`perturb_seed = 0`,
 /// enforced at construction) each record's vector depends only on its own
-/// text, and ranking goes through the same [`rank_queries`] kernel as the
-/// batch path in the same insertion order — so after any sequence of
+/// text, and exact ranking goes through the same [`rank_queries`] kernel as
+/// the batch path in the same insertion order — so after any sequence of
 /// inserts, [`NnIndex::retrieval`] is *identical* (ids and order, hence
 /// bitwise) to a from-scratch [`EmbeddingNnBlocker::retrieve`] over the same
-/// records. Asserted in tests and the service property suite.
+/// records, and [`NnIndex::retrieval_ann`] at exhaustive `nprobe` matches
+/// both. Asserted in tests, the service property suite, and the blocking
+/// bench.
 #[derive(Debug, Clone)]
 pub struct NnIndex {
     config: EmbeddingNnBlocker,
     embedder: HashedEmbedder,
     side: IndexSide,
-    vectors: Vec<Vec<f32>>,
+    arena: VecArena,
+    ivf: IvfIndex,
 }
 
 impl NnIndex {
@@ -208,47 +289,92 @@ impl NnIndex {
 
     /// Number of indexed records.
     pub fn len(&self) -> usize {
-        self.vectors.len()
+        self.arena.len()
     }
 
     /// Whether no record has been indexed.
     pub fn is_empty(&self) -> bool {
-        self.vectors.is_empty()
+        self.arena.is_empty()
     }
 
-    /// Embeds and appends one record, returning its index id.
+    /// The ANN layer (trained state, list count, training count).
+    pub fn ivf(&self) -> &IvfIndex {
+        &self.ivf
+    }
+
+    /// Embeds and appends one record, returning its index id. The IVF layer
+    /// observes every single insert, so its state depends only on the
+    /// insert sequence.
     pub fn insert(&mut self, record: &Record) -> u32 {
         let v = self.config.embed(&self.embedder, record, None);
-        self.vectors.push(v);
-        (self.vectors.len() - 1) as u32
+        let id = self.arena.push(&v);
+        self.ivf.on_insert(&self.arena);
+        id
     }
 
     /// Appends a batch of records in order.
     pub fn insert_all(&mut self, records: &[Record]) {
-        self.vectors.reserve(records.len());
+        self.arena.reserve(records.len());
         for r in records {
             self.insert(r);
         }
     }
 
-    /// Ranked index ids for one query record, best first (at most `k_max`).
+    /// Ranked index ids for one query record, best first (at most `k_max`),
+    /// by exact scan.
     pub fn query(&self, record: &Record, k_max: usize) -> Vec<u32> {
         let q = self.config.embed(&self.embedder, record, None);
-        rank_queries(&self.vectors, std::slice::from_ref(&q), k_max)
-            .pop()
-            .unwrap_or_default()
+        rank_all(&self.arena, &q, k_max)
     }
 
-    /// Full retrieval for a query set — the incremental twin of
+    /// Ranked index ids for one query record via IVF probing. `nprobe`
+    /// defaults to the configured `IvfParams::nprobe`; any value `>=
+    /// nlists` (or an untrained index) is an exact scan.
+    pub fn query_ann(&self, record: &Record, k_max: usize, nprobe: Option<usize>) -> Vec<u32> {
+        let q = self.config.embed(&self.embedder, record, None);
+        let nprobe = nprobe.unwrap_or(self.ivf.params().nprobe);
+        self.ivf.search(&self.arena, &q, k_max, nprobe)
+    }
+
+    fn query_arena(&self, queries: &[Record]) -> VecArena {
+        let mut arena = VecArena::new(self.config.dim);
+        arena.reserve(queries.len());
+        for v in rlb_util::par::par_map(queries, |r| self.config.embed(&self.embedder, r, None)) {
+            arena.push(&v);
+        }
+        arena
+    }
+
+    /// Full exact retrieval for a query set — the incremental twin of
     /// [`EmbeddingNnBlocker::retrieve`] over the records inserted so far.
     pub fn retrieval(&self, queries: &[Record], k_max: usize) -> Retrieval {
-        let query_vecs: Vec<Vec<f32>> = queries
-            .iter()
-            .map(|r| self.config.embed(&self.embedder, r, None))
-            .collect();
+        let _span = rlb_obs::span!("blocking.retrieve", "index exact k_max={k_max}");
+        let query_arena = self.query_arena(queries);
         Retrieval {
             side: self.side,
-            ranked: rank_queries(&self.vectors, &query_vecs, k_max),
+            ranked: rank_queries(&self.arena, &query_arena, k_max),
+            k_max,
+        }
+    }
+
+    /// Full IVF-probed retrieval for a query set. At exhaustive `nprobe`
+    /// (`>= nlists`, e.g. `Some(usize::MAX)`) the result is bitwise
+    /// identical to [`Self::retrieval`].
+    pub fn retrieval_ann(
+        &self,
+        queries: &[Record],
+        k_max: usize,
+        nprobe: Option<usize>,
+    ) -> Retrieval {
+        let nprobe = nprobe.unwrap_or(self.ivf.params().nprobe);
+        let _span = rlb_obs::span!("blocking.retrieve", "index ann nprobe={nprobe}");
+        let query_arena = self.query_arena(queries);
+        Retrieval {
+            side: self.side,
+            ranked: rlb_util::par::par_map_range(query_arena.len(), |qi| {
+                self.ivf
+                    .search(&self.arena, query_arena.get(qi), k_max, nprobe)
+            }),
             k_max,
         }
     }
@@ -364,7 +490,76 @@ mod tests {
             let batch = blocker.retrieve(&l, &r, side, 3);
             assert_same_retrieval(&incremental, &batch);
             assert_eq!(incremental.candidates(2), batch.candidates(2));
+            // The ANN path at exhaustive probing is the same bits again.
+            let ann = index.retrieval_ann(&queries.records, 3, Some(usize::MAX));
+            assert_same_retrieval(&ann, &batch);
         }
+    }
+
+    #[test]
+    fn parallel_rank_matches_serial_twin() {
+        let (l, r) = sources();
+        let blocker = EmbeddingNnBlocker::default();
+        let (index, queries) = blocker.embed_arenas(&l, &r, IndexSide::Right);
+        let par = rank_queries(&index, &queries, 4);
+        let ser = rank_queries_serial(&index, &queries, 4);
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn zero_norm_record_ranks_last_deterministically() {
+        // An empty-text record embeds to the zero vector; it must sort
+        // after every real candidate (not float mid-list at cosine 0, not
+        // poison TopK with NaN) and do so reproducibly.
+        let mut left = Source::new("L", vec!["name".into()]);
+        left.push(vec!["acme widget".into()]);
+        let mut right = Source::new("R", vec!["name".into()]);
+        right.push(vec!["totally different thing".into()]);
+        right.push(vec!["".into()]); // zero-norm embedding
+        right.push(vec!["acme widgets".into()]);
+        let blocker = EmbeddingNnBlocker::default();
+        let ret = blocker.retrieve(&left, &right, IndexSide::Right, 3);
+        assert_eq!(ret.ranked[0].len(), 3, "empty record still retrievable");
+        assert_eq!(ret.ranked[0][0], 2, "near-duplicate first");
+        assert_eq!(*ret.ranked[0].last().unwrap(), 1, "empty record last");
+        let again = blocker.retrieve(&left, &right, IndexSide::Right, 3);
+        assert_eq!(ret.ranked, again.ranked);
+        // Zero-norm *query*: every index record scores the floor, so the
+        // ranking is pure insertion order — deterministic, no NaN.
+        let mut index = blocker.index(IndexSide::Right);
+        index.insert_all(&right.records);
+        let empty_query = Record::new(0, vec!["".into()]);
+        assert_eq!(index.query(&empty_query, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ann_retrieval_recovers_duplicates_when_trained() {
+        // A corpus big enough to train on: 64 entities × small variants.
+        let mut right = Source::new("R", vec!["name".into()]);
+        for i in 0..256u32 {
+            right.push(vec![format!("entity number {} variant", i % 64)]);
+        }
+        let mut left = Source::new("L", vec!["name".into()]);
+        left.push(vec!["entity number 7 variant".into()]);
+        let blocker = EmbeddingNnBlocker::default();
+        let params = IvfParams {
+            nlists: 8,
+            nprobe: 2,
+            min_train: 64,
+            ..Default::default()
+        };
+        let ann = blocker.retrieve_ann(&left, &right, IndexSide::Right, 4, params);
+        // Identical texts embed identically; the probed list containing the
+        // query's own centroid holds all its duplicates.
+        assert!(ann.ranked[0].contains(&7));
+        // And an incremental index with the same knobs agrees exactly at
+        // exhaustive probing with the exact batch scan.
+        let mut index = blocker.index_with(IndexSide::Right, params);
+        index.insert_all(&right.records);
+        assert!(index.ivf().trained());
+        let exact = blocker.retrieve(&left, &right, IndexSide::Right, 4);
+        let exhaustive = index.retrieval_ann(&left.records, 4, Some(usize::MAX));
+        assert_eq!(exact.ranked, exhaustive.ranked);
     }
 
     #[test]
@@ -375,6 +570,11 @@ mod tests {
         let full = index.retrieval(&l.records, 2);
         for (q, rec) in l.records.iter().enumerate() {
             assert_eq!(index.query(rec, 2), full.ranked[q], "query {q}");
+            assert_eq!(
+                index.query_ann(rec, 2, Some(usize::MAX)),
+                full.ranked[q],
+                "ann query {q}"
+            );
         }
     }
 
@@ -386,6 +586,7 @@ mod tests {
         let ret = index.retrieval(&l.records, 3);
         assert_eq!(ret.candidates(3), vec![]);
         assert!(index.query(&l.records[0], 3).is_empty());
+        assert!(index.query_ann(&l.records[0], 3, None).is_empty());
     }
 
     #[test]

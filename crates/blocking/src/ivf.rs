@@ -1,0 +1,410 @@
+//! IVF-style approximate nearest-neighbour index over a [`VecArena`].
+//!
+//! The classic inverted-file design (the FAISS coarse quantizer): a
+//! deterministic spherical k-means partitions the indexed vectors into
+//! `nlists` lists keyed by centroid, and a query scores only the vectors in
+//! its `nprobe` closest lists instead of the whole arena. With hashed
+//! embeddings in 32 dimensions the centroid scan is tiny, so the visited
+//! fraction — and the speedup over the exact scan — is roughly
+//! `nprobe / nlists`.
+//!
+//! **Determinism.** Training is a pure function of the arena contents:
+//! stride-sampled training set, evenly spread initial centroids, fixed
+//! iteration count, serial `f64` accumulation in sample order, and
+//! lowest-id tie-breaking in every assignment. Parallelism only appears in
+//! per-element assignment scans, which [`rlb_util::par`] keeps
+//! order-preserving, so the same arena always trains to the same lists at
+//! any thread count.
+//!
+//! **Twin guarantee.** Every arena id lives in exactly one list, and probed
+//! candidates are gathered and sorted ascending before ranking through the
+//! same kernel as the exact scan — so at `nprobe >= nlists` (or before
+//! training) [`IvfIndex::search`] degenerates to [`rank_all`] and is
+//! *bitwise* identical to the exact twin. Asserted in unit tests, the
+//! interleaving property suite, the blocking bench, and CI.
+//!
+//! **Incremental policy.** [`IvfIndex::on_insert`] is called after every
+//! single vector append: before `min_train` vectors exist the index stays
+//! untrained (searches are exact); the first insert reaching `min_train`
+//! trains; afterwards each new vector is assigned to its nearest centroid,
+//! and once the arena grows past `retrain_factor ×` the size at the last
+//! training the index re-trains from scratch. Because the trigger is
+//! checked per insert, the trained state is a pure function of the total
+//! insert *sequence* — how the sequence was chopped into batches cannot
+//! change it.
+
+use crate::arena::{rank_all, rank_subset, VecArena};
+use rlb_util::select::TopK;
+
+/// IVF tuning knobs. `Default` matches the documented `RLB_ANN_*` defaults;
+/// [`IvfParams::from_env`] overlays the environment on top of them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IvfParams {
+    /// Number of inverted lists; `0` selects `ceil(sqrt(n))` (clamped to
+    /// `[1, 4096]`) at training time. Env: `RLB_ANN_NLISTS`.
+    pub nlists: usize,
+    /// Default number of lists probed per query; `>= nlists` means exact.
+    /// Env: `RLB_ANN_NPROBE`.
+    pub nprobe: usize,
+    /// Minimum indexed vectors before k-means training kicks in; below it
+    /// every search is an exact scan. Env: `RLB_ANN_MIN_TRAIN`.
+    pub min_train: usize,
+    /// Re-train once the arena grows past `retrain_factor ×` its size at
+    /// the last training.
+    pub retrain_factor: f64,
+    /// Training-sample budget per list (stride-sampled from the arena).
+    pub sample_per_list: usize,
+    /// Fixed k-means iteration count (no convergence test — determinism
+    /// over adaptivity).
+    pub iters: usize,
+}
+
+impl Default for IvfParams {
+    fn default() -> Self {
+        IvfParams {
+            nlists: 0,
+            nprobe: 16,
+            min_train: 2000,
+            retrain_factor: 1.5,
+            sample_per_list: 32,
+            iters: 8,
+        }
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|s| s.trim().parse().ok())
+}
+
+impl IvfParams {
+    /// Defaults overlaid with `RLB_ANN_NLISTS` / `RLB_ANN_NPROBE` /
+    /// `RLB_ANN_MIN_TRAIN` where set and parseable.
+    pub fn from_env() -> Self {
+        let mut p = IvfParams::default();
+        if let Some(n) = env_usize("RLB_ANN_NLISTS") {
+            p.nlists = n;
+        }
+        if let Some(n) = env_usize("RLB_ANN_NPROBE").filter(|&n| n > 0) {
+            p.nprobe = n;
+        }
+        if let Some(n) = env_usize("RLB_ANN_MIN_TRAIN").filter(|&n| n > 0) {
+            p.min_train = n;
+        }
+        p
+    }
+
+    /// List count used when training over `n` vectors.
+    fn resolve_nlists(&self, n: usize) -> usize {
+        let auto = (n as f64).sqrt().ceil() as usize;
+        let chosen = if self.nlists > 0 { self.nlists } else { auto };
+        chosen.clamp(1, 4096).min(n.max(1))
+    }
+}
+
+/// The coarse quantizer plus inverted lists for one [`VecArena`]. The arena
+/// itself is owned by the caller ([`crate::NnIndex`] or the batch path) and
+/// passed into every method, keeping index and storage separable.
+#[derive(Debug, Clone, Default)]
+pub struct IvfIndex {
+    params: IvfParams,
+    /// Unit-norm centroid per list (empty until trained).
+    centroids: VecArena,
+    /// `lists[c]` = arena ids assigned to centroid `c`, ascending. Every
+    /// arena id `< trained-or-inserted length` appears in exactly one list.
+    lists: Vec<Vec<u32>>,
+    /// Arena length at the last training (0 = untrained).
+    trained_len: usize,
+    /// Completed trainings (for stats / the `ann.trains` counter).
+    trains: u64,
+}
+
+impl IvfIndex {
+    /// An untrained index with the given knobs.
+    pub fn new(params: IvfParams) -> Self {
+        IvfIndex {
+            params,
+            ..Default::default()
+        }
+    }
+
+    /// The configured knobs.
+    pub fn params(&self) -> &IvfParams {
+        &self.params
+    }
+
+    /// Whether k-means has run (searches are exact scans until then).
+    pub fn trained(&self) -> bool {
+        self.trained_len > 0
+    }
+
+    /// Number of inverted lists (0 until trained).
+    pub fn nlists(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Completed trainings.
+    pub fn trains(&self) -> u64 {
+        self.trains
+    }
+
+    /// Id of the nearest centroid to the vector at `id` (lowest id on
+    /// ties; zero-norm vectors land in list 0 by the same rule).
+    fn assign_one(&self, arena: &VecArena, id: usize) -> u32 {
+        self.centroids
+            .nearest(arena.get(id), arena.norm(id))
+            .expect("assign_one requires a trained quantizer")
+    }
+
+    /// Runs deterministic spherical k-means over the whole arena and
+    /// rebuilds the inverted lists. Public so batch construction can train
+    /// once instead of replaying the incremental policy.
+    pub fn train(&mut self, arena: &VecArena) {
+        let n = arena.len();
+        if n == 0 {
+            return;
+        }
+        let start = std::time::Instant::now();
+        let nlists = self.params.resolve_nlists(n);
+
+        // Stride-sampled training set: element i is arena id i*n/s, so the
+        // sample is a deterministic, evenly spread subset independent of
+        // insertion batching.
+        let s = (nlists * self.params.sample_per_list).clamp(nlists, n);
+        let sample: Vec<usize> = (0..s).map(|i| i * n / s).collect();
+
+        // Initial centroids: evenly spread sample vectors (distinct because
+        // s >= nlists), unit-normalized.
+        let mut centroids = VecArena::new(arena.dim());
+        for j in 0..nlists {
+            let mut v = arena.get(sample[j * s / nlists]).to_vec();
+            rlb_embed::sim::normalize(&mut v);
+            centroids.push(&v);
+        }
+
+        for _ in 0..self.params.iters {
+            self.centroids = centroids;
+            // Parallel assignment of the sample; order-preserving, so the
+            // serial accumulation below sees a thread-count-independent
+            // assignment vector.
+            let assign =
+                rlb_util::par::par_map_range(s, |i| self.assign_one(arena, sample[i]) as usize);
+            let mut sums = vec![0f64; nlists * arena.dim()];
+            let mut counts = vec![0usize; nlists];
+            for (i, &c) in assign.iter().enumerate() {
+                counts[c] += 1;
+                let v = arena.get(sample[i]);
+                let row = &mut sums[c * arena.dim()..(c + 1) * arena.dim()];
+                for (acc, &x) in row.iter_mut().zip(v) {
+                    *acc += x as f64;
+                }
+            }
+            centroids = VecArena::new(arena.dim());
+            for c in 0..nlists {
+                if counts[c] == 0 {
+                    // Empty list: keep the old centroid rather than
+                    // collapsing the partition.
+                    centroids.push(self.centroids.get(c));
+                } else {
+                    let row = &sums[c * arena.dim()..(c + 1) * arena.dim()];
+                    let mut mean: Vec<f32> =
+                        row.iter().map(|&x| (x / counts[c] as f64) as f32).collect();
+                    rlb_embed::sim::normalize(&mut mean);
+                    centroids.push(&mean);
+                }
+            }
+        }
+        self.centroids = centroids;
+
+        // Final assignment of *all* vectors; lists built serially in
+        // ascending id order so probed candidates come out pre-sorted per
+        // list.
+        let assign = rlb_util::par::par_map_range(n, |id| self.assign_one(arena, id));
+        self.lists = vec![Vec::new(); nlists];
+        for (id, &c) in assign.iter().enumerate() {
+            self.lists[c as usize].push(id as u32);
+        }
+        self.trained_len = n;
+        self.trains += 1;
+        rlb_obs::counter_add("ann.trains", 1);
+        rlb_obs::counter_add("ann.train_ms", start.elapsed().as_millis() as u64);
+    }
+
+    /// Incremental hook: must be called after **every single** arena push
+    /// (the newest vector is `arena.len() - 1`). Trains at `min_train`,
+    /// assigns to the nearest centroid once trained, and re-trains when the
+    /// arena outgrows the last training by `retrain_factor`. Checked per
+    /// insert so the index state depends only on the insert sequence, never
+    /// on batch boundaries.
+    pub fn on_insert(&mut self, arena: &VecArena) {
+        let n = arena.len();
+        if !self.trained() {
+            if n >= self.params.min_train {
+                self.train(arena);
+            }
+            return;
+        }
+        let retrain_at = (self.trained_len as f64 * self.params.retrain_factor).ceil() as usize;
+        if n >= retrain_at.max(self.trained_len + 1) {
+            self.train(arena);
+        } else {
+            let id = (n - 1) as u32;
+            let c = self.assign_one(arena, n - 1);
+            self.lists[c as usize].push(id);
+        }
+    }
+
+    /// Ranked arena ids for `q`, best first, probing `nprobe` lists.
+    /// Untrained indexes and `nprobe >= nlists` take the exact path and are
+    /// bitwise identical to [`rank_all`].
+    pub fn search(&self, arena: &VecArena, q: &[f32], k_max: usize, nprobe: usize) -> Vec<u32> {
+        let nprobe = nprobe.max(1);
+        if !self.trained() || nprobe >= self.lists.len() {
+            rlb_obs::counter_add("ann.probes", self.lists.len() as u64);
+            rlb_obs::counter_add("ann.visited", arena.len() as u64);
+            return rank_all(arena, q, k_max);
+        }
+        let qnorm = rlb_util::linalg::norm_f32(q);
+        let mut best_lists = TopK::new(nprobe);
+        for c in 0..self.centroids.len() {
+            best_lists.push(self.centroids.score(c, q, qnorm), c as u32);
+        }
+        let mut ids: Vec<u32> = Vec::new();
+        for (_, c) in best_lists.into_sorted() {
+            ids.extend_from_slice(&self.lists[c as usize]);
+        }
+        // Ascending visit order matches the exact scan restricted to this
+        // candidate set, fixing top-K tie-breaking.
+        ids.sort_unstable();
+        rlb_obs::counter_add("ann.probes", nprobe as u64);
+        rlb_obs::counter_add("ann.visited", ids.len() as u64);
+        rank_subset(arena, &ids, q, k_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlb_util::Prng;
+
+    fn random_arena(n: usize, dim: usize, seed: u64) -> VecArena {
+        let mut rng = Prng::seed_from_u64(seed);
+        VecArena::from_rows(
+            dim,
+            (0..n).map(|_| (0..dim).map(|_| rng.f32() * 2.0 - 1.0).collect()),
+        )
+    }
+
+    fn params(nlists: usize, min_train: usize) -> IvfParams {
+        IvfParams {
+            nlists,
+            min_train,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn lists_partition_every_id() {
+        let arena = random_arena(500, 8, 1);
+        let mut ivf = IvfIndex::new(params(8, 1));
+        ivf.train(&arena);
+        let mut seen: Vec<u32> = ivf.lists.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..500).collect::<Vec<u32>>());
+        for list in &ivf.lists {
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "lists stay sorted");
+        }
+    }
+
+    #[test]
+    fn exhaustive_probe_is_bit_identical_to_exact() {
+        let arena = random_arena(400, 8, 2);
+        let mut ivf = IvfIndex::new(params(10, 1));
+        ivf.train(&arena);
+        let mut rng = Prng::seed_from_u64(3);
+        for _ in 0..20 {
+            let q: Vec<f32> = (0..8).map(|_| rng.f32() * 2.0 - 1.0).collect();
+            let exact = rank_all(&arena, &q, 15);
+            assert_eq!(ivf.search(&arena, &q, 15, ivf.nlists()), exact);
+            assert_eq!(ivf.search(&arena, &q, 15, usize::MAX), exact);
+        }
+    }
+
+    #[test]
+    fn untrained_search_is_exact() {
+        let arena = random_arena(100, 8, 4);
+        let ivf = IvfIndex::new(params(4, 1_000_000));
+        assert!(!ivf.trained());
+        let q: Vec<f32> = vec![0.5; 8];
+        assert_eq!(ivf.search(&arena, &q, 5, 1), rank_all(&arena, &q, 5));
+    }
+
+    #[test]
+    fn probed_search_finds_near_duplicates() {
+        // Near-duplicates of a query land in the query's own probed list,
+        // so even nprobe=1 recovers the planted neighbour.
+        let mut arena = random_arena(2000, 8, 5);
+        let probe: Vec<f32> = arena.get(123).to_vec();
+        let mut near = probe.clone();
+        near[0] += 0.01;
+        let planted = arena.push(&near);
+        let mut ivf = IvfIndex::new(params(16, 1));
+        ivf.train(&arena);
+        let got = ivf.search(&arena, &probe, 2, 1);
+        assert!(got.contains(&123));
+        assert!(got.contains(&planted));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let arena = random_arena(600, 8, 6);
+        let mut a = IvfIndex::new(params(0, 1));
+        let mut b = IvfIndex::new(params(0, 1));
+        a.train(&arena);
+        b.train(&arena);
+        assert_eq!(a.lists, b.lists);
+        assert_eq!(a.nlists(), 25, "auto nlists = ceil(sqrt(600))");
+    }
+
+    #[test]
+    fn incremental_state_ignores_batch_boundaries() {
+        // Same 300-insert sequence, chopped two different ways, crossing
+        // both the min_train trigger and one retrain trigger.
+        let arena_full = random_arena(300, 8, 7);
+        let build = |cuts: &[usize]| {
+            let mut ivf = IvfIndex::new(IvfParams {
+                nlists: 6,
+                min_train: 64,
+                ..Default::default()
+            });
+            let mut arena = VecArena::new(8);
+            let mut prev = 0;
+            for &cut in cuts.iter().chain(std::iter::once(&300)) {
+                for id in prev..cut {
+                    arena.push(arena_full.get(id));
+                    ivf.on_insert(&arena);
+                }
+                prev = cut;
+            }
+            ivf
+        };
+        let a = build(&[10, 64, 65, 200]);
+        let b = build(&[150]);
+        assert_eq!(a.lists, b.lists);
+        assert_eq!(a.trains(), b.trains());
+        assert!(a.trains() >= 2, "sequence crosses the retrain threshold");
+    }
+
+    #[test]
+    fn from_env_overlays_defaults() {
+        // Env-dependent: set, read, restore. Serial-safe because the keys
+        // are unique to this test body.
+        std::env::set_var("RLB_ANN_NLISTS", "99");
+        std::env::set_var("RLB_ANN_NPROBE", "0"); // invalid: keeps default
+        let p = IvfParams::from_env();
+        std::env::remove_var("RLB_ANN_NLISTS");
+        std::env::remove_var("RLB_ANN_NPROBE");
+        assert_eq!(p.nlists, 99);
+        assert_eq!(p.nprobe, IvfParams::default().nprobe);
+        assert_eq!(p.min_train, IvfParams::default().min_train);
+    }
+}

@@ -8,24 +8,35 @@
 //! (pair completeness, PC) still exceeds a floor. This crate provides:
 //!
 //! - [`EmbeddingNnBlocker`] — the DeepBlocker substitute: pooled subword
-//!   embeddings + exact top-K cosine retrieval, with an optional
-//!   perturbation seed standing in for the stochasticity of DeepBlocker's
-//!   self-supervised autoencoder training (the paper averages 10 runs);
+//!   embeddings + top-K cosine retrieval over a flat [`VecArena`], with an
+//!   optional perturbation seed standing in for the stochasticity of
+//!   DeepBlocker's self-supervised autoencoder training (the paper averages
+//!   10 runs);
+//! - [`ivf`] — the std-only IVF approximate index (deterministic k-means
+//!   coarse quantizer + `nprobe`-controlled list probing) behind
+//!   [`NnIndex`], bitwise identical to the exact scan at exhaustive probing;
 //! - [`TokenBlocker`] / [`QGramBlocker`] — classical baselines used in the
 //!   ablation benches;
 //! - [`metrics`] — PC and PQ as defined in the blocking literature;
-//! - [`tuner`] — the grid search of Section VI step 2.
+//! - [`tuner`] — the grid search of Section VI step 2, extended to sweep
+//!   `nlists`/`nprobe` alongside `K`.
 
+pub mod arena;
 pub mod cleaning;
 pub mod embed_nn;
+pub mod ivf;
 pub mod metrics;
 pub mod token;
 pub mod tuner;
 
-pub use embed_nn::{EmbeddingNnBlocker, IndexSide, NnIndex, Retrieval};
+pub use arena::{VecArena, ZERO_NORM_SCORE};
+pub use embed_nn::{
+    rank_queries, rank_queries_serial, EmbeddingNnBlocker, IndexSide, NnIndex, Retrieval,
+};
+pub use ivf::{IvfIndex, IvfParams};
 pub use metrics::{blocking_metrics, BlockingMetrics};
 pub use token::{QGramBlocker, TokenBlocker};
-pub use tuner::{tune, BlockerChoice, TunerConfig};
+pub use tuner::{tune, AnnChoice, AnnSweep, BlockerChoice, TunerConfig};
 
 use rlb_data::{PairRef, Source};
 

@@ -188,11 +188,27 @@ impl Engine {
         Ok(self.stats())
     }
 
+    /// The embedding index over the right source (for ANN state: trained,
+    /// list count, trainings).
+    pub fn index(&self) -> &NnIndex {
+        &self.index
+    }
+
     /// Embedding top-K blocking over everything ingested so far: the right
     /// source is indexed incrementally, left records are the queries.
     pub fn link(&self, k: usize) -> Retrieval {
         let _span = rlb_obs::span!("serve.link", "k={k}");
         self.index.retrieval(&self.task.left.records, k.max(1))
+    }
+
+    /// IVF-probed variant of [`Engine::link`]. `nprobe` defaults to the
+    /// index's configured `RLB_ANN_NPROBE`; at exhaustive probing (or while
+    /// the index is still below its training threshold) the result is
+    /// bitwise identical to [`Engine::link`].
+    pub fn link_ann(&self, k: usize, nprobe: Option<usize>) -> Retrieval {
+        let _span = rlb_obs::span!("serve.link", "ann k={k}");
+        self.index
+            .retrieval_ann(&self.task.left.records, k.max(1), nprobe)
     }
 
     /// A-priori assessment (linearity, complexity, verdict flags) over the

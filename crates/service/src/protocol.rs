@@ -6,10 +6,16 @@
 //! over-deep lines get an error response and the stream keeps going — only
 //! `shutdown`, end of input, or a real I/O failure stop the loop.
 //!
+//! `link` is an exact scan unless the request carries an `"nprobe"` field,
+//! which switches to IVF-probed retrieval over the incrementally trained
+//! index (`RLB_ANN_*` knobs); the response then echoes `"mode":"ann"` and
+//! the probe count. `stats` reports the ANN layer's state under `"ann"`.
+//!
 //! ```text
 //! {"op":"ingest","attributes":["name"],"left":[["acme"]],"right":[["acme"]],
 //!  "pairs":[{"left":0,"right":0,"match":true,"split":"train"}]}
 //! {"op":"link","k":5,"limit":100}
+//! {"op":"link","k":5,"nprobe":8}
 //! {"op":"assess"}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
@@ -250,7 +256,19 @@ fn handle_link(engine: &mut Engine, request: &Value) -> Value {
         (Ok(k), Ok(limit)) => (k, limit),
         (Err(e), _) | (_, Err(e)) => return err_response(e),
     };
-    let retrieval = engine.link(k);
+    // An "nprobe" field switches to IVF-probed retrieval; without it the
+    // exact scan runs, so pre-ANN clients keep their exact twin guarantees.
+    let nprobe = match request.get("nprobe") {
+        None => None,
+        Some(_) => match usize_field("nprobe", 0) {
+            Ok(n) => Some(n),
+            Err(e) => return err_response(e),
+        },
+    };
+    let retrieval = match nprobe {
+        None => engine.link(k),
+        Some(n) => engine.link_ann(k, Some(n)),
+    };
     let candidates = retrieval.candidates(k);
     let echoed: Vec<Value> = candidates
         .iter()
@@ -262,16 +280,25 @@ fn handle_link(engine: &mut Engine, request: &Value) -> Value {
             ])
         })
         .collect();
-    ok_response(vec![
+    let mut fields = vec![
         ("k".into(), Value::Num(k as f64)),
+        (
+            "mode".into(),
+            Value::Str(if nprobe.is_some() { "ann" } else { "exact" }.into()),
+        ),
         ("total".into(), Value::Num(candidates.len() as f64)),
         ("pairs".into(), Value::Arr(echoed)),
-    ])
+    ];
+    if let Some(n) = nprobe {
+        fields.insert(2, ("nprobe".into(), Value::Num(n as f64)));
+    }
+    ok_response(fields)
 }
 
 fn handle_stats(engine: &Engine) -> Value {
     let stats = engine.stats();
     let snap = rlb_obs::snapshot();
+    let ivf = engine.index().ivf();
     ok_response(vec![
         (
             "records".into(),
@@ -280,6 +307,14 @@ fn handle_stats(engine: &Engine) -> Value {
                 ("right".into(), Value::Num(stats.right as f64)),
                 ("pairs".into(), Value::Num(stats.pairs as f64)),
                 ("vocab".into(), Value::Num(stats.vocab as f64)),
+            ]),
+        ),
+        (
+            "ann".into(),
+            Value::Obj(vec![
+                ("trained".into(), Value::Bool(ivf.trained())),
+                ("nlists".into(), Value::Num(ivf.nlists() as f64)),
+                ("trains".into(), Value::Num(ivf.trains() as f64)),
             ]),
         ),
         (
@@ -421,6 +456,44 @@ mod tests {
         let wire = resp.get("assessment").expect("assessment payload");
         let direct = engine.assess().unwrap();
         assert_eq!(*wire, direct.to_json(), "wire assessment == direct");
+    }
+
+    #[test]
+    fn link_with_nprobe_reports_ann_mode_and_matches_exact_when_exhaustive() {
+        let mut engine = Engine::new("ann");
+        let ingest = Value::parse(concat!(
+            r#"{"op":"ingest","left":[["acme widget"],["zen speaker"]],"#,
+            r#""right":[["acme wdget"],["zen speakers"],["junk"]]}"#
+        ))
+        .unwrap();
+        let (resp, _) = handle_request(&mut engine, &ingest);
+        assert!(ok(&resp), "{resp:?}");
+        let (exact, _) = handle_request(
+            &mut engine,
+            &Value::parse(r#"{"op":"link","k":2}"#).unwrap(),
+        );
+        assert_eq!(exact.get("mode").and_then(Value::as_str), Some("exact"));
+        assert!(exact.get("nprobe").is_none());
+        // A tiny index is untrained, so any nprobe is exhaustive: the ANN
+        // response must carry the same pairs as the exact one.
+        let (ann, _) = handle_request(
+            &mut engine,
+            &Value::parse(r#"{"op":"link","k":2,"nprobe":4}"#).unwrap(),
+        );
+        assert!(ok(&ann), "{ann:?}");
+        assert_eq!(ann.get("mode").and_then(Value::as_str), Some("ann"));
+        assert_eq!(ann.get("nprobe").and_then(Value::as_f64), Some(4.0));
+        assert_eq!(ann.get("pairs"), exact.get("pairs"));
+        assert_eq!(ann.get("total"), exact.get("total"));
+    }
+
+    #[test]
+    fn stats_reports_ann_state() {
+        let (responses, _) = drive("{\"op\":\"stats\"}\n");
+        let ann = responses[0].get("ann").expect("ann block");
+        assert_eq!(ann.get("trained"), Some(&Value::Bool(false)));
+        assert_eq!(ann.get("nlists").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(ann.get("trains").and_then(Value::as_f64), Some(0.0));
     }
 
     #[test]

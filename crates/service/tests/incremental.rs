@@ -148,6 +148,56 @@ fn random_ingest_interleavings_are_twins_of_batch_rebuild() {
             "case {case}: link diverged"
         );
         assert_eq!(incremental.candidates(k), rebuilt.candidates(k));
+        // ANN twin: exhaustive probing is bitwise the exact scan.
+        let ann = engine.link_ann(k, Some(usize::MAX));
+        assert_eq!(
+            ann.ranked, rebuilt.ranked,
+            "case {case}: exhaustive ann link diverged"
+        );
+    }
+}
+
+#[test]
+fn trained_ann_index_stays_a_twin_at_exhaustive_probe() {
+    // Force the incremental index to actually train (and re-train) during
+    // ingest: 70 right records with a threshold of 24 crosses the k-means
+    // trigger and at least one growth re-train. The knobs are read once at
+    // engine construction, so the env round-trip is confined to `new`.
+    std::env::set_var("RLB_ANN_MIN_TRAIN", "24");
+    std::env::set_var("RLB_ANN_NLISTS", "4");
+    let task = synth_task(31337);
+    let engine_result = std::panic::catch_unwind(|| Engine::new(task.name.clone()));
+    std::env::remove_var("RLB_ANN_MIN_TRAIN");
+    std::env::remove_var("RLB_ANN_NLISTS");
+    let mut engine = engine_result.expect("engine construction");
+    let mut pending = tagged_pairs(&task);
+    engine
+        .ingest(IngestBatch {
+            attributes: Some(task.left.attributes.clone()),
+            left: task.left.records.iter().map(|r| r.values.clone()).collect(),
+            right: task
+                .right
+                .records
+                .iter()
+                .map(|r| r.values.clone())
+                .collect(),
+            pairs: std::mem::take(&mut pending),
+        })
+        .unwrap();
+    assert!(
+        engine.index().ivf().trained(),
+        "index trained during ingest"
+    );
+    assert!(engine.index().ivf().trains() >= 2, "growth re-train ran");
+    for k in [1, 3, 5] {
+        let exact = engine.link(k);
+        let exhaustive = engine.link_ann(k, Some(usize::MAX));
+        assert_eq!(exhaustive.ranked, exact.ranked, "k={k}");
+        // A genuinely probed retrieval still answers every query with k
+        // ranked ids (the lists partition the whole index).
+        let probed = engine.link_ann(k, Some(1));
+        assert_eq!(probed.ranked.len(), exact.ranked.len());
+        assert!(probed.ranked.iter().all(|r| r.len() <= k));
     }
 }
 
