@@ -14,6 +14,11 @@
 //! The interned-vs-string comparison is also written to
 //! `BENCH_measures.json` (pairs/sec both ways, thread count, speedup) so
 //! the perf trajectory stays machine-readable across PRs.
+//!
+//! A third acceptance check gates the observability subsystem itself: with
+//! `RLB_LOG=off`, the JSONL sink suspended, and allocation accounting off,
+//! an instrumented kernel must run within 2% of its bare twin
+//! ([`bench_obs_overhead`]); the measured ratio also lands in the artifact.
 
 use rlb_bench::timing::{group, Harness, Stats};
 use rlb_complexity::ComplexityConfig;
@@ -189,6 +194,111 @@ fn bench_pair_featurization(h: &mut Harness) {
     });
 }
 
+/// One chunk of the overhead-gate workload: a branch-free xorshift mixing
+/// loop, identical between the bare and instrumented twins.
+fn overhead_chunk(seed: u64, iters: u64) -> u64 {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut acc = 0u64;
+    for _ in 0..iters {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc = acc.wrapping_add(x);
+    }
+    acc
+}
+
+const OVERHEAD_CHUNKS: u64 = 16;
+const OVERHEAD_ITERS: u64 = 200_000;
+
+/// `seed` must come through `black_box` so the pure kernel cannot be
+/// hoisted out of the timing loop as loop-invariant.
+fn overhead_bare(seed: u64) -> u64 {
+    let mut total = 0u64;
+    for chunk in 0..OVERHEAD_CHUNKS {
+        total = total.wrapping_add(overhead_chunk(seed ^ chunk, OVERHEAD_ITERS));
+    }
+    total
+}
+
+/// Twin of [`overhead_bare`] instrumented at the density the pipeline uses:
+/// one span per region, one span plus one counter and one histogram sample
+/// per chunk.
+fn overhead_instrumented(seed: u64) -> u64 {
+    let _run = rlb_obs::span!("bench.overhead");
+    let mut total = 0u64;
+    for chunk in 0..OVERHEAD_CHUNKS {
+        let _s = rlb_obs::span!("bench.overhead.chunk");
+        let started = std::time::Instant::now();
+        total = total.wrapping_add(overhead_chunk(seed ^ chunk, OVERHEAD_ITERS));
+        rlb_obs::counter_add("bench.overhead.chunks", 1);
+        rlb_obs::histogram_record(
+            "bench.overhead.chunk_us",
+            started.elapsed().as_micros() as u64,
+        );
+    }
+    total
+}
+
+/// The muted-observability overhead gate: with `RLB_LOG=off`, the sink
+/// suspended, and allocation accounting off, realistic instrumentation
+/// density must cost no more than 2% over the bare twin. Samples are
+/// interleaved (bare, instrumented, bare, …) over a fixed round count —
+/// independent of `RLB_BENCH_SAMPLES`, so CI smoke runs keep enough
+/// samples for a stable minimum — and compared on the fastest sample,
+/// which is robust to scheduling spikes. The measured ratio goes into
+/// `BENCH_measures.json` so the trajectory is auditable.
+fn bench_obs_overhead() -> Vec<(String, Value)> {
+    const ROUNDS: usize = 20;
+    group("observability overhead when muted (target <= 2%)");
+    assert_eq!(
+        overhead_bare(7),
+        overhead_instrumented(7),
+        "the twins must compute the same value"
+    );
+    let saved_level = rlb_obs::level();
+    let saved_alloc = rlb_obs::alloc_stats_enabled();
+    rlb_obs::set_level(rlb_obs::Level::Off);
+    rlb_obs::set_alloc_stats(false);
+    let _muted = rlb_obs::suspend_sink();
+    let mut bare_min = std::time::Duration::MAX;
+    let mut instrumented_min = std::time::Duration::MAX;
+    black_box(overhead_instrumented(black_box(0))); // warm both paths
+    for round in 0..ROUNDS {
+        let seed = black_box(round as u64);
+        let t = std::time::Instant::now();
+        black_box(overhead_bare(seed));
+        bare_min = bare_min.min(t.elapsed());
+        let t = std::time::Instant::now();
+        black_box(overhead_instrumented(seed));
+        instrumented_min = instrumented_min.min(t.elapsed());
+    }
+    rlb_obs::set_alloc_stats(saved_alloc);
+    rlb_obs::set_level(saved_level);
+    println!(
+        "  bare min {:.3} ms, instrumented min {:.3} ms ({ROUNDS} interleaved rounds)",
+        bare_min.as_secs_f64() * 1e3,
+        instrumented_min.as_secs_f64() * 1e3,
+    );
+    let ratio = instrumented_min.as_secs_f64() / bare_min.as_secs_f64();
+    let overhead_pct = (ratio - 1.0) * 100.0;
+    println!(
+        "  instrumented/bare min ratio {ratio:.4} ({overhead_pct:+.2}% overhead, \
+         {} spans + metrics per kernel call)",
+        OVERHEAD_CHUNKS + 1
+    );
+    assert!(
+        ratio <= 1.02,
+        "muted observability overhead {overhead_pct:+.2}% exceeds the 2% budget"
+    );
+    println!("  overhead gate: PASS (<= 2%)");
+    vec![
+        ("obs_overhead_ratio".into(), Value::Num(ratio)),
+        ("obs_overhead_budget".into(), Value::Num(1.02)),
+        ("obs_overhead_pass".into(), Value::Bool(true)),
+    ]
+}
+
 /// Small end-to-end roster run so the emitted trace carries a `roster.run`
 /// span with its per-matcher children and the `par.*` worker metrics — the
 /// CI smoke run asserts on exactly this.
@@ -234,12 +344,25 @@ fn main() {
     rlb_obs::init();
     let wall_start = std::time::Instant::now();
     let mut h = Harness::new();
-    bench_linearity(&mut h);
-    bench_parallel_speedup(&mut h);
-    let measures = bench_interned_vs_string(&mut h);
-    bench_complexity(&mut h);
-    bench_pair_featurization(&mut h);
-    roster_smoke();
+    {
+        let _alloc = rlb_obs::alloc_phase("bench.linearity");
+        bench_linearity(&mut h);
+        bench_parallel_speedup(&mut h);
+    }
+    let mut measures = {
+        let _alloc = rlb_obs::alloc_phase("bench.interned_vs_string");
+        bench_interned_vs_string(&mut h)
+    };
+    {
+        let _alloc = rlb_obs::alloc_phase("bench.complexity");
+        bench_complexity(&mut h);
+        bench_pair_featurization(&mut h);
+    }
+    {
+        let _alloc = rlb_obs::alloc_phase("bench.roster");
+        roster_smoke();
+    }
+    measures.extend(bench_obs_overhead());
 
     println!();
     rlb_bench::artifact::write("measures", measures);

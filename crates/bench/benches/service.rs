@@ -189,13 +189,42 @@ fn main() {
     let stats_req = Value::parse(r#"{"op":"stats"}"#).unwrap();
     let (stats_resp, _) = handle_request(&mut engine, &stats_req);
     assert_eq!(stats_resp.get("ok").and_then(Value::as_bool), Some(true));
+    // Every response must echo its request trace under the run trace.
+    let trace = stats_resp
+        .get("trace")
+        .and_then(Value::as_str)
+        .expect("response echoes a trace id");
+    assert!(
+        trace.starts_with(&format!("{}/", rlb_obs::run_trace())),
+        "trace {trace:?} not under the run trace"
+    );
+
+    // The live metrics op: a second call right after the first must see the
+    // first in its window (delta == 1 for serve.metrics).
+    let metrics_req = Value::parse(r#"{"op":"metrics"}"#).unwrap();
+    let (_, _) = handle_request(&mut engine, &metrics_req);
+    let (metrics_resp, _) = handle_request(&mut engine, &metrics_req);
+    assert_eq!(metrics_resp.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        metrics_resp
+            .get_path("counters.serve.metrics.delta")
+            .and_then(Value::as_f64),
+        Some(1.0),
+        "one metrics call in the window: {metrics_resp:?}"
+    );
+    let window_p99 = metrics_resp
+        .get_path("histograms.serve.request_us.window.p99")
+        .and_then(Value::as_f64)
+        .expect("rolling request p99");
+    println!("  metrics op: rolling request p99 {window_p99} us");
 
     // Request latency quantiles from the engine's own histogram.
     let snap = rlb_obs::snapshot();
     let request_us = snap
         .histogram("serve.request_us")
         .expect("requests recorded a latency histogram");
-    let (p50, p99) = (request_us.quantile(0.50), request_us.quantile(0.99));
+    let quantile = |q| request_us.quantile(q).expect("non-empty histogram");
+    let (p50, p99) = (quantile(0.50), quantile(0.99));
     println!(
         "  {} requests: p50 {p50} us, p99 {p99} us",
         request_us.count

@@ -1,0 +1,70 @@
+//! CLI front-end of [`rlb_bench::diff`]: compare two metrics artifacts
+//! under explicit tolerances and exit 0 (pass) / 1 (gate failure) /
+//! 2 (usage or I/O error). The JSON verdict goes to stdout either way.
+//!
+//! ```text
+//! rlb-metrics-diff <baseline.json> <current.json> \
+//!     [--tol pattern=rel]... [--default-tol rel]
+//! ```
+//!
+//! `--tol counters.*=0` pins every counter exactly; `--tol wall_ms=+0.5`
+//! allows wall time to grow up to 50% (improvements always pass);
+//! `--default-tol 0.2` compares every numeric leaf not matched by a more
+//! specific rule at ±20%. Without any rule nothing is compared — the gate
+//! must state what it guards.
+
+use rlb_bench::diff::{diff_artifacts, parse_rule, TolRule};
+use rlb_util::json::Value;
+
+const USAGE: &str = "usage: rlb-metrics-diff <baseline.json> <current.json> \
+                     [--tol pattern=rel]... [--default-tol rel]";
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("rlb-metrics-diff: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail_usage(&format!("cannot read {path}: {e}")));
+    Value::parse(&text).unwrap_or_else(|e| fail_usage(&format!("cannot parse {path}: {e:?}")))
+}
+
+fn main() {
+    rlb_obs::init();
+    let mut paths: Vec<String> = Vec::new();
+    let mut rules: Vec<TolRule> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tol" => {
+                let spec = args
+                    .next()
+                    .unwrap_or_else(|| fail_usage("--tol needs pattern=rel"));
+                rules.push(parse_rule(&spec).unwrap_or_else(|e| fail_usage(&e)));
+            }
+            "--default-tol" => {
+                let spec = args
+                    .next()
+                    .unwrap_or_else(|| fail_usage("--default-tol needs a tolerance"));
+                rules.push(parse_rule(&format!("*={spec}")).unwrap_or_else(|e| fail_usage(&e)));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other if other.starts_with('-') => fail_usage(&format!("unknown flag {other:?}")),
+            _ => paths.push(arg),
+        }
+    }
+    let [baseline, current] = paths.as_slice() else {
+        fail_usage("expected exactly two artifact paths");
+    };
+    let report = diff_artifacts(&load(baseline), &load(current), &rules);
+    println!("{}", report.verdict.to_json_string_pretty());
+    if !report.pass {
+        rlb_obs::warn!("[diff] {current} regressed against {baseline} (see verdict above)");
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod artifact;
 pub mod cache;
+pub mod diff;
 pub mod fmt;
 pub mod runner;
 pub mod timing;

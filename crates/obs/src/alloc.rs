@@ -1,0 +1,323 @@
+//! Allocation accounting: an opt-in counting wrapper around the system
+//! allocator, attributed to top-level phases.
+//!
+//! The crate installs [`CountingAlloc`] as the `#[global_allocator]` for
+//! every binary that links `rlb-obs` (one definition per program; nothing
+//! else in the workspace defines one). Accounting is **off by default**:
+//! each allocator call pays one relaxed load and a branch, nothing more —
+//! the measures bench's overhead gate pins that cost. `RLB_ALLOC_STATS=1`
+//! (read by [`crate::init`]) or [`set_alloc_stats`] turns on counting:
+//!
+//! - `allocs` / `frees` — calls into the allocator either way;
+//! - `allocated_bytes` — total bytes ever requested;
+//! - `live_bytes` — currently outstanding bytes (signed: enabling mid-run
+//!   means frees of pre-enable allocations can drive it below zero);
+//! - `peak_live_bytes` — high-watermark of `live_bytes`, the number that
+//!   actually bounds a deployment's memory budget.
+//!
+//! [`alloc_phase`] attributes deltas to named top-level phases (one active
+//! phase at a time — phases mark coarse pipeline stages, not scoped
+//! regions); finished phases are folded into `RUN_METRICS.json` next to
+//! the wall-time profile so "slower" and "hungrier" are answered by the
+//! same artifact.
+
+use rlb_util::json::Value;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static FREES: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+static LIVE: AtomicI64 = AtomicI64::new(0);
+static PEAK: AtomicI64 = AtomicI64::new(0);
+
+/// The counting `#[global_allocator]` wrapper. All bookkeeping is relaxed
+/// atomics — the allocator itself never allocates, locks or panics.
+pub struct CountingAlloc;
+
+#[inline]
+fn on_alloc(bytes: usize) {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    ALLOCATED.fetch_add(bytes as u64, Ordering::Relaxed);
+    let live = LIVE.fetch_add(bytes as i64, Ordering::Relaxed) + bytes as i64;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+#[inline]
+fn on_free(bytes: usize) {
+    FREES.fetch_add(1, Ordering::Relaxed);
+    LIVE.fetch_sub(bytes as i64, Ordering::Relaxed);
+}
+
+// SAFETY: delegates all allocation to `System`; the accounting on the side
+// only touches atomics.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() && ENABLED.load(Ordering::Relaxed) {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() && ENABLED.load(Ordering::Relaxed) {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        if ENABLED.load(Ordering::Relaxed) {
+            on_free(layout.size());
+        }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() && ENABLED.load(Ordering::Relaxed) {
+            on_free(layout.size());
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Turns accounting on or off for the rest of the process.
+pub fn set_alloc_stats(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether accounting is currently on.
+pub fn alloc_stats_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A point-in-time copy of the allocation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocStats {
+    /// Allocation calls counted.
+    pub allocs: u64,
+    /// Deallocation calls counted.
+    pub frees: u64,
+    /// Total bytes ever requested.
+    pub allocated_bytes: u64,
+    /// Outstanding bytes right now (can be negative if accounting was
+    /// enabled after some of the freed memory was allocated).
+    pub live_bytes: i64,
+    /// High-watermark of `live_bytes`.
+    pub peak_live_bytes: i64,
+}
+
+impl AllocStats {
+    /// JSON object for reports.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("allocs".into(), Value::Num(self.allocs as f64)),
+            ("frees".into(), Value::Num(self.frees as f64)),
+            (
+                "allocated_bytes".into(),
+                Value::Num(self.allocated_bytes as f64),
+            ),
+            ("live_bytes".into(), Value::Num(self.live_bytes as f64)),
+            (
+                "peak_live_bytes".into(),
+                Value::Num(self.peak_live_bytes as f64),
+            ),
+        ])
+    }
+}
+
+/// Reads the counters (all-zero until accounting is enabled).
+pub fn alloc_stats() -> AllocStats {
+    AllocStats {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        frees: FREES.load(Ordering::Relaxed),
+        allocated_bytes: ALLOCATED.load(Ordering::Relaxed),
+        live_bytes: LIVE.load(Ordering::Relaxed),
+        peak_live_bytes: PEAK.load(Ordering::Relaxed),
+    }
+}
+
+/// One finished phase's attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseAlloc {
+    /// Phase name (`subsystem.stage`, like span names).
+    pub name: &'static str,
+    /// Allocation calls during the phase.
+    pub allocs: u64,
+    /// Bytes requested during the phase.
+    pub allocated_bytes: u64,
+    /// Net change in live bytes across the phase.
+    pub net_bytes: i64,
+}
+
+static PHASES: Mutex<Vec<PhaseAlloc>> = Mutex::new(Vec::new());
+
+/// Guard attributing the allocation delta between its creation and drop to
+/// a named phase.
+#[must_use = "a phase attributes nothing unless its guard is held"]
+pub struct AllocPhase {
+    name: &'static str,
+    start: AllocStats,
+}
+
+/// Opens an attribution phase. A no-op (beyond two atomic loads) when
+/// accounting is off.
+pub fn alloc_phase(name: &'static str) -> AllocPhase {
+    AllocPhase {
+        name,
+        start: alloc_stats(),
+    }
+}
+
+impl Drop for AllocPhase {
+    fn drop(&mut self) {
+        if !alloc_stats_enabled() {
+            return;
+        }
+        let end = alloc_stats();
+        let delta = PhaseAlloc {
+            name: self.name,
+            allocs: end.allocs.saturating_sub(self.start.allocs),
+            allocated_bytes: end
+                .allocated_bytes
+                .saturating_sub(self.start.allocated_bytes),
+            net_bytes: end.live_bytes - self.start.live_bytes,
+        };
+        if let Ok(mut phases) = PHASES.lock() {
+            // Re-entered phases (service ops) merge by name.
+            match phases.iter_mut().find(|p| p.name == delta.name) {
+                Some(existing) => {
+                    existing.allocs += delta.allocs;
+                    existing.allocated_bytes += delta.allocated_bytes;
+                    existing.net_bytes += delta.net_bytes;
+                }
+                None => phases.push(delta),
+            }
+        }
+    }
+}
+
+/// Finished phases in first-seen order (empty while accounting is off).
+pub fn phase_allocs() -> Vec<PhaseAlloc> {
+    PHASES.lock().map(|p| p.clone()).unwrap_or_default()
+}
+
+/// The `alloc` section of `RUN_METRICS.json`.
+pub(crate) fn alloc_report() -> Value {
+    let enabled = alloc_stats_enabled();
+    let mut fields = vec![("enabled".to_string(), Value::Bool(enabled))];
+    if enabled {
+        if let Value::Obj(stat_fields) = alloc_stats().to_value() {
+            fields.extend(stat_fields);
+        }
+        fields.push((
+            "phases".into(),
+            Value::Obj(
+                phase_allocs()
+                    .iter()
+                    .map(|p| {
+                        (
+                            p.name.to_string(),
+                            Value::Obj(vec![
+                                ("allocs".into(), Value::Num(p.allocs as f64)),
+                                (
+                                    "allocated_bytes".into(),
+                                    Value::Num(p.allocated_bytes as f64),
+                                ),
+                                ("net_bytes".into(), Value::Num(p.net_bytes as f64)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Value::Obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests flip the process-global ENABLED flag; the shared env lock
+    // keeps them from interleaving with each other (other tests in this
+    // crate never enable accounting).
+
+    #[test]
+    fn counting_sees_a_real_allocation() {
+        let _guard = crate::test_env_lock().lock().unwrap();
+        set_alloc_stats(true);
+        let before = alloc_stats();
+        let v: Vec<u8> = Vec::with_capacity(257 * 1024);
+        let mid = alloc_stats();
+        drop(v);
+        let after = alloc_stats();
+        set_alloc_stats(false);
+        assert!(mid.allocs > before.allocs, "{before:?} -> {mid:?}");
+        assert!(
+            mid.allocated_bytes - before.allocated_bytes >= 257 * 1024,
+            "{before:?} -> {mid:?}"
+        );
+        assert!(after.frees > before.frees);
+        // PEAK >= LIVE after every counted allocation, and frees only lower
+        // LIVE, so any observed live value bounds the watermark from below.
+        assert!(
+            after.peak_live_bytes >= mid.live_bytes,
+            "watermark {after:?} vs {mid:?}"
+        );
+    }
+
+    #[test]
+    fn disabled_accounting_freezes_the_counters() {
+        let _guard = crate::test_env_lock().lock().unwrap();
+        set_alloc_stats(false);
+        let before = alloc_stats();
+        let v: Vec<u8> = Vec::with_capacity(64 * 1024);
+        drop(v);
+        let after = alloc_stats();
+        assert_eq!(before, after, "counters moved while disabled");
+    }
+
+    #[test]
+    fn phases_attribute_and_merge_by_name() {
+        let _guard = crate::test_env_lock().lock().unwrap();
+        set_alloc_stats(true);
+        for _ in 0..2 {
+            let _p = alloc_phase("test.alloc_phase");
+            let v: Vec<u8> = Vec::with_capacity(100 * 1024);
+            drop(v);
+        }
+        set_alloc_stats(false);
+        let phases = phase_allocs();
+        let p = phases
+            .iter()
+            .find(|p| p.name == "test.alloc_phase")
+            .expect("phase recorded");
+        assert!(p.allocs >= 2, "{p:?}");
+        assert!(p.allocated_bytes >= 200 * 1024, "{p:?}");
+        // Balanced allocation: net stays far below the gross total.
+        assert!(p.net_bytes.unsigned_abs() < p.allocated_bytes, "{p:?}");
+    }
+
+    #[test]
+    fn alloc_report_shape_follows_the_enabled_flag() {
+        let _guard = crate::test_env_lock().lock().unwrap();
+        set_alloc_stats(false);
+        let off = alloc_report();
+        assert_eq!(off.get("enabled"), Some(&Value::Bool(false)));
+        assert!(off.get("phases").is_none());
+        set_alloc_stats(true);
+        let on = alloc_report();
+        set_alloc_stats(false);
+        assert_eq!(on.get("enabled"), Some(&Value::Bool(true)));
+        assert!(on.get("allocs").is_some());
+        assert!(on.get("peak_live_bytes").is_some());
+        assert!(on.get("phases").is_some());
+    }
+}

@@ -29,15 +29,40 @@
 //! `blocking.tune`, `esde.fit`. Counter names follow the same shape
 //! (`cache.hit`, `par.tasks`).
 
+mod alloc;
 mod metrics;
+mod profile;
 mod report;
 mod sink;
 mod span;
+mod trace;
 
+pub use alloc::{
+    alloc_phase, alloc_stats, alloc_stats_enabled, phase_allocs, set_alloc_stats, AllocPhase,
+    AllocStats, CountingAlloc, PhaseAlloc,
+};
 pub use metrics::{counter_add, histogram_record, snapshot, HistogramSummary, MetricsSnapshot};
+pub use profile::{folded_stacks, profile_spans, write_folded, SpanProfile};
 pub use report::{run_metrics, write_run_metrics, RUN_METRICS_FINGERPRINT};
-pub use sink::{clear_sink, install_test_sink, set_sink_path, sink_active};
-pub use span::{span_start, span_start_with, take_spans, Span, SpanRecord};
+pub use sink::{
+    clear_sink, install_test_sink, set_sink_path, sink_active, suspend_sink, SinkSuspension,
+};
+pub use span::{span_start, span_start_with, take_spans, Span, SpanRecord, MAX_RECORDED_SPANS};
+pub use trace::{
+    current_trace, next_request_trace, push_trace, run_trace, set_run_trace, TraceScope,
+};
+
+#[doc(hidden)]
+pub use metrics::poison_registries_for_test;
+#[doc(hidden)]
+pub use sink::poison_sink_for_test;
+
+/// Every binary linking `rlb-obs` gets the counting allocator (accounting
+/// is off — one relaxed load per allocator call — until `RLB_ALLOC_STATS=1`
+/// or [`set_alloc_stats`] enables it). Defined here, library-level, so no
+/// binary can forget it and none can conflict with it.
+#[global_allocator]
+static GLOBAL_ALLOC: CountingAlloc = CountingAlloc;
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
@@ -138,6 +163,10 @@ pub fn event(at: Level, args: std::fmt::Arguments<'_>) {
             ("type".into(), rlb_util::json::Value::Str("event".into())),
             ("level".into(), rlb_util::json::Value::Str(at.name().into())),
             ("msg".into(), rlb_util::json::Value::Str(msg)),
+            (
+                "trace".into(),
+                rlb_util::json::Value::Str(current_trace().to_string()),
+            ),
             ("t_us".into(), rlb_util::json::Value::Num(now_us() as f64)),
             (
                 "thread".into(),
@@ -198,17 +227,27 @@ macro_rules! span {
     };
 }
 
-/// Idempotent process-wide initialization: reads `RLB_LOG` and
-/// `RLB_OBS_FILE`, and installs the [`rlb_util::par`] observer hooks so
-/// worker warnings route through the leveled log and per-worker stats land
-/// in the metrics registry. Call it once at the top of every binary; the
-/// library layers work without it (level and sink are also resolved
-/// lazily), but the `par` utilization metrics only flow after `init`.
+/// Idempotent process-wide initialization: reads `RLB_LOG`, `RLB_OBS_FILE`,
+/// `RLB_TRACE` and `RLB_ALLOC_STATS`, and installs the [`rlb_util::par`]
+/// observer hooks so worker warnings route through the leveled log and
+/// per-worker/per-region stats land in the metrics registry. Call it once
+/// at the top of every binary; the library layers work without it (level,
+/// sink and run trace are also resolved lazily), but the `par` metrics only
+/// flow after `init`.
 pub fn init() {
     static INIT: OnceLock<()> = OnceLock::new();
     INIT.get_or_init(|| {
         epoch();
         level();
+        if let Ok(id) = std::env::var("RLB_TRACE") {
+            if !id.trim().is_empty() {
+                set_run_trace(id.trim());
+            }
+        }
+        if let Ok(raw) = std::env::var("RLB_ALLOC_STATS") {
+            let on = matches!(raw.trim(), "1" | "true" | "on" | "yes");
+            set_alloc_stats(on);
+        }
         if let Ok(path) = std::env::var("RLB_OBS_FILE") {
             if !path.trim().is_empty() {
                 if let Err(e) = set_sink_path(&path) {
@@ -217,6 +256,10 @@ pub fn init() {
             }
         }
         rlb_util::par::set_warn_hook(|msg| crate::warn!("{msg}"));
+        rlb_util::par::set_region_hook(|elapsed_ns| {
+            counter_add("par.regions", 1);
+            histogram_record("par.region_us", elapsed_ns / 1_000);
+        });
         rlb_util::par::set_worker_hook(|stats| {
             counter_add("par.tasks", stats.tasks);
             counter_add("par.workers", 1);

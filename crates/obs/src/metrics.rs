@@ -76,19 +76,36 @@ thread_local! {
         RefCell::new(FxHashMap::default());
 }
 
+/// A poisoned registry (a panic during shard registration) must not take
+/// the instrumented pipeline down with it: already-registered shards keep
+/// counting lock-free, new registrations degrade to dropping the update,
+/// and the process warns exactly once.
+fn warn_registry_poisoned(kind: &str) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        crate::warn!(
+            "[obs] {kind} registry lock poisoned; metrics from threads not \
+             yet registered will be dropped for the rest of the run"
+        );
+    });
+}
+
 /// Adds `delta` to the named counter (this thread's shard; relaxed atomic).
 pub fn counter_add(name: &'static str, delta: u64) {
     LOCAL_COUNTERS.with(|local| {
         let mut local = local.borrow_mut();
-        let cell = local.entry(name).or_insert_with(|| {
-            let cell = Arc::new(CounterCell(AtomicU64::new(0)));
-            COUNTER_SHARDS
-                .lock()
-                .expect("counter registry poisoned")
-                .push((name, cell.clone()));
-            cell
-        });
-        cell.0.fetch_add(delta, Ordering::Relaxed);
+        if let Some(cell) = local.get(name) {
+            cell.0.fetch_add(delta, Ordering::Relaxed);
+            return;
+        }
+        let cell = Arc::new(CounterCell(AtomicU64::new(delta)));
+        // A shard that cannot register would never be snapshotted; dropping
+        // the update is the honest degradation.
+        match COUNTER_SHARDS.lock() {
+            Ok(mut shards) => shards.push((name, cell.clone())),
+            Err(_) => return warn_registry_poisoned("counter"),
+        }
+        local.insert(name, cell);
     });
 }
 
@@ -96,20 +113,37 @@ pub fn counter_add(name: &'static str, delta: u64) {
 pub fn histogram_record(name: &'static str, value: u64) {
     LOCAL_HISTS.with(|local| {
         let mut local = local.borrow_mut();
-        let cell = local.entry(name).or_insert_with(|| {
+        if !local.contains_key(name) {
             let cell = Arc::new(HistCell::new());
-            HIST_SHARDS
-                .lock()
-                .expect("histogram registry poisoned")
-                .push((name, cell.clone()));
-            cell
-        });
+            match HIST_SHARDS.lock() {
+                Ok(mut shards) => shards.push((name, cell.clone())),
+                Err(_) => return warn_registry_poisoned("histogram"),
+            }
+            local.insert(name, cell);
+        }
+        let cell = &local[name];
         cell.count.fetch_add(1, Ordering::Relaxed);
         cell.sum.fetch_add(value, Ordering::Relaxed);
         cell.min.fetch_min(value, Ordering::Relaxed);
         cell.max.fetch_max(value, Ordering::Relaxed);
         cell.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
     });
+}
+
+/// Poisons the registry locks from a throwaway thread — test-only plumbing
+/// for the degradation path (run it in a dedicated test process; the
+/// poisoning is irreversible).
+#[doc(hidden)]
+pub fn poison_registries_for_test() {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let _ = std::thread::spawn(|| {
+        let _counters = COUNTER_SHARDS.lock().unwrap();
+        let _hists = HIST_SHARDS.lock().unwrap();
+        panic!("poisoning metric registries for a degradation test");
+    })
+    .join();
+    std::panic::set_hook(hook);
 }
 
 /// Aggregated view of one histogram.
@@ -139,17 +173,20 @@ impl HistogramSummary {
     /// Quantile estimate: linear interpolation *within* the log₂ bucket
     /// containing the `q`-th sample (assuming samples spread uniformly
     /// across the bucket), clamped to the observed `[min, max]` range.
+    /// `None` on an empty histogram — an empty summary has no quantiles,
+    /// and a fabricated `0` (or a NaN from `0/0` arithmetic) poisons
+    /// downstream comparisons like `rlb-metrics-diff`.
     ///
-    /// The previous implementation returned the bucket's upper bound as its
-    /// representative, which over-reports by up to 2× — a log₂ bucket's
-    /// upper bound is twice its lower — and made reported tail latencies
-    /// (`p99`) systematically pessimistic. Interpolating by the rank's
-    /// position inside the bucket removes that bias: on a uniform
+    /// The pre-interpolation implementation returned the bucket's upper
+    /// bound as its representative, which over-reports by up to 2× — a log₂
+    /// bucket's upper bound is twice its lower — and made reported tail
+    /// latencies (`p99`) systematically pessimistic. Interpolating by the
+    /// rank's position inside the bucket removes that bias: on a uniform
     /// distribution the estimate lands at the true quantile to within one
     /// bucket's granularity error.
-    pub fn quantile(&self, q: f64) -> u64 {
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
@@ -159,14 +196,51 @@ impl HistogramSummary {
                 let upper = bucket_upper(i) as f64;
                 let frac = (rank - seen) as f64 / n as f64;
                 let est = lower + frac * (upper - lower);
-                return (est.round() as u64).clamp(self.min, self.max);
+                return Some((est.round() as u64).clamp(self.min, self.max));
             }
             seen += n;
         }
-        self.max
+        Some(self.max)
     }
 
-    /// JSON object for reports.
+    /// The summary of samples recorded since `prev` was captured, derived
+    /// by bucket-wise subtraction (`prev` must be an earlier snapshot of
+    /// the same histogram). Exact for `count`, `sum`, bucket populations
+    /// and therefore quantiles; `min`/`max` are the tightest bounds the
+    /// delta buckets support, since the cumulative extremes may predate the
+    /// window.
+    pub fn delta_since(&self, prev: &HistogramSummary) -> HistogramSummary {
+        let mut buckets = [0u64; BUCKETS];
+        for (b, slot) in buckets.iter_mut().enumerate() {
+            *slot = self.buckets[b].saturating_sub(prev.buckets[b]);
+        }
+        let count = self.count.saturating_sub(prev.count);
+        let (mut min, mut max) = (0u64, 0u64);
+        if count > 0 {
+            if let Some(lo) = buckets.iter().position(|&n| n > 0) {
+                min = bucket_lower(lo).max(self.min);
+            }
+            if let Some(hi) = buckets.iter().rposition(|&n| n > 0) {
+                max = bucket_upper(hi).min(self.max);
+            }
+        }
+        HistogramSummary {
+            count,
+            sum: self.sum.saturating_sub(prev.sum),
+            min,
+            max,
+            buckets,
+        }
+    }
+
+    fn quantile_value(&self, q: f64) -> Value {
+        match self.quantile(q) {
+            Some(v) => Value::Num(v as f64),
+            None => Value::Null,
+        }
+    }
+
+    /// JSON object for reports (`null` quantiles when empty).
     pub fn to_value(&self) -> Value {
         Value::Obj(vec![
             ("count".into(), Value::Num(self.count as f64)),
@@ -174,9 +248,9 @@ impl HistogramSummary {
             ("min".into(), Value::Num(self.min as f64)),
             ("max".into(), Value::Num(self.max as f64)),
             ("mean".into(), Value::Num(self.mean())),
-            ("p50".into(), Value::Num(self.quantile(0.5) as f64)),
-            ("p90".into(), Value::Num(self.quantile(0.9) as f64)),
-            ("p99".into(), Value::Num(self.quantile(0.99) as f64)),
+            ("p50".into(), self.quantile_value(0.5)),
+            ("p90".into(), self.quantile_value(0.9)),
+            ("p99".into(), self.quantile_value(0.99)),
         ])
     }
 }
@@ -208,22 +282,23 @@ impl MetricsSnapshot {
     }
 }
 
-/// Sums every thread's shards into one [`MetricsSnapshot`].
+/// Sums every thread's shards into one [`MetricsSnapshot`]. A poisoned
+/// registry still yields every shard registered before the poisoning panic
+/// (registration only pushes; the list is never left half-mutated).
 pub fn snapshot() -> MetricsSnapshot {
     let mut counters: FxHashMap<&'static str, u64> = FxHashMap::default();
-    for (name, cell) in COUNTER_SHARDS
+    let counter_shards = COUNTER_SHARDS
         .lock()
-        .expect("counter registry poisoned")
-        .iter()
-    {
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    for (name, cell) in counter_shards.iter() {
         *counters.entry(name).or_insert(0) += cell.0.load(Ordering::Relaxed);
     }
+    drop(counter_shards);
     let mut hists: FxHashMap<&'static str, HistogramSummary> = FxHashMap::default();
-    for (name, cell) in HIST_SHARDS
+    let hist_shards = HIST_SHARDS
         .lock()
-        .expect("histogram registry poisoned")
-        .iter()
-    {
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    for (name, cell) in hist_shards.iter() {
         let entry = hists.entry(name).or_insert(HistogramSummary {
             count: 0,
             sum: 0,
@@ -305,8 +380,8 @@ mod tests {
         assert!(h.max >= 1_000_000);
         assert!(h.mean() > 0.0);
         // Quantiles are bucket upper bounds clamped to the observed range.
-        assert!(h.quantile(0.0) >= h.min && h.quantile(1.0) <= h.max);
-        assert!(h.quantile(0.5) <= h.quantile(0.99));
+        assert!(h.quantile(0.0).unwrap() >= h.min && h.quantile(1.0).unwrap() <= h.max);
+        assert!(h.quantile(0.5).unwrap() <= h.quantile(0.99).unwrap());
     }
 
     #[test]
@@ -362,15 +437,15 @@ mod tests {
         // Rank 500 sits at position 245/256 of bucket [256, 511]: the
         // interpolated estimate recovers ~500 where the old upper-bound
         // representative reported 511.
-        assert_eq!(h.quantile(0.5), 500);
-        let p90 = h.quantile(0.9);
+        assert_eq!(h.quantile(0.5), Some(500));
+        let p90 = h.quantile(0.9).unwrap();
         assert!((880..=920).contains(&p90), "p90 {p90} should be near 900");
         // p99's bucket [512, 1023] is truncated by max-clamping; the
         // estimate must never exceed an observed sample again.
-        let p99 = h.quantile(0.99);
+        let p99 = h.quantile(0.99).unwrap();
         assert!((950..=1000).contains(&p99), "p99 {p99} should be near 990");
-        assert!(h.quantile(1.0) <= h.max);
-        assert!(h.quantile(0.0) >= h.min);
+        assert!(h.quantile(1.0).unwrap() <= h.max);
+        assert!(h.quantile(0.0).unwrap() >= h.min);
     }
 
     #[test]
@@ -386,12 +461,12 @@ mod tests {
         };
         // Bucket [512, 1023] would report 1023 under the old scheme.
         for q in [0.0, 0.5, 0.99, 1.0] {
-            assert_eq!(h.quantile(q), 600, "q={q}");
+            assert_eq!(h.quantile(q), Some(600), "q={q}");
         }
     }
 
     #[test]
-    fn empty_quantile_and_summary_json() {
+    fn empty_histogram_has_no_quantiles_and_null_json() {
         let h = HistogramSummary {
             count: 0,
             sum: 0,
@@ -399,9 +474,53 @@ mod tests {
             max: 0,
             buckets: [0; BUCKETS],
         };
-        assert_eq!(h.quantile(0.5), 0);
+        // No samples means no quantiles — never 0, never NaN.
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(0.99), None);
         assert_eq!(h.mean(), 0.0);
+        assert!(!h.mean().is_nan());
         let json = h.to_value().to_json_string();
-        assert!(json.contains("\"p99\":0"), "{json}");
+        assert!(json.contains("\"p50\":null"), "{json}");
+        assert!(json.contains("\"p99\":null"), "{json}");
+    }
+
+    #[test]
+    fn delta_since_recovers_the_window_between_snapshots() {
+        let mut buckets = [0u64; BUCKETS];
+        for v in [1u64, 2, 4] {
+            buckets[bucket_index(v)] += 1;
+        }
+        let first = HistogramSummary {
+            count: 3,
+            sum: 7,
+            min: 1,
+            max: 4,
+            buckets,
+        };
+        let mut buckets = first.buckets;
+        for v in [8u64, 16] {
+            buckets[bucket_index(v)] += 1;
+        }
+        let second = HistogramSummary {
+            count: 5,
+            sum: 31,
+            min: 1,
+            max: 16,
+            buckets,
+        };
+        let delta = second.delta_since(&first);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum, 24);
+        // Window extremes come from the delta buckets: [8,16] lands in
+        // buckets [8,15] and [16,31], bounded by the cumulative max.
+        assert_eq!(delta.min, 8);
+        assert_eq!(delta.max, 16);
+        let p50 = delta.quantile(0.5).unwrap();
+        assert!((8..=16).contains(&p50), "window p50 {p50}");
+        // The empty window: identical snapshots yield a zero summary with
+        // no quantiles.
+        let none = second.delta_since(&second);
+        assert_eq!(none.count, 0);
+        assert_eq!(none.quantile(0.99), None);
     }
 }

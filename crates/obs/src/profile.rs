@@ -1,0 +1,237 @@
+//! Span-tree profiling: turn the flat finished-span list into per-name
+//! call counts, cumulative and *self* wall time, and collapsed-stack
+//! (flamegraph-ready) output.
+//!
+//! *Self* time is a span's duration minus the duration of its direct
+//! children — the time actually spent in that stage's own code rather than
+//! in an instrumented sub-stage. Cumulative time alone misleads as soon as
+//! stages nest: `roster.run` "costs" the sum of every matcher under it.
+//! The profile table in `RUN_METRICS.json` reports both so a regression can
+//! be pinned to the stage that actually slowed down.
+//!
+//! The collapsed-stack format is one line per distinct stack,
+//! `root;child;leaf <self-microseconds>`, exactly what
+//! `flamegraph.pl` / `inferno-flamegraph` consume. `RLB_OBS_FOLDED=<path>`
+//! (read when the run-metrics artifact is built) writes it next to the
+//! JSONL trace.
+
+use crate::span::SpanRecord;
+use rlb_util::hash::FxHashMap;
+use rlb_util::json::Value;
+
+/// Aggregated timing for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanProfile {
+    /// Span name (`subsystem.stage`).
+    pub name: &'static str,
+    /// Completed spans under this name.
+    pub count: u64,
+    /// Total wall time, microseconds (sum over spans; nested spans count
+    /// into every enclosing name).
+    pub total_us: u64,
+    /// Total time minus direct children's time, microseconds.
+    pub self_us: u64,
+    /// Longest single span, microseconds.
+    pub max_us: u64,
+}
+
+impl SpanProfile {
+    /// JSON object for the `profile` section of `RUN_METRICS.json`.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("name".into(), Value::Str(self.name.into())),
+            ("count".into(), Value::Num(self.count as f64)),
+            ("total_us".into(), Value::Num(self.total_us as f64)),
+            ("self_us".into(), Value::Num(self.self_us as f64)),
+            ("max_us".into(), Value::Num(self.max_us as f64)),
+        ])
+    }
+}
+
+/// Self time per span id: duration minus direct children's durations
+/// (saturating — clock jitter can make children sum past the parent).
+fn self_times(spans: &[SpanRecord]) -> FxHashMap<u64, u64> {
+    let mut child_time: FxHashMap<u64, u64> = FxHashMap::default();
+    for s in spans {
+        if let Some(parent) = s.parent {
+            *child_time.entry(parent).or_insert(0) += s.dur_us;
+        }
+    }
+    spans
+        .iter()
+        .map(|s| {
+            let children = child_time.get(&s.id).copied().unwrap_or(0);
+            (s.id, s.dur_us.saturating_sub(children))
+        })
+        .collect()
+}
+
+/// Aggregates finished spans into per-name profiles, sorted by descending
+/// self time (ties broken by name for stable artifacts).
+pub fn profile_spans(spans: &[SpanRecord]) -> Vec<SpanProfile> {
+    let self_us = self_times(spans);
+    let mut by_name: FxHashMap<&'static str, SpanProfile> = FxHashMap::default();
+    for s in spans {
+        let entry = by_name.entry(s.name).or_insert(SpanProfile {
+            name: s.name,
+            count: 0,
+            total_us: 0,
+            self_us: 0,
+            max_us: 0,
+        });
+        entry.count += 1;
+        entry.total_us += s.dur_us;
+        entry.self_us += self_us.get(&s.id).copied().unwrap_or(s.dur_us);
+        entry.max_us = entry.max_us.max(s.dur_us);
+    }
+    let mut out: Vec<SpanProfile> = by_name.into_values().collect();
+    out.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.name.cmp(b.name)));
+    out
+}
+
+/// Collapses spans into `(stack, self_us)` pairs, one per distinct
+/// `root;…;leaf` path, sorted by stack for stable output. Spans whose
+/// parent was dropped from the bounded buffer become roots of their own
+/// stacks rather than disappearing.
+pub fn folded_stacks(spans: &[SpanRecord]) -> Vec<(String, u64)> {
+    let by_id: FxHashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    let self_us = self_times(spans);
+    let mut folded: FxHashMap<String, u64> = FxHashMap::default();
+    for s in spans {
+        let mut path: Vec<&str> = vec![s.name];
+        let mut cursor = s.parent;
+        while let Some(pid) = cursor {
+            match by_id.get(&pid) {
+                Some(parent) => {
+                    path.push(parent.name);
+                    cursor = parent.parent;
+                }
+                None => break, // parent overflowed the span buffer
+            }
+        }
+        path.reverse();
+        let stack = path.join(";");
+        *folded.entry(stack).or_insert(0) += self_us.get(&s.id).copied().unwrap_or(s.dur_us);
+    }
+    let mut out: Vec<(String, u64)> = folded.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// Writes [`folded_stacks`] in collapsed-stack format (`stack value`, one
+/// per line) — feed the file straight to a flamegraph renderer.
+pub fn write_folded(path: &str, spans: &[SpanRecord]) -> std::io::Result<()> {
+    let mut out = String::new();
+    for (stack, self_us) in folded_stacks(spans) {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&self_us.to_string());
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>, name: &'static str, dur_us: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            detail: None,
+            trace: None,
+            thread: 0,
+            start_us: 0,
+            dur_us,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        // root(100) -> mid(60) -> leaf(10): self = 40 / 50 / 10.
+        let spans = vec![
+            span(1, None, "root", 100),
+            span(2, Some(1), "mid", 60),
+            span(3, Some(2), "leaf", 10),
+        ];
+        let p = profile_spans(&spans);
+        let by = |n: &str| p.iter().find(|x| x.name == n).unwrap();
+        assert_eq!(by("root").self_us, 40);
+        assert_eq!(by("root").total_us, 100);
+        assert_eq!(by("mid").self_us, 50);
+        assert_eq!(by("leaf").self_us, 10);
+        // Sorted by descending self time.
+        assert_eq!(p[0].name, "mid");
+    }
+
+    #[test]
+    fn repeated_names_aggregate_and_track_max() {
+        let spans = vec![
+            span(1, None, "run", 100),
+            span(2, Some(1), "step", 30),
+            span(3, Some(1), "step", 50),
+        ];
+        let p = profile_spans(&spans);
+        let step = p.iter().find(|x| x.name == "step").unwrap();
+        assert_eq!(step.count, 2);
+        assert_eq!(step.total_us, 80);
+        assert_eq!(step.self_us, 80);
+        assert_eq!(step.max_us, 50);
+        let run = p.iter().find(|x| x.name == "run").unwrap();
+        assert_eq!(run.self_us, 20);
+    }
+
+    #[test]
+    fn children_exceeding_parent_saturate_to_zero_self_time() {
+        // Timer granularity can make a child appear longer than its parent.
+        let spans = vec![span(1, None, "p", 10), span(2, Some(1), "c", 12)];
+        let p = profile_spans(&spans);
+        assert_eq!(p.iter().find(|x| x.name == "p").unwrap().self_us, 0);
+    }
+
+    #[test]
+    fn folded_stacks_join_paths_and_merge_identical_stacks() {
+        let spans = vec![
+            span(1, None, "root", 100),
+            span(2, Some(1), "step", 30),
+            span(3, Some(1), "step", 50),
+            span(4, Some(2), "leaf", 5),
+        ];
+        let folded = folded_stacks(&spans);
+        let get = |stack: &str| {
+            folded
+                .iter()
+                .find(|(s, _)| s == stack)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("missing stack {stack:?} in {folded:?}"))
+        };
+        assert_eq!(get("root"), 20);
+        assert_eq!(get("root;step"), 75); // 25 + 50, merged
+        assert_eq!(get("root;step;leaf"), 5);
+        assert_eq!(folded.len(), 3);
+    }
+
+    #[test]
+    fn orphaned_spans_root_their_own_stack() {
+        // Parent id 99 was dropped from the bounded buffer.
+        let spans = vec![span(1, Some(99), "orphan", 7)];
+        let folded = folded_stacks(&spans);
+        assert_eq!(folded, vec![("orphan".to_string(), 7)]);
+    }
+
+    #[test]
+    fn write_folded_emits_one_stack_per_line() {
+        let spans = vec![span(1, None, "a", 10), span(2, Some(1), "b", 4)];
+        let path = std::env::temp_dir().join(format!(
+            "rlb-obs-folded-{}-{:?}.txt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        write_folded(path.to_str().unwrap(), &spans).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(text, "a 6\na;b 4\n");
+    }
+}

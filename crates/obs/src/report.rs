@@ -1,28 +1,47 @@
 //! The `RUN_METRICS.json` artifact: one JSON document per pipeline run,
-//! combining the span tree, counter/histogram snapshots and thread count.
+//! combining the span tree, a per-name self-time profile, allocation
+//! accounting, counter/histogram snapshots and thread count.
 //!
 //! Schema (all durations in the units of their field names):
 //!
 //! ```json
 //! {
-//!   "fingerprint": "rlb-obs-v1",
+//!   "fingerprint": "rlb-obs-v2",
+//!   "trace": "measures",
 //!   "wall_ms": 1234.5,
 //!   "threads": 16,
 //!   "spans": [
-//!     {"id": 1, "name": "linearity.sweep", "thread": 0,
-//!      "start_us": 12, "dur_us": 3456},
+//!     {"id": 1, "name": "linearity.sweep", "trace": "measures",
+//!      "thread": 0, "start_us": 12, "dur_us": 3456},
 //!     {"id": 2, "parent": 1, "name": "...", ...}
 //!   ],
+//!   "profile": [
+//!     {"name": "linearity.sweep", "count": 1, "total_us": 3456,
+//!      "self_us": 3100, "max_us": 3456}
+//!   ],
+//!   "alloc": {"enabled": true, "allocs": 12, "frees": 10,
+//!             "allocated_bytes": 4096, "live_bytes": 512,
+//!             "peak_live_bytes": 2048,
+//!             "phases": {"bench.linearity": {"allocs": 4, ...}}},
 //!   "counters": {"cache.hit": 3, "linearity.pairs": 40000, ...},
 //!   "histograms": {"par.worker_tasks": {"count":.., "sum":.., "min":..,
 //!                  "max":.., "mean":.., "p50":.., "p90":.., "p99":..}}
 //! }
 //! ```
 //!
+//! `rlb-obs-v2` over v1: the `trace` run id, the `profile` self-time table
+//! (sorted by descending `self_us` — the first row is where the run's own
+//! time went) and the `alloc` section (`{"enabled": false}` unless
+//! `RLB_ALLOC_STATS` was on). Empty histograms now report `null` quantiles.
+//!
 //! The span list is flat; `parent` ids encode the tree. Root spans (no
 //! `parent`) partition the measured wall time, so their `dur_us` must sum
 //! to at most `wall_ms` (overlapping worker-thread roots excepted — they
 //! run concurrently with their logical parent stage).
+//!
+//! When `RLB_OBS_FOLDED=<path>` is set, building the artifact also writes
+//! the drained spans as collapsed stacks (see [`crate::profile`]) to that
+//! path — one file per run, renderable with any flamegraph tool.
 
 use crate::metrics::snapshot;
 use crate::span::take_spans;
@@ -30,18 +49,30 @@ use rlb_util::json::Value;
 use std::time::Duration;
 
 /// Artifact format fingerprint; bump on schema changes.
-pub const RUN_METRICS_FINGERPRINT: &str = "rlb-obs-v1";
+pub const RUN_METRICS_FINGERPRINT: &str = "rlb-obs-v2";
 
 /// Builds the artifact, draining the finished-span buffer. `wall` is the
 /// caller-measured duration of the whole run (spans only cover instrumented
-/// stages).
+/// stages). Writes the collapsed-stack file as a side effect when
+/// `RLB_OBS_FOLDED` names a path.
 pub fn run_metrics(wall: Duration) -> Value {
     let spans = take_spans();
     let snap = snapshot();
+    if let Ok(path) = std::env::var("RLB_OBS_FOLDED") {
+        if !path.trim().is_empty() {
+            if let Err(e) = crate::profile::write_folded(path.trim(), &spans) {
+                crate::warn!("[obs] cannot write RLB_OBS_FOLDED {path}: {e}");
+            }
+        }
+    }
     Value::Obj(vec![
         (
             "fingerprint".into(),
             Value::Str(RUN_METRICS_FINGERPRINT.into()),
+        ),
+        (
+            "trace".into(),
+            Value::Str(crate::trace::run_trace().to_string()),
         ),
         ("wall_ms".into(), Value::Num(wall.as_secs_f64() * 1e3)),
         (
@@ -52,6 +83,16 @@ pub fn run_metrics(wall: Duration) -> Value {
             "spans".into(),
             Value::Arr(spans.iter().map(|s| s.to_value()).collect()),
         ),
+        (
+            "profile".into(),
+            Value::Arr(
+                crate::profile::profile_spans(&spans)
+                    .iter()
+                    .map(|p| p.to_value())
+                    .collect(),
+            ),
+        ),
+        ("alloc".into(), crate::alloc::alloc_report()),
         (
             "counters".into(),
             Value::Obj(
@@ -125,6 +166,21 @@ mod tests {
             .any(|s| s.get("name").and_then(Value::as_str) == Some("test.report_inner")));
         let counters = v.get("counters").expect("counters object");
         assert!(counters.get("test.report_counter").is_some());
+        // v2 sections: run trace, self-time profile, alloc accounting.
+        assert!(v.get("trace").and_then(Value::as_str).is_some());
+        let profile = v
+            .get("profile")
+            .and_then(Value::as_arr)
+            .expect("profile array");
+        let outer = profile
+            .iter()
+            .find(|p| p.get("name").and_then(Value::as_str) == Some("test.report_outer"))
+            .expect("outer profiled");
+        let total = outer.get("total_us").and_then(Value::as_f64).unwrap();
+        let self_us = outer.get("self_us").and_then(Value::as_f64).unwrap();
+        assert!(self_us <= total, "self {self_us} > total {total}");
+        let alloc = v.get("alloc").expect("alloc section");
+        assert!(alloc.get("enabled").is_some());
         // The whole artifact round-trips through the strict parser.
         let text = v.to_json_string_pretty();
         assert_eq!(Value::parse(&text).unwrap(), v);
@@ -150,5 +206,32 @@ mod tests {
             v.get("fingerprint").and_then(Value::as_str),
             Some(RUN_METRICS_FINGERPRINT)
         );
+    }
+
+    #[test]
+    fn rlb_obs_folded_writes_collapsed_stacks() {
+        let _guard = crate::test_env_lock().lock().unwrap();
+        let _ = take_spans();
+        {
+            let _outer = crate::span!("test.folded_outer");
+            let _inner = crate::span!("test.folded_inner");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let path = std::env::temp_dir().join(format!("rlb-obs-folded-{}.txt", std::process::id()));
+        std::env::set_var("RLB_OBS_FOLDED", path.to_str().unwrap());
+        let _ = run_metrics(Duration::from_millis(2));
+        std::env::remove_var("RLB_OBS_FOLDED");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with("test.folded_outer;test.folded_inner ")),
+            "no nested stack in {text:?}"
+        );
+        // Every line is `stack <number>`.
+        for line in text.lines() {
+            let (_, v) = line.rsplit_once(' ').expect("stack value separator");
+            v.parse::<u64>().expect("numeric self time");
+        }
     }
 }

@@ -8,7 +8,7 @@
 use rlb_util::json::Value;
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Once};
 
 enum Target {
     File(std::io::BufWriter<std::fs::File>),
@@ -17,32 +17,64 @@ enum Target {
 
 static SINK: Mutex<Option<Target>> = Mutex::new(None);
 static ACTIVE: AtomicBool = AtomicBool::new(false);
+static SUSPENDED: AtomicBool = AtomicBool::new(false);
 
-/// Cheap hot-path check: is any sink configured?
+/// A poisoned sink lock (a panic mid-write) disables the sink and warns
+/// once — on stderr directly, never through `warn!`, whose sink write would
+/// re-enter this very path.
+fn sink_poisoned() {
+    static WARNED: Once = Once::new();
+    WARNED.call_once(|| {
+        ACTIVE.store(false, Ordering::Relaxed);
+        if crate::enabled(crate::Level::Warn) {
+            eprintln!(
+                "[rlb warn ] [obs] sink lock poisoned; dropping this and all \
+                 further sink records for the rest of the run"
+            );
+        }
+    });
+}
+
+/// Cheap hot-path check: is any sink configured (and not suspended)?
 pub fn sink_active() -> bool {
-    ACTIVE.load(Ordering::Relaxed)
+    ACTIVE.load(Ordering::Relaxed) && !SUSPENDED.load(Ordering::Relaxed)
 }
 
 /// Routes records to `path` (truncating any existing file).
 pub fn set_sink_path(path: &str) -> std::io::Result<()> {
     let file = std::fs::File::create(path)?;
-    *SINK.lock().expect("sink poisoned") = Some(Target::File(std::io::BufWriter::new(file)));
-    ACTIVE.store(true, Ordering::Relaxed);
-    Ok(())
+    match SINK.lock() {
+        Ok(mut sink) => {
+            *sink = Some(Target::File(std::io::BufWriter::new(file)));
+            ACTIVE.store(true, Ordering::Relaxed);
+            Ok(())
+        }
+        Err(_) => {
+            sink_poisoned();
+            Err(std::io::Error::other("obs sink lock poisoned"))
+        }
+    }
 }
 
 /// Replaces the sink with an in-memory buffer and returns a handle to it —
 /// test-only plumbing for asserting on the exact JSONL output.
 pub fn install_test_sink() -> Arc<Mutex<Vec<u8>>> {
     let buffer = Arc::new(Mutex::new(Vec::new()));
-    *SINK.lock().expect("sink poisoned") = Some(Target::Buffer(buffer.clone()));
-    ACTIVE.store(true, Ordering::Relaxed);
+    if let Ok(mut sink) = SINK.lock() {
+        *sink = Some(Target::Buffer(buffer.clone()));
+        ACTIVE.store(true, Ordering::Relaxed);
+    } else {
+        sink_poisoned();
+    }
     buffer
 }
 
 /// Removes the sink (flushing a file sink first).
 pub fn clear_sink() {
-    let mut sink = SINK.lock().expect("sink poisoned");
+    let Ok(mut sink) = SINK.lock() else {
+        sink_poisoned();
+        return;
+    };
     if let Some(Target::File(w)) = sink.as_mut() {
         let _ = w.flush();
     }
@@ -50,20 +82,61 @@ pub fn clear_sink() {
     ACTIVE.store(false, Ordering::Relaxed);
 }
 
+/// Guard muting the sink without tearing it down. [`clear_sink`] would drop
+/// the open writer (re-opening truncates the file), so calibration code that
+/// must run sink-silent — the measures bench's overhead gate — suspends
+/// instead: the writer stays open and records flow again when the guard
+/// drops.
+#[must_use = "the sink resumes when this guard drops"]
+pub struct SinkSuspension(());
+
+impl Drop for SinkSuspension {
+    fn drop(&mut self) {
+        SUSPENDED.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Suspends sink writes until the returned guard drops. Not reentrant: the
+/// first guard to drop resumes the sink.
+pub fn suspend_sink() -> SinkSuspension {
+    SUSPENDED.store(true, Ordering::Relaxed);
+    SinkSuspension(())
+}
+
+/// Poisons the sink lock from a throwaway thread — test-only plumbing for
+/// the degradation path (irreversible; run in a dedicated test process).
+#[doc(hidden)]
+pub fn poison_sink_for_test() {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let _ = std::thread::spawn(|| {
+        let _sink = SINK.lock().unwrap();
+        panic!("poisoning the obs sink for a degradation test");
+    })
+    .join();
+    std::panic::set_hook(hook);
+}
+
 /// Appends one record as a compact JSON line. Records are flushed per line:
 /// every write site is a coarse pipeline stage, so the syscall cost is
-/// irrelevant and the file stays readable even if the process aborts.
+/// irrelevant and the file stays readable even if the process aborts. A
+/// poisoned lock degrades to dropping the record (see [`sink_poisoned`]).
 pub(crate) fn write_record(record: Value) {
-    let mut sink = SINK.lock().expect("sink poisoned");
+    let Ok(mut sink) = SINK.lock() else {
+        sink_poisoned();
+        return;
+    };
     match sink.as_mut() {
         Some(Target::File(w)) => {
             let _ = rlb_util::json::write_line(w, &record);
             let _ = w.flush();
         }
-        Some(Target::Buffer(buf)) => {
-            let _ =
-                rlb_util::json::write_line(&mut *buf.lock().expect("test sink poisoned"), &record);
-        }
+        Some(Target::Buffer(buf)) => match buf.lock() {
+            Ok(mut buf) => {
+                let _ = rlb_util::json::write_line(&mut *buf, &record);
+            }
+            Err(_) => sink_poisoned(),
+        },
         None => {}
     }
 }
@@ -169,5 +242,28 @@ mod tests {
         assert!(parsed
             .iter()
             .any(|r| r.get("msg").and_then(Value::as_str) == Some("file sink line")));
+    }
+
+    #[test]
+    fn suspension_mutes_without_dropping_the_sink() {
+        let _guard = test_env_lock().lock().unwrap();
+        let buffer = install_test_sink();
+        set_level(Level::Info);
+        crate::info!("before suspension");
+        {
+            let _mute = suspend_sink();
+            assert!(!sink_active(), "suspended sink must read inactive");
+            crate::info!("during suspension");
+        }
+        assert!(sink_active(), "sink resumes when the guard drops");
+        crate::info!("after suspension");
+        clear_sink();
+        let msgs: Vec<String> = lines(&buffer)
+            .into_iter()
+            .filter_map(|r| r.get("msg").and_then(Value::as_str).map(String::from))
+            .collect();
+        assert!(msgs.iter().any(|m| m == "before suspension"), "{msgs:?}");
+        assert!(!msgs.iter().any(|m| m == "during suspension"), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m == "after suspension"), "{msgs:?}");
     }
 }

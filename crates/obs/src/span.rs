@@ -16,7 +16,7 @@ use crate::sink;
 use rlb_util::json::Value;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, Once};
 use std::time::Instant;
 
 /// Hard cap on buffered finished spans.
@@ -47,6 +47,8 @@ pub struct SpanRecord {
     pub name: &'static str,
     /// Optional free-form detail (task name, matcher name, …).
     pub detail: Option<String>,
+    /// Trace id current when the span opened (see [`crate::trace`]).
+    pub trace: Option<Arc<str>>,
     /// Thread the span ran on.
     pub thread: u64,
     /// Start, microseconds since the process epoch.
@@ -69,6 +71,9 @@ impl SpanRecord {
         if let Some(detail) = &self.detail {
             fields.push(("detail".to_string(), Value::Str(detail.clone())));
         }
+        if let Some(trace) = &self.trace {
+            fields.push(("trace".to_string(), Value::Str(trace.to_string())));
+        }
         fields.push(("thread".to_string(), Value::Num(self.thread as f64)));
         fields.push(("start_us".to_string(), Value::Num(self.start_us as f64)));
         fields.push(("dur_us".to_string(), Value::Num(self.dur_us as f64)));
@@ -83,6 +88,7 @@ pub struct Span {
     parent: Option<u64>,
     name: &'static str,
     detail: Option<String>,
+    trace: Arc<str>,
     start: Instant,
     start_us: u64,
 }
@@ -110,6 +116,7 @@ fn open(name: &'static str, detail: Option<String>) -> Span {
         parent,
         name,
         detail,
+        trace: crate::trace::current_trace(),
         start: Instant::now(),
         start_us: crate::now_us(),
     }
@@ -139,6 +146,7 @@ impl Drop for Span {
             parent: self.parent,
             name: self.name,
             detail: self.detail.take(),
+            trace: Some(self.trace.clone()),
             thread: thread_id(),
             start_us: self.start_us,
             dur_us,
@@ -156,20 +164,37 @@ impl Drop for Span {
         if sink::sink_active() {
             sink::write_record(record.to_value());
         }
-        let mut finished = FINISHED.lock().expect("span buffer poisoned");
+        // A poisoned buffer (a panic under the lock) degrades to dropping
+        // the record — losing one span beats aborting a long run mid-flight.
+        let Ok(mut finished) = FINISHED.lock() else {
+            counter_add("obs.spans_dropped", 1);
+            return;
+        };
         if finished.len() < MAX_RECORDED_SPANS {
             finished.push(record);
         } else {
             drop(finished);
             counter_add("obs.spans_dropped", 1);
+            static OVERFLOW_WARNED: Once = Once::new();
+            OVERFLOW_WARNED.call_once(|| {
+                crate::warn!(
+                    "[obs] finished-span buffer full ({MAX_RECORDED_SPANS} spans); \
+                     further spans are counted in obs.spans_dropped but not recorded \
+                     (drain with take_spans/run_metrics, or span more coarsely)"
+                );
+            });
         }
     }
 }
 
 /// Drains every finished span recorded since the last call, in completion
-/// order.
+/// order. A poisoned buffer yields the spans recorded before the poisoning
+/// panic.
 pub fn take_spans() -> Vec<SpanRecord> {
-    std::mem::take(&mut *FINISHED.lock().expect("span buffer poisoned"))
+    match FINISHED.lock() {
+        Ok(mut finished) => std::mem::take(&mut *finished),
+        Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+    }
 }
 
 #[cfg(test)]
@@ -258,6 +283,7 @@ mod tests {
             parent: Some(3),
             name: "x.y",
             detail: None,
+            trace: None,
             thread: 1,
             start_us: 10,
             dur_us: 20,
@@ -266,5 +292,47 @@ mod tests {
         assert!(json.contains("\"name\":\"x.y\""), "{json}");
         assert!(json.contains("\"parent\":3"), "{json}");
         assert!(!json.contains("detail"), "{json}");
+        assert!(!json.contains("trace"), "{json}");
+    }
+
+    #[test]
+    fn live_spans_carry_the_current_trace_id() {
+        let _guard = crate::test_env_lock().lock().unwrap();
+        let _ = take_spans();
+        {
+            let _scope = crate::trace::push_trace("trace-test");
+            let _s = span_start("test.traced");
+        }
+        let spans = take_spans();
+        let traced = spans.iter().find(|s| s.name == "test.traced").unwrap();
+        assert_eq!(traced.trace.as_deref(), Some("trace-test"));
+        let json = traced.to_value().to_json_string();
+        assert!(json.contains("\"trace\":\"trace-test\""), "{json}");
+    }
+
+    #[test]
+    fn overflowing_the_buffer_counts_drops_and_keeps_the_cap() {
+        let _guard = crate::test_env_lock().lock().unwrap();
+        let _ = take_spans();
+        let dropped_before = crate::snapshot().counter("obs.spans_dropped");
+        // Fill to the cap plus a margin; every span past the cap must be
+        // counted, not recorded.
+        let extra = 10u64;
+        for _ in 0..MAX_RECORDED_SPANS as u64 + extra {
+            let _s = span_start("test.overflow");
+        }
+        let dropped = crate::snapshot().counter("obs.spans_dropped") - dropped_before;
+        let spans = take_spans();
+        assert_eq!(spans.len(), MAX_RECORDED_SPANS, "buffer capped");
+        assert!(
+            dropped >= extra,
+            "expected at least {extra} drops, counted {dropped}"
+        );
+        // The drained buffer accepts spans again.
+        {
+            let _s = span_start("test.after_overflow");
+        }
+        let after = take_spans();
+        assert!(after.iter().any(|s| s.name == "test.after_overflow"));
     }
 }

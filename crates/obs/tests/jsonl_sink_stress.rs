@@ -1,0 +1,93 @@
+//! Sink integrity under stress, in a dedicated process so the global sink
+//! isn't shared with unrelated unit tests:
+//!
+//! - spans and events emitted concurrently from `rlb_util::par` workers
+//!   must land as whole lines — parallelism may reorder lines but can
+//!   never tear one;
+//! - an oversized event (far beyond any sane line length) must neither
+//!   split itself nor corrupt the framing of its neighbours under a real
+//!   `RLB_OBS_FILE`-style file sink.
+
+use rlb_util::json::Value;
+
+/// Both tests swap the process-global sink; serialize them.
+static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn parsed_lines(text: &str) -> Vec<Value> {
+    text.lines()
+        .map(|l| Value::parse(l).unwrap_or_else(|e| panic!("torn/invalid line {l:?}: {e:?}")))
+        .collect()
+}
+
+#[test]
+fn par_workers_emit_whole_jsonl_lines() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    rlb_obs::set_level(rlb_obs::Level::Info);
+    let buffer = rlb_obs::install_test_sink();
+    let n = 512usize;
+    let out = rlb_util::par::par_map_range(n, |i| {
+        let _s = rlb_obs::span!("stress.item", "item {i}");
+        rlb_obs::info!("stress event {i}");
+        i
+    });
+    assert_eq!(out.len(), n);
+    rlb_obs::clear_sink();
+    let _ = rlb_obs::take_spans();
+
+    let bytes = buffer.lock().unwrap().clone();
+    let records = parsed_lines(&String::from_utf8(bytes).expect("sink output is UTF-8"));
+    let events = records
+        .iter()
+        .filter(|r| {
+            r.get("msg")
+                .and_then(Value::as_str)
+                .is_some_and(|m| m.starts_with("stress event "))
+        })
+        .count();
+    let spans = records
+        .iter()
+        .filter(|r| r.get("name").and_then(Value::as_str) == Some("stress.item"))
+        .count();
+    assert_eq!(events, n, "every worker event arrives exactly once");
+    assert_eq!(spans, n, "every worker span arrives exactly once");
+}
+
+#[test]
+fn oversized_event_lines_stay_framed_in_a_file_sink() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    rlb_obs::set_level(rlb_obs::Level::Info);
+    let path = std::env::temp_dir().join(format!(
+        "rlb-obs-oversize-{}-{:?}.jsonl",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    rlb_obs::set_sink_path(path.to_str().unwrap()).unwrap();
+    rlb_obs::info!("small before");
+    // ~1 MiB of payload, including characters the JSON writer must escape.
+    let big = "x\"\\\n\t".repeat(200_000);
+    rlb_obs::info!("big {big}");
+    rlb_obs::info!("small after");
+    rlb_obs::clear_sink();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let records = parsed_lines(&text);
+    let msg_at = |needle: &str| {
+        records
+            .iter()
+            .position(|r| {
+                r.get("msg")
+                    .and_then(Value::as_str)
+                    .is_some_and(|m| m.starts_with(needle))
+            })
+            .unwrap_or_else(|| panic!("missing {needle:?} among {} records", records.len()))
+    };
+    let before = msg_at("small before");
+    let big_at = msg_at("big ");
+    let after = msg_at("small after");
+    assert!(before < big_at && big_at < after, "ordering preserved");
+    // The oversized message round-trips byte-for-byte.
+    let got = records[big_at].get("msg").and_then(Value::as_str).unwrap();
+    assert_eq!(got.len(), "big ".len() + big.len());
+    assert!(got.ends_with(&big[big.len() - 64..]));
+}

@@ -1,0 +1,42 @@
+//! Degradation test: poisoned metric registries must not panic the
+//! instrumented pipeline — already-registered shards keep counting, new
+//! shards drop their updates, snapshots still aggregate what registered.
+//!
+//! Poisoning is irreversible process-global state, so this lives in its own
+//! integration-test binary (one process per `tests/*.rs` file) rather than
+//! in the crate's unit tests.
+
+#[test]
+fn poisoned_registries_degrade_without_panicking() {
+    rlb_obs::set_level(rlb_obs::Level::Off);
+    // Register shards for this thread before the poisoning.
+    rlb_obs::counter_add("poison.pre", 1);
+    rlb_obs::histogram_record("poison.pre_hist", 10);
+
+    rlb_obs::poison_registries_for_test();
+
+    // The pre-registered shards bypass the registry lock entirely.
+    rlb_obs::counter_add("poison.pre", 1);
+    rlb_obs::histogram_record("poison.pre_hist", 20);
+
+    // A fresh name on a fresh thread needs registration, which must now
+    // degrade to dropping the update — not panic, not deadlock.
+    std::thread::spawn(|| {
+        rlb_obs::counter_add("poison.post", 7);
+        rlb_obs::histogram_record("poison.post_hist", 30);
+    })
+    .join()
+    .expect("degraded metric calls must not panic");
+
+    // Snapshots recover the poisoned lock and still see the pre shards.
+    let snap = rlb_obs::snapshot();
+    assert_eq!(snap.counter("poison.pre"), 2);
+    let h = snap
+        .histogram("poison.pre_hist")
+        .expect("pre hist survives");
+    assert_eq!(h.count, 2);
+    assert_eq!(h.sum, 30);
+    // The post-poison registration was dropped.
+    assert_eq!(snap.counter("poison.post"), 0);
+    assert!(snap.histogram("poison.post_hist").is_none());
+}

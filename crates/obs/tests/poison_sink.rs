@@ -1,0 +1,37 @@
+//! Degradation test: a poisoned sink lock must drop records (with one
+//! stderr warning), never panic — in its own process because poisoning is
+//! irreversible.
+
+use rlb_util::json::Value;
+
+#[test]
+fn poisoned_sink_drops_records_without_panicking() {
+    rlb_obs::set_level(rlb_obs::Level::Info);
+    let buffer = rlb_obs::install_test_sink();
+    rlb_obs::info!("before poisoning");
+
+    rlb_obs::poison_sink_for_test();
+
+    // Event and span writes degrade to drops; none of these may panic.
+    rlb_obs::info!("after poisoning");
+    {
+        let _s = rlb_obs::span!("poison.sink_span");
+    }
+    rlb_obs::clear_sink();
+    assert!(
+        rlb_obs::set_sink_path("/tmp/rlb-obs-poisoned-sink.jsonl").is_err(),
+        "a poisoned sink cannot accept a new path"
+    );
+
+    // Only the pre-poisoning record made it into the buffer, and the
+    // buffer's contents are still well-formed JSONL.
+    let bytes = buffer.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).unwrap();
+    let msgs: Vec<String> = text
+        .lines()
+        .map(|l| Value::parse(l).expect("line parses"))
+        .filter_map(|r| r.get("msg").and_then(Value::as_str).map(String::from))
+        .collect();
+    assert!(msgs.iter().any(|m| m == "before poisoning"), "{msgs:?}");
+    assert!(!msgs.iter().any(|m| m == "after poisoning"), "{msgs:?}");
+}

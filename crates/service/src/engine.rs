@@ -99,6 +99,7 @@ pub struct Engine {
     blocker: EmbeddingNnBlocker,
     seen_pairs: FxHashSet<PairRef>,
     schema_fixed: bool,
+    metrics_baseline: Option<rlb_obs::MetricsSnapshot>,
 }
 
 impl Engine {
@@ -121,7 +122,19 @@ impl Engine {
             blocker,
             seen_pairs: FxHashSet::default(),
             schema_fixed: false,
+            metrics_baseline: None,
         }
+    }
+
+    /// Replaces the stored `metrics` baseline with `current`, returning the
+    /// previous one. The protocol's `metrics` op uses the pair to report
+    /// since-last-call deltas: the first call has no baseline and reports
+    /// all-time values as the window.
+    pub fn swap_metrics_baseline(
+        &mut self,
+        current: rlb_obs::MetricsSnapshot,
+    ) -> Option<rlb_obs::MetricsSnapshot> {
+        self.metrics_baseline.replace(current)
     }
 
     /// The record store and labelled splits as currently ingested.

@@ -18,14 +18,19 @@
 //! {"op":"link","k":5,"nprobe":8}
 //! {"op":"assess"}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"shutdown"}
 //! ```
 //!
-//! Every request runs inside an `rlb-obs` span and feeds per-op counters
-//! (`serve.<op>`), the shared latency histogram `serve.request_us`, and a
-//! per-op histogram `serve.<op>_us`; the `stats` op surfaces the full
-//! counter/histogram snapshot so a client can watch the engine without
-//! touching `RUN_METRICS.json`.
+//! Every request runs inside an `rlb-obs` span under its own trace id
+//! (`<run-trace>/<sequence>`, see `rlb_obs::next_request_trace`), echoed as
+//! `"trace"` in every response, and feeds per-op counters (`serve.<op>`),
+//! the shared latency histogram `serve.request_us`, and a per-op histogram
+//! `serve.<op>_us`. The `stats` op surfaces the full counter/histogram
+//! snapshot; the `metrics` op additionally reports since-last-call deltas
+//! per counter and a `"window"` summary per histogram (rolling p50/p99 per
+//! op between consecutive `metrics` calls), so a client can watch the
+//! engine live without touching `RUN_METRICS.json`.
 
 use crate::engine::{Engine, IngestBatch, IngestPair, Split};
 use rlb_util::json::{read_line, write_line, JsonLine, Value, MAX_DEPTH};
@@ -56,6 +61,7 @@ fn op_metrics(op: &str) -> Option<(&'static str, &'static str)> {
         "link" => Some(("serve.link", "serve.link_us")),
         "assess" => Some(("serve.assess", "serve.assess_us")),
         "stats" => Some(("serve.stats", "serve.stats_us")),
+        "metrics" => Some(("serve.metrics", "serve.metrics_us")),
         "shutdown" => Some(("serve.shutdown", "serve.shutdown_us")),
         _ => None,
     }
@@ -116,12 +122,23 @@ pub fn serve<R: BufRead, W: Write>(
 /// Public so the service bench can drive the protocol without pipes.
 pub fn handle_request(engine: &mut Engine, request: &Value) -> (Value, bool) {
     let started = std::time::Instant::now();
+    // Each request runs under its own `<run>/<seq>` trace id: the spans and
+    // events it produces carry the id, and the response echoes it so a
+    // client-side log line can be joined against the server's JSONL trace.
+    let trace = rlb_obs::next_request_trace();
     let op = match request.get("op").and_then(Value::as_str) {
         Some(op) => op.to_owned(),
-        None => return (err_response("request has no \"op\" field"), false),
+        None => {
+            let mut response = err_response("request has no \"op\" field");
+            if let Value::Obj(fields) = &mut response {
+                fields.insert(1, ("trace".into(), Value::Str(trace.id().into())));
+            }
+            rlb_obs::counter_add("serve.errors", 1);
+            return (response, false);
+        }
     };
     let _span = rlb_obs::span!("serve.request", "{op}");
-    let (response, shutdown) = match op.as_str() {
+    let (mut response, shutdown) = match op.as_str() {
         "ingest" => (handle_ingest(engine, request), false),
         "link" => (handle_link(engine, request), false),
         "assess" => (
@@ -132,9 +149,13 @@ pub fn handle_request(engine: &mut Engine, request: &Value) -> (Value, bool) {
             false,
         ),
         "stats" => (handle_stats(engine), false),
+        "metrics" => (handle_metrics(engine), false),
         "shutdown" => (ok_response(vec![]), true),
         other => (err_response(format!("unknown op {other:?}")), false),
     };
+    if let Value::Obj(fields) = &mut response {
+        fields.insert(1, ("trace".into(), Value::Str(trace.id().into())));
+    }
     let elapsed_us = started.elapsed().as_micros() as u64;
     rlb_obs::histogram_record("serve.request_us", elapsed_us);
     if let Some((counter, histogram)) = op_metrics(&op) {
@@ -338,6 +359,54 @@ fn handle_stats(engine: &Engine) -> Value {
     ])
 }
 
+/// The `metrics` op: a live counter/histogram snapshot plus since-last-call
+/// deltas. Counters report `{"total", "delta"}`; histograms report the
+/// cumulative summary under `"cumulative"` and the window since the
+/// previous `metrics` call under `"window"` (the first call's window is
+/// all-time). Per-op rolling p50/p99 are therefore
+/// `histograms["serve.<op>_us"].window.p50/p99`.
+fn handle_metrics(engine: &mut Engine) -> Value {
+    let snap = rlb_obs::snapshot();
+    let prev = engine
+        .swap_metrics_baseline(snap.clone())
+        .unwrap_or_default();
+    let counters: Vec<(String, Value)> = snap
+        .counters
+        .iter()
+        .map(|(name, total)| {
+            let delta = total.saturating_sub(prev.counter(name));
+            (
+                name.clone(),
+                Value::Obj(vec![
+                    ("total".into(), Value::Num(*total as f64)),
+                    ("delta".into(), Value::Num(delta as f64)),
+                ]),
+            )
+        })
+        .collect();
+    let histograms: Vec<(String, Value)> = snap
+        .histograms
+        .iter()
+        .map(|(name, h)| {
+            let window = match prev.histogram(name) {
+                Some(p) => h.delta_since(p),
+                None => h.clone(),
+            };
+            (
+                name.clone(),
+                Value::Obj(vec![
+                    ("cumulative".into(), h.to_value()),
+                    ("window".into(), window.to_value()),
+                ]),
+            )
+        })
+        .collect();
+    ok_response(vec![
+        ("counters".into(), Value::Obj(counters)),
+        ("histograms".into(), Value::Obj(histograms)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -494,6 +563,88 @@ mod tests {
         assert_eq!(ann.get("trained"), Some(&Value::Bool(false)));
         assert_eq!(ann.get("nlists").and_then(Value::as_f64), Some(0.0));
         assert_eq!(ann.get("trains").and_then(Value::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn every_response_echoes_a_sequential_request_trace() {
+        let script = concat!(
+            r#"{"op":"stats"}"#,
+            "\n",
+            r#"{"op":"teleport"}"#,
+            "\n",
+            r#"{"no_op":1}"#,
+            "\n",
+        );
+        let (responses, _) = drive(script);
+        assert_eq!(responses.len(), 3);
+        let run = rlb_obs::run_trace();
+        let prefix = format!("{run}/");
+        let mut seqs = Vec::new();
+        for r in &responses {
+            let trace = r
+                .get("trace")
+                .and_then(Value::as_str)
+                .unwrap_or_else(|| panic!("response missing trace: {r:?}"));
+            assert!(trace.starts_with(&prefix), "{trace} under run {run}");
+            seqs.push(trace[prefix.len()..].parse::<u64>().unwrap());
+        }
+        // Consecutive requests in one session get consecutive sequence
+        // numbers (other tests advance the global counter, so only the gap
+        // between our own requests is pinned).
+        assert_eq!(seqs[1], seqs[0] + 1, "{seqs:?}");
+        assert_eq!(seqs[2], seqs[1] + 1, "{seqs:?}");
+    }
+
+    #[test]
+    fn metrics_op_reports_totals_deltas_and_rolling_windows() {
+        let mut engine = Engine::new("metrics");
+        let metrics = Value::parse(r#"{"op":"metrics"}"#).unwrap();
+        let (first, _) = handle_request(&mut engine, &metrics);
+        assert!(ok(&first), "{first:?}");
+        // Probe metrics no other test touches, so the window is exactly ours
+        // even with concurrent tests hammering the global registry.
+        rlb_obs::counter_add("test.metrics_probe", 2);
+        rlb_obs::histogram_record("test.metrics_probe_us", 100);
+        rlb_obs::histogram_record("test.metrics_probe_us", 300);
+        let (second, _) = handle_request(&mut engine, &metrics);
+        let probe = second
+            .get("counters")
+            .and_then(|c| c.get("test.metrics_probe"))
+            .expect("probe counter");
+        assert_eq!(probe.get("delta").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(probe.get("total").and_then(Value::as_f64), Some(2.0));
+        let hist = second
+            .get("histograms")
+            .and_then(|h| h.get("test.metrics_probe_us"))
+            .expect("probe histogram");
+        let window = hist.get("window").expect("window summary");
+        assert_eq!(window.get("count").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(window.get("sum").and_then(Value::as_f64), Some(400.0));
+        assert!(window.get("p50").and_then(Value::as_f64).is_some());
+        assert!(window.get("p99").and_then(Value::as_f64).is_some());
+        let cumulative = hist.get("cumulative").expect("cumulative summary");
+        assert_eq!(cumulative.get("count").and_then(Value::as_f64), Some(2.0));
+        // The shared per-op metrics are present too (inexact totals: other
+        // tests run concurrently).
+        assert!(second
+            .get("histograms")
+            .and_then(|h| h.get("serve.request_us"))
+            .is_some());
+        // A third immediate call sees an empty probe window: zero delta,
+        // null quantiles (never NaN, never fabricated zeros).
+        let (third, _) = handle_request(&mut engine, &metrics);
+        let probe = third
+            .get("counters")
+            .and_then(|c| c.get("test.metrics_probe"))
+            .unwrap();
+        assert_eq!(probe.get("delta").and_then(Value::as_f64), Some(0.0));
+        let window = third
+            .get("histograms")
+            .and_then(|h| h.get("test.metrics_probe_us"))
+            .and_then(|h| h.get("window"))
+            .unwrap();
+        assert_eq!(window.get("count").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(window.get("p99"), Some(&Value::Null));
     }
 
     #[test]

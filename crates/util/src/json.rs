@@ -130,6 +130,78 @@ impl Value {
         }
     }
 
+    /// Nested lookup along a `.`-separated path: object members by name,
+    /// array elements by decimal index (`"profile.0.self_us"`). `None` as
+    /// soon as a segment misses.
+    ///
+    /// Metric names themselves contain dots (`"counters.serve.link"` is the
+    /// member `serve.link` of `counters`), so object navigation first tries
+    /// the whole remaining path as one member name, then descends through
+    /// the longest member that prefixes it — the resolution
+    /// [`Value::flatten_numbers`] paths need to round-trip.
+    pub fn get_path(&self, path: &str) -> Option<&Value> {
+        if path.is_empty() {
+            return Some(self);
+        }
+        match self {
+            Value::Obj(fields) => {
+                if let Some(v) = self.get(path) {
+                    return Some(v);
+                }
+                fields
+                    .iter()
+                    .filter(|(k, _)| {
+                        path.len() > k.len()
+                            && path.starts_with(k.as_str())
+                            && path.as_bytes()[k.len()] == b'.'
+                    })
+                    .max_by_key(|(k, _)| k.len())
+                    .and_then(|(k, v)| v.get_path(&path[k.len() + 1..]))
+            }
+            Value::Arr(items) => {
+                let (head, rest) = match path.split_once('.') {
+                    Some((h, r)) => (h, r),
+                    None => (path, ""),
+                };
+                items.get(head.parse::<usize>().ok()?)?.get_path(rest)
+            }
+            _ => None,
+        }
+    }
+
+    /// Every numeric leaf under this value as `(dot-path, number)` pairs,
+    /// in document order, with array elements addressed by index. The
+    /// inverse view of [`Value::get_path`] over numbers — what a metrics
+    /// diff walks to compare two artifacts without knowing their schema.
+    pub fn flatten_numbers(&self) -> Vec<(String, f64)> {
+        fn walk(v: &Value, prefix: &str, out: &mut Vec<(String, f64)>) {
+            let join = |key: &str| {
+                if prefix.is_empty() {
+                    key.to_string()
+                } else {
+                    format!("{prefix}.{key}")
+                }
+            };
+            match v {
+                Value::Num(n) => out.push((prefix.to_string(), *n)),
+                Value::Obj(fields) => {
+                    for (k, child) in fields {
+                        walk(child, &join(k), out);
+                    }
+                }
+                Value::Arr(items) => {
+                    for (i, child) in items.iter().enumerate() {
+                        walk(child, &join(&i.to_string()), out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, "", &mut out);
+        out
+    }
+
     /// Compact serialization (no whitespace).
     pub fn to_json_string(&self) -> String {
         let mut out = String::new();
@@ -1053,5 +1125,68 @@ mod tests {
         );
         assert_eq!(Value::Bool(false).as_bool(), Some(false));
         assert_eq!(Value::Str("true".into()).as_bool(), None);
+    }
+
+    #[test]
+    fn get_path_navigates_objects_and_array_indices() {
+        let v = Value::parse(r#"{"a":{"b":[{"c":7},{"c":8}]},"n":1}"#).unwrap();
+        assert_eq!(v.get_path("n").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(v.get_path("a.b.0.c").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(v.get_path("a.b.1.c").and_then(Value::as_f64), Some(8.0));
+        assert_eq!(v.get_path("a.b.2.c"), None);
+        assert_eq!(v.get_path("a.missing"), None);
+        assert_eq!(v.get_path("n.deeper"), None);
+        assert_eq!(v.get_path("a.b.x"), None, "non-numeric array index");
+    }
+
+    #[test]
+    fn get_path_resolves_dotted_member_names() {
+        // Metric registries key objects by dotted names; navigation must
+        // treat "serve.link" as one member of "counters".
+        let v = Value::parse(
+            r#"{"counters":{"serve.link":{"total":5},"serve":{"x":1},"serve.link.total":9}}"#,
+        )
+        .unwrap();
+        // Exact member beats any decomposition.
+        assert_eq!(
+            v.get_path("counters.serve.link.total")
+                .and_then(Value::as_f64),
+            Some(9.0)
+        );
+        assert_eq!(
+            v.get_path("counters.serve.x").and_then(Value::as_f64),
+            Some(1.0)
+        );
+        let no_exact = Value::parse(r#"{"counters":{"serve.link":{"total":5}}}"#).unwrap();
+        assert_eq!(
+            no_exact
+                .get_path("counters.serve.link.total")
+                .and_then(Value::as_f64),
+            Some(5.0),
+            "longest dotted prefix descends"
+        );
+    }
+
+    #[test]
+    fn flatten_numbers_lists_numeric_leaves_in_document_order() {
+        let v = Value::parse(r#"{"w":1.5,"h":{"p50":null,"sum":9},"arr":[2,{"x":3}],"s":"no"}"#)
+            .unwrap();
+        assert_eq!(
+            v.flatten_numbers(),
+            vec![
+                ("w".to_string(), 1.5),
+                ("h.sum".to_string(), 9.0),
+                ("arr.0".to_string(), 2.0),
+                ("arr.1.x".to_string(), 3.0),
+            ]
+        );
+        // Every flattened path resolves back through get_path.
+        for (path, n) in v.flatten_numbers() {
+            assert_eq!(v.get_path(&path).and_then(Value::as_f64), Some(n), "{path}");
+        }
+        assert_eq!(
+            Value::Num(4.0).flatten_numbers(),
+            vec![("".to_string(), 4.0)]
+        );
     }
 }

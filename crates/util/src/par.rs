@@ -41,6 +41,7 @@ pub struct WorkerStats {
 
 static WARN_HOOK: OnceLock<fn(&str)> = OnceLock::new();
 static WORKER_HOOK: OnceLock<fn(WorkerStats)> = OnceLock::new();
+static REGION_HOOK: OnceLock<fn(u64)> = OnceLock::new();
 
 /// Installs the warning hook (first caller wins; later calls are ignored).
 /// Without one, warnings go to stderr unless `RLB_LOG=off`.
@@ -52,6 +53,30 @@ pub fn set_warn_hook(hook: fn(&str)) {
 /// only pay for timestamps when a hook is installed.
 pub fn set_worker_hook(hook: fn(WorkerStats)) {
     let _ = WORKER_HOOK.set(hook);
+}
+
+/// Installs the per-region hook (first caller wins), called with the
+/// region's wall time in nanoseconds each time a parallel call actually
+/// fans out to workers (sequential fallbacks don't report). `rlb_obs::init`
+/// turns these into the `par.regions` counter and `par.region_us`
+/// histogram, so a run's profile shows how much wall time sat inside
+/// parallel sections without instrumenting every call site.
+pub fn set_region_hook(hook: fn(u64)) {
+    let _ = REGION_HOOK.set(hook);
+}
+
+/// Runs `body` and reports its wall time to the region hook, when one is
+/// installed (timestamps are only taken with a hook present).
+fn timed_region<R>(body: impl FnOnce() -> R) -> R {
+    match REGION_HOOK.get() {
+        Some(hook) => {
+            let t0 = Instant::now();
+            let out = body();
+            hook(t0.elapsed().as_nanos() as u64);
+            out
+        }
+        None => body(),
+    }
 }
 
 fn emit_warning(msg: &str) {
@@ -119,44 +144,46 @@ where
     let next = &next;
     let f = &f;
     let hook = WORKER_HOOK.get().copied();
-    let mut parts: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|worker| {
-                scope.spawn(move || {
-                    let spawned = hook.map(|_| Instant::now());
-                    let mut tasks = 0u64;
-                    let mut busy = Duration::ZERO;
-                    let mut local = Vec::new();
-                    loop {
-                        let start = next.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= n {
-                            break;
+    let mut parts: Vec<(usize, Vec<R>)> = timed_region(|| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    scope.spawn(move || {
+                        let spawned = hook.map(|_| Instant::now());
+                        let mut tasks = 0u64;
+                        let mut busy = Duration::ZERO;
+                        let mut local = Vec::new();
+                        loop {
+                            let start = next.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            let end = (start + chunk).min(n);
+                            let t0 = spawned.map(|_| Instant::now());
+                            local.push((start, (start..end).map(&f).collect::<Vec<R>>()));
+                            if let Some(t0) = t0 {
+                                busy += t0.elapsed();
+                                tasks += (end - start) as u64;
+                            }
                         }
-                        let end = (start + chunk).min(n);
-                        let t0 = spawned.map(|_| Instant::now());
-                        local.push((start, (start..end).map(&f).collect::<Vec<R>>()));
-                        if let Some(t0) = t0 {
-                            busy += t0.elapsed();
-                            tasks += (end - start) as u64;
+                        if let (Some(hook), Some(spawned)) = (hook, spawned) {
+                            hook(WorkerStats {
+                                worker,
+                                threads,
+                                tasks,
+                                busy_ns: busy.as_nanos() as u64,
+                                elapsed_ns: spawned.elapsed().as_nanos() as u64,
+                            });
                         }
-                    }
-                    if let (Some(hook), Some(spawned)) = (hook, spawned) {
-                        hook(WorkerStats {
-                            worker,
-                            threads,
-                            tasks,
-                            busy_ns: busy.as_nanos() as u64,
-                            elapsed_ns: spawned.elapsed().as_nanos() as u64,
-                        });
-                    }
-                    local
+                        local
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("par_map worker panicked"))
-            .collect()
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("par_map worker panicked"))
+                .collect()
+        })
     });
     parts.sort_unstable_by_key(|&(start, _)| start);
     let mut out = Vec::with_capacity(n);
@@ -215,33 +242,35 @@ where
     let per = n.div_ceil(threads);
     let f = &f;
     let hook = WORKER_HOOK.get().copied();
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        let mut start = 0;
-        let mut worker = 0;
-        while !rest.is_empty() {
-            let take = per.min(rest.len());
-            let (span, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let span_start = start;
-            start += take;
-            let w = worker;
-            worker += 1;
-            scope.spawn(move || {
-                let spawned = hook.map(|_| Instant::now());
-                f(span_start, span);
-                if let (Some(hook), Some(spawned)) = (hook, spawned) {
-                    let elapsed_ns = spawned.elapsed().as_nanos() as u64;
-                    hook(WorkerStats {
-                        worker: w,
-                        threads,
-                        tasks: take as u64,
-                        busy_ns: elapsed_ns,
-                        elapsed_ns,
-                    });
-                }
-            });
-        }
+    timed_region(|| {
+        std::thread::scope(|scope| {
+            let mut rest = out;
+            let mut start = 0;
+            let mut worker = 0;
+            while !rest.is_empty() {
+                let take = per.min(rest.len());
+                let (span, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let span_start = start;
+                start += take;
+                let w = worker;
+                worker += 1;
+                scope.spawn(move || {
+                    let spawned = hook.map(|_| Instant::now());
+                    f(span_start, span);
+                    if let (Some(hook), Some(spawned)) = (hook, spawned) {
+                        let elapsed_ns = spawned.elapsed().as_nanos() as u64;
+                        hook(WorkerStats {
+                            worker: w,
+                            threads,
+                            tasks: take as u64,
+                            busy_ns: elapsed_ns,
+                            elapsed_ns,
+                        });
+                    }
+                });
+            }
+        })
     });
 }
 
@@ -273,35 +302,37 @@ where
     let hook = WORKER_HOOK.get().copied();
     let workers = slabs.len();
     let mut out = Vec::with_capacity(n);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = slabs
-            .into_iter()
-            .enumerate()
-            .map(|(worker, slab)| {
-                scope.spawn(move || {
-                    let spawned = hook.map(|_| Instant::now());
-                    let tasks = slab.len() as u64;
-                    let results = slab.into_iter().map(f).collect::<Vec<R>>();
-                    if let (Some(hook), Some(spawned)) = (hook, spawned) {
-                        // Slab workers compute from start to finish; busy and
-                        // elapsed coincide (idle shows up in the snapshot as
-                        // the spread between worker elapsed times instead).
-                        let elapsed_ns = spawned.elapsed().as_nanos() as u64;
-                        hook(WorkerStats {
-                            worker,
-                            threads: workers,
-                            tasks,
-                            busy_ns: elapsed_ns,
-                            elapsed_ns,
-                        });
-                    }
-                    results
+    timed_region(|| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = slabs
+                .into_iter()
+                .enumerate()
+                .map(|(worker, slab)| {
+                    scope.spawn(move || {
+                        let spawned = hook.map(|_| Instant::now());
+                        let tasks = slab.len() as u64;
+                        let results = slab.into_iter().map(f).collect::<Vec<R>>();
+                        if let (Some(hook), Some(spawned)) = (hook, spawned) {
+                            // Slab workers compute from start to finish; busy and
+                            // elapsed coincide (idle shows up in the snapshot as
+                            // the spread between worker elapsed times instead).
+                            let elapsed_ns = spawned.elapsed().as_nanos() as u64;
+                            hook(WorkerStats {
+                                worker,
+                                threads: workers,
+                                tasks,
+                                busy_ns: elapsed_ns,
+                                elapsed_ns,
+                            });
+                        }
+                        results
+                    })
                 })
-            })
-            .collect();
-        for h in handles {
-            out.extend(h.join().expect("par_map_vec worker panicked"));
-        }
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("par_map_vec worker panicked"));
+            }
+        })
     });
     out
 }
@@ -444,5 +475,31 @@ mod tests {
             assert!(s.worker < s.threads, "{s:?}");
             assert!(s.busy_ns <= s.elapsed_ns, "{s:?}");
         }
+    }
+
+    static CAPTURED_REGIONS: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+    #[test]
+    fn region_hook_fires_once_per_parallel_call() {
+        set_region_hook(|elapsed_ns| CAPTURED_REGIONS.lock().unwrap().push(elapsed_ns));
+        if thread_count() <= 1 {
+            return; // sequential fallback: no regions to report
+        }
+        let before = CAPTURED_REGIONS.lock().unwrap().len();
+        let _ = par_map_range(4_096, |i| i * 2);
+        let mut buf = vec![0u64; 4_096];
+        par_fill(&mut buf, |start, span| {
+            for (k, slot) in span.iter_mut().enumerate() {
+                *slot = (start + k) as u64;
+            }
+        });
+        let _ = par_map_vec((0..4_096).collect::<Vec<usize>>(), |i| i + 1);
+        let regions = CAPTURED_REGIONS.lock().unwrap();
+        // Concurrent tests may add regions of their own; ours alone add 3.
+        assert!(
+            regions.len() - before >= 3,
+            "hook saw {} new regions, expected at least 3",
+            regions.len() - before
+        );
     }
 }
