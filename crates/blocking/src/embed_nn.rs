@@ -272,6 +272,12 @@ pub fn rank_queries_serial(index: &VecArena, queries: &VecArena, k_max: usize) -
 /// records, and [`NnIndex::retrieval_ann`] at exhaustive `nprobe` matches
 /// both. Asserted in tests, the service property suite, and the blocking
 /// bench.
+///
+/// **Supersession.** [`NnIndex::supersede`] tombstones an indexed record:
+/// it vanishes from every query path at once (exact and probed rank through
+/// the same dead-aware kernel, so the twin guarantee continues to hold over
+/// the live records), and the IVF layer reclaims the stale list entry at
+/// its next re-train — see [`crate::ivf`].
 #[derive(Debug, Clone)]
 pub struct NnIndex {
     config: EmbeddingNnBlocker,
@@ -320,11 +326,31 @@ impl NnIndex {
         }
     }
 
+    /// Marks an indexed record as superseded: it stops appearing in every
+    /// query and retrieval from now on, and the IVF layer drops its stale
+    /// list entry at the next re-train.
+    ///
+    /// # Panics
+    /// If `id` was never returned by [`Self::insert`].
+    pub fn supersede(&mut self, id: u32) {
+        assert!(
+            (id as usize) < self.arena.len(),
+            "supersede of unknown id {id} (len {})",
+            self.arena.len()
+        );
+        self.ivf.tombstone(id);
+    }
+
+    /// Indexed records that have not been superseded.
+    pub fn live(&self) -> usize {
+        self.arena.len() - self.ivf.dead()
+    }
+
     /// Ranked index ids for one query record, best first (at most `k_max`),
-    /// by exact scan.
+    /// by exact scan over the live records.
     pub fn query(&self, record: &Record, k_max: usize) -> Vec<u32> {
         let q = self.config.embed(&self.embedder, record, None);
-        rank_all(&self.arena, &q, k_max)
+        self.ivf.rank_exact(&self.arena, &q, k_max)
     }
 
     /// Ranked index ids for one query record via IVF probing. `nprobe`
@@ -347,12 +373,16 @@ impl NnIndex {
 
     /// Full exact retrieval for a query set — the incremental twin of
     /// [`EmbeddingNnBlocker::retrieve`] over the records inserted so far.
+    /// With no superseded records this is the shared [`rank_queries`] kernel
+    /// bit for bit; afterwards it is the same scan restricted to live ids.
     pub fn retrieval(&self, queries: &[Record], k_max: usize) -> Retrieval {
         let _span = rlb_obs::span!("blocking.retrieve", "index exact k_max={k_max}");
         let query_arena = self.query_arena(queries);
         Retrieval {
             side: self.side,
-            ranked: rank_queries(&self.arena, &query_arena, k_max),
+            ranked: rlb_util::par::par_map_range(query_arena.len(), |qi| {
+                self.ivf.rank_exact(&self.arena, query_arena.get(qi), k_max)
+            }),
             k_max,
         }
     }
@@ -587,6 +617,38 @@ mod tests {
         assert_eq!(ret.candidates(3), vec![]);
         assert!(index.query(&l.records[0], 3).is_empty());
         assert!(index.query_ann(&l.records[0], 3, None).is_empty());
+    }
+
+    #[test]
+    fn superseded_records_leave_every_query_path() {
+        let (l, r) = sources();
+        let mut index = EmbeddingNnBlocker::default().index(IndexSide::Right);
+        index.insert_all(&r.records);
+        // Right record 0 is the typo'd duplicate of left record 0.
+        assert_eq!(index.query(&l.records[0], 1), vec![0]);
+        index.supersede(0);
+        assert_eq!(index.live(), r.len() - 1);
+        // The superseded record is gone from the exact path, the ANN path,
+        // and the full retrieval — and the exact/ANN twin still holds over
+        // the live records.
+        assert!(!index.query(&l.records[0], 4).contains(&0));
+        assert!(!index
+            .query_ann(&l.records[0], 4, Some(usize::MAX))
+            .contains(&0));
+        let exact = index.retrieval(&l.records, 4);
+        let ann = index.retrieval_ann(&l.records, 4, Some(usize::MAX));
+        assert_eq!(exact.ranked, ann.ranked);
+        for ranked in &exact.ranked {
+            assert!(!ranked.contains(&0));
+            assert_eq!(ranked.len(), r.len() - 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown id")]
+    fn supersede_of_unknown_id_panics() {
+        let mut index = EmbeddingNnBlocker::default().index(IndexSide::Right);
+        index.supersede(3);
     }
 
     #[test]

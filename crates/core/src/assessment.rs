@@ -9,7 +9,7 @@
 //! 3. NLB < 5% — non-linear models add nothing;
 //! 4. LBM < 5% — learning-based matchers are already near-perfect.
 
-use crate::linearity::{degree_of_linearity_with, LinearityReport};
+use crate::linearity::{degree_of_linearity_from_scores, LinearityReport};
 use crate::practical::{practical_measures, MatcherRun, PracticalMeasures};
 use rlb_complexity::{ComplexityConfig, ComplexityReport};
 use rlb_data::MatchingTask;
@@ -102,17 +102,34 @@ pub fn assess_with(
     views: &TaskViewCache,
 ) -> Result<Assessment> {
     let _span = rlb_obs::span!("assess.task", "{}", task.name);
-    let linearity = degree_of_linearity_with(task, views);
-    let mut feats = Vec::with_capacity(task.total_pairs());
-    let mut labels = Vec::with_capacity(task.total_pairs());
-    for lp in task.all_pairs() {
-        feats.push(views.cs_js(lp.pair));
-        labels.push(lp.is_match);
-    }
+    let pairs: Vec<rlb_data::LabeledPair> = task.all_pairs().copied().collect();
+    let scores = {
+        let _sweep = rlb_obs::span!("linearity.sweep", "{}", task.name);
+        rlb_obs::counter_add("linearity.pairs", pairs.len() as u64);
+        rlb_util::par::par_map(&pairs, |lp| views.cs_js(lp.pair))
+    };
+    assess_from_scores(task, runs, &pairs, &scores)
+}
+
+/// The assessment over already-computed `[CS, JS]` similarity rows, one per
+/// labelled pair in `pairs` order. Both the linearity sweep and the
+/// complexity features read from `scores`, so the per-pair similarities are
+/// computed exactly once — and a caller holding cached rows (the resident
+/// service's incremental assessment cache) skips the similarity pass
+/// entirely while staying byte-identical to [`assess_with`], which now
+/// routes through this function.
+pub fn assess_from_scores(
+    task: &MatchingTask,
+    runs: &[MatcherRun],
+    pairs: &[rlb_data::LabeledPair],
+    scores: &[[f64; 2]],
+) -> Result<Assessment> {
+    let linearity = degree_of_linearity_from_scores(pairs, scores);
+    let labels: Vec<bool> = pairs.iter().map(|lp| lp.is_match).collect();
     // `from_env` honors the `RLB_COMPLEXITY_*` knobs, so a deployment can
     // switch the assess path to the error-bounded landmark estimator
     // (RLB_COMPLEXITY_SAMPLE) without a rebuild; defaults stay exact.
-    let complexity = rlb_complexity::compute_cs_js(&feats, &labels, &ComplexityConfig::from_env())?;
+    let complexity = rlb_complexity::compute_cs_js(scores, &labels, &ComplexityConfig::from_env())?;
     let practical = (!runs.is_empty()).then(|| practical_measures(runs));
     let flags = EasyFlags {
         by_linearity: linearity.max_f1() >= LINEARITY_EASY,

@@ -83,6 +83,19 @@ pub fn degree_of_linearity_string(task: &MatchingTask) -> LinearityReport {
     report_from_scores(&pairs, &scores)
 }
 
+/// Algorithm 1 over already-computed `[CS, JS]` scores, one row per pair in
+/// order. This is the entry the resident service's incremental assessment
+/// cache uses: the per-pair similarities are interning-stable (they depend
+/// only on each record's token set), so replaying cached rows through this
+/// function is byte-identical to recomputing them.
+pub fn degree_of_linearity_from_scores(
+    pairs: &[rlb_data::LabeledPair],
+    scores: &[[f64; 2]],
+) -> LinearityReport {
+    assert_eq!(pairs.len(), scores.len(), "one score row per pair");
+    report_from_scores(pairs, scores)
+}
+
 fn report_from_scores(pairs: &[rlb_data::LabeledPair], scores: &[[f64; 2]]) -> LinearityReport {
     let mut cs = Vec::with_capacity(pairs.len());
     let mut js = Vec::with_capacity(pairs.len());

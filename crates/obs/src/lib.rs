@@ -41,7 +41,9 @@ pub use alloc::{
     alloc_phase, alloc_stats, alloc_stats_enabled, phase_allocs, set_alloc_stats, AllocPhase,
     AllocStats, CountingAlloc, PhaseAlloc,
 };
-pub use metrics::{counter_add, histogram_record, snapshot, HistogramSummary, MetricsSnapshot};
+pub use metrics::{
+    counter_add, gauge_add, histogram_record, snapshot, HistogramSummary, MetricsSnapshot,
+};
 pub use profile::{folded_stacks, profile_spans, write_folded, SpanProfile};
 pub use report::{run_metrics, write_run_metrics, RUN_METRICS_FINGERPRINT};
 pub use sink::{
@@ -49,7 +51,8 @@ pub use sink::{
 };
 pub use span::{span_start, span_start_with, take_spans, Span, SpanRecord, MAX_RECORDED_SPANS};
 pub use trace::{
-    current_trace, next_request_trace, push_trace, run_trace, set_run_trace, TraceScope,
+    current_trace, next_request_trace, push_trace, run_trace, session_request_trace, set_run_trace,
+    TraceScope,
 };
 
 #[doc(hidden)]

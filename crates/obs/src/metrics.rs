@@ -22,6 +22,11 @@ const BUCKETS: usize = 65;
 
 struct CounterCell(AtomicU64);
 
+/// Gauges are signed: shards accumulate deltas (`+1` on session open, `-1`
+/// on close) and the snapshot sums them, so the aggregated value is the
+/// *current* level rather than a monotone total.
+struct GaugeCell(std::sync::atomic::AtomicI64);
+
 struct HistCell {
     count: AtomicU64,
     sum: AtomicU64,
@@ -68,11 +73,14 @@ fn bucket_lower(index: usize) -> u64 {
 
 static COUNTER_SHARDS: Mutex<Vec<(&'static str, Arc<CounterCell>)>> = Mutex::new(Vec::new());
 static HIST_SHARDS: Mutex<Vec<(&'static str, Arc<HistCell>)>> = Mutex::new(Vec::new());
+static GAUGE_SHARDS: Mutex<Vec<(&'static str, Arc<GaugeCell>)>> = Mutex::new(Vec::new());
 
 thread_local! {
     static LOCAL_COUNTERS: RefCell<FxHashMap<&'static str, Arc<CounterCell>>> =
         RefCell::new(FxHashMap::default());
     static LOCAL_HISTS: RefCell<FxHashMap<&'static str, Arc<HistCell>>> =
+        RefCell::new(FxHashMap::default());
+    static LOCAL_GAUGES: RefCell<FxHashMap<&'static str, Arc<GaugeCell>>> =
         RefCell::new(FxHashMap::default());
 }
 
@@ -104,6 +112,27 @@ pub fn counter_add(name: &'static str, delta: u64) {
         match COUNTER_SHARDS.lock() {
             Ok(mut shards) => shards.push((name, cell.clone())),
             Err(_) => return warn_registry_poisoned("counter"),
+        }
+        local.insert(name, cell);
+    });
+}
+
+/// Adds `delta` (may be negative) to the named gauge. A gauge tracks a
+/// *level* — e.g. `serve.sessions`, the number of live socket sessions —
+/// so the snapshot reports the summed current value, not a running total.
+/// Shards outlive their threads, so a `-1` recorded by a dying session
+/// thread still balances the `+1` from its birth.
+pub fn gauge_add(name: &'static str, delta: i64) {
+    LOCAL_GAUGES.with(|local| {
+        let mut local = local.borrow_mut();
+        if let Some(cell) = local.get(name) {
+            cell.0.fetch_add(delta, Ordering::Relaxed);
+            return;
+        }
+        let cell = Arc::new(GaugeCell(std::sync::atomic::AtomicI64::new(delta)));
+        match GAUGE_SHARDS.lock() {
+            Ok(mut shards) => shards.push((name, cell.clone())),
+            Err(_) => return warn_registry_poisoned("gauge"),
         }
         local.insert(name, cell);
     });
@@ -262,12 +291,22 @@ pub struct MetricsSnapshot {
     pub counters: Vec<(String, u64)>,
     /// `(name, summary)` for every histogram touched so far.
     pub histograms: Vec<(String, HistogramSummary)>,
+    /// `(name, level)` for every gauge touched so far (summed shard deltas).
+    pub gauges: Vec<(String, i64)>,
 }
 
 impl MetricsSnapshot {
     /// Counter total by name (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Gauge level by name (0 if never touched).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
             .iter()
             .find(|(n, _)| n == name)
             .map_or(0, |(_, v)| *v)
@@ -329,9 +368,23 @@ pub fn snapshot() -> MetricsSnapshot {
         })
         .collect();
     histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut gauges: FxHashMap<&'static str, i64> = FxHashMap::default();
+    let gauge_shards = GAUGE_SHARDS
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    for (name, cell) in gauge_shards.iter() {
+        *gauges.entry(name).or_insert(0) += cell.0.load(Ordering::Relaxed);
+    }
+    drop(gauge_shards);
+    let mut gauges: Vec<(String, i64)> = gauges
+        .into_iter()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect();
+    gauges.sort();
     MetricsSnapshot {
         counters,
         histograms,
+        gauges,
     }
 }
 
@@ -366,6 +419,22 @@ mod tests {
         assert_eq!(out.len(), 4_096);
         let after = snapshot().counter("test.par_counter");
         assert_eq!(after - before, 4_096, "every increment must be visible");
+    }
+
+    #[test]
+    fn gauges_sum_signed_deltas_across_threads() {
+        let before = snapshot().gauge("test.gauge_level");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    gauge_add("test.gauge_level", 3);
+                    gauge_add("test.gauge_level", -2);
+                });
+            }
+        });
+        let after = snapshot().gauge("test.gauge_level");
+        assert_eq!(after - before, 4, "4 threads × (+3 − 2)");
+        assert_eq!(snapshot().gauge("test.gauge_never_touched"), 0);
     }
 
     #[test]

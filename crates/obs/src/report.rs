@@ -111,6 +111,15 @@ pub fn run_metrics(wall: Duration) -> Value {
                     .collect(),
             ),
         ),
+        (
+            "gauges".into(),
+            Value::Obj(
+                snap.gauges
+                    .iter()
+                    .map(|(n, v)| (n.clone(), Value::Num(*v as f64)))
+                    .collect(),
+            ),
+        ),
     ])
 }
 

@@ -113,6 +113,16 @@ pub fn next_request_trace() -> TraceScope {
     push_trace(format!("{}/{seq}", run_trace()))
 }
 
+/// Derives a session-scoped request trace id, `<run-trace>/s<session>/<seq>`,
+/// and makes it current until the guard drops. Unlike [`next_request_trace`]
+/// the sequence is supplied by the caller (each socket session numbers its
+/// own requests from 1), so concurrent sessions produce ids that depend only
+/// on their own request order — the property the concurrent-determinism
+/// tests rely on.
+pub fn session_request_trace(session: u64, seq: u64) -> TraceScope {
+    push_trace(format!("{}/s{session}/{seq}", run_trace()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

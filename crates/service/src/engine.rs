@@ -17,12 +17,23 @@
 //! preserves whatever order ids were assigned in, and the deterministic
 //! embedding of a record depends only on its own text. The property tests in
 //! `tests/incremental.rs` and `benches/service.rs` assert this end to end.
+//!
+//! **Incremental assessment cache.** [`Engine::assess`] memoizes each
+//! labelled pair's `[CS, JS]` similarity row: the record store is
+//! append-only, so a cached row can never go stale, and a call after an
+//! ingest re-scores only the pairs it has never seen before feeding
+//! [`assess_from_scores`] — the same downstream entry the batch path uses,
+//! which is why cached results stay byte-identical to the recompute twin.
+//! The cache (and the `metrics` baseline) live behind interior `Mutex`es so
+//! both ops are honest `&self` reads under the service's `RwLock` — see
+//! `protocol.rs` for the per-op lock choice.
 
 use rlb_blocking::{EmbeddingNnBlocker, IndexSide, NnIndex, Retrieval};
-use rlb_core::assessment::{assess_with, Assessment};
+use rlb_core::assessment::{assess_from_scores, assess_with, Assessment};
 use rlb_data::{LabeledPair, MatchingTask, PairRef, Source};
 use rlb_matchers::features::TaskViewCache;
-use rlb_util::FxHashSet;
+use rlb_util::{FxHashMap, FxHashSet};
+use std::sync::Mutex;
 
 /// Which labelled split an ingested pair lands in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,7 +110,12 @@ pub struct Engine {
     blocker: EmbeddingNnBlocker,
     seen_pairs: FxHashSet<PairRef>,
     schema_fixed: bool,
-    metrics_baseline: Option<rlb_obs::MetricsSnapshot>,
+    // Interior mutability so `metrics` and `assess` stay `&self` (read-path
+    // ops under the service's `RwLock`): the baseline window and the
+    // similarity cache are bookkeeping, not engine state — they never
+    // change what any request observes about the store.
+    metrics_baseline: Mutex<Option<rlb_obs::MetricsSnapshot>>,
+    sim_cache: Mutex<FxHashMap<PairRef, [f64; 2]>>,
 }
 
 impl Engine {
@@ -122,19 +138,26 @@ impl Engine {
             blocker,
             seen_pairs: FxHashSet::default(),
             schema_fixed: false,
-            metrics_baseline: None,
+            metrics_baseline: Mutex::new(None),
+            sim_cache: Mutex::new(FxHashMap::default()),
         }
     }
 
     /// Replaces the stored `metrics` baseline with `current`, returning the
     /// previous one. The protocol's `metrics` op uses the pair to report
     /// since-last-call deltas: the first call has no baseline and reports
-    /// all-time values as the window.
+    /// all-time values as the window. `&self`: the baseline lives behind its
+    /// own `Mutex` so `metrics` rides the concurrent read path.
     pub fn swap_metrics_baseline(
-        &mut self,
+        &self,
         current: rlb_obs::MetricsSnapshot,
     ) -> Option<rlb_obs::MetricsSnapshot> {
-        self.metrics_baseline.replace(current)
+        match self.metrics_baseline.lock() {
+            Ok(mut baseline) => baseline.replace(current),
+            // A panic while holding the lock loses the window baseline, not
+            // the engine: report an all-time window rather than failing.
+            Err(poisoned) => poisoned.into_inner().replace(current),
+        }
     }
 
     /// The record store and labelled splits as currently ingested.
@@ -226,12 +249,46 @@ impl Engine {
 
     /// A-priori assessment (linearity, complexity, verdict flags) over the
     /// current store, computed from the incrementally extended views.
+    ///
+    /// **Incremental:** per-pair `[CS, JS]` similarity rows are cached by
+    /// [`PairRef`] across calls, so an `assess` after an ingest only scores
+    /// the pairs that ingest added and re-derives the aggregate measures.
+    /// Records are append-only and a pair's similarity depends only on its
+    /// two records' token sets, so cached rows never go stale — the output
+    /// is byte-identical to [`Engine::assess_rebuilt`], which recomputes
+    /// everything from scratch (asserted in `tests/incremental.rs` and
+    /// `benches/service.rs`).
     pub fn assess(&self) -> Result<Assessment, String> {
         let views = self
             .views
             .as_ref()
             .ok_or_else(|| "nothing ingested yet".to_string())?;
-        assess_with(&self.task, &[], views).map_err(|e| e.to_string())
+        let _span = rlb_obs::span!("serve.assess", "{}", self.task.name);
+        let pairs: Vec<LabeledPair> = self.task.all_pairs().copied().collect();
+        let mut cache = match self.sim_cache.lock() {
+            Ok(cache) => cache,
+            // A panic mid-insert can at worst have left *fewer* entries than
+            // intended, never wrong ones; keep serving from what's there.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let missing: Vec<LabeledPair> = pairs
+            .iter()
+            .filter(|lp| !cache.contains_key(&lp.pair))
+            .copied()
+            .collect();
+        if !missing.is_empty() {
+            let computed = rlb_util::par::par_map(&missing, |lp| views.cs_js(lp.pair));
+            cache.reserve(missing.len());
+            for (lp, row) in missing.iter().zip(&computed) {
+                cache.insert(lp.pair, *row);
+            }
+        }
+        rlb_obs::counter_add("serve.assess_computed", missing.len() as u64);
+        rlb_obs::counter_add("serve.assess_cached", (pairs.len() - missing.len()) as u64);
+        rlb_obs::counter_add("linearity.pairs", pairs.len() as u64);
+        let scores: Vec<[f64; 2]> = pairs.iter().map(|lp| cache[&lp.pair]).collect();
+        drop(cache);
+        assess_from_scores(&self.task, &[], &pairs, &scores).map_err(|e| e.to_string())
     }
 
     /// The batch-rebuild twin of [`Engine::assess`]: re-tokenizes and

@@ -36,6 +36,7 @@ use crate::engine::{Engine, IngestBatch, IngestPair, Split};
 use rlb_util::json::{read_line, write_line, JsonLine, Value, MAX_DEPTH};
 use rlb_util::ToJson;
 use std::io::{BufRead, Write};
+use std::sync::RwLock;
 
 /// Default number of neighbours per query for `link`.
 pub const DEFAULT_K: usize = 5;
@@ -67,7 +68,7 @@ fn op_metrics(op: &str) -> Option<(&'static str, &'static str)> {
     }
 }
 
-fn err_response(msg: impl Into<String>) -> Value {
+pub(crate) fn err_response(msg: impl Into<String>) -> Value {
     Value::Obj(vec![
         ("ok".into(), Value::Bool(false)),
         ("error".into(), Value::Str(msg.into())),
@@ -83,8 +84,12 @@ fn ok_response(fields: Vec<(String, Value)>) -> Value {
 /// Runs the request loop until `shutdown`, end of input, or an I/O error.
 /// `max_line_bytes` bounds each request line (`RLB_SERVE_MAX_LINE` in the
 /// binary); responses are flushed per line so a piped client can converse.
+///
+/// The engine arrives behind the service's [`RwLock`]; each request takes
+/// the lock appropriate to its op (see [`handle_request`]), so a stdin loop
+/// and any number of socket sessions can share one engine.
 pub fn serve<R: BufRead, W: Write>(
-    engine: &mut Engine,
+    engine: &RwLock<Engine>,
     mut input: R,
     mut output: W,
     max_line_bytes: usize,
@@ -120,12 +125,25 @@ pub fn serve<R: BufRead, W: Write>(
 
 /// Dispatches one parsed request; returns the response and whether to stop.
 /// Public so the service bench can drive the protocol without pipes.
-pub fn handle_request(engine: &mut Engine, request: &Value) -> (Value, bool) {
-    let started = std::time::Instant::now();
-    // Each request runs under its own `<run>/<seq>` trace id: the spans and
-    // events it produces carry the id, and the response echoes it so a
-    // client-side log line can be joined against the server's JSONL trace.
+///
+/// Allocates the next global `<run>/<seq>` trace id; socket sessions use
+/// [`handle_request_traced`] with their own per-session ids instead.
+pub fn handle_request(engine: &RwLock<Engine>, request: &Value) -> (Value, bool) {
     let trace = rlb_obs::next_request_trace();
+    handle_request_traced(engine, request, &trace)
+}
+
+/// [`handle_request`] under a caller-supplied trace scope. The engine lock
+/// is taken per op: `ingest` is the only writer; `link`, `assess`, `stats`
+/// and `metrics` take read locks and run concurrently across sessions
+/// (`assess` and `metrics` keep their internal bookkeeping behind their own
+/// mutexes, so `&self` is honest). `shutdown` touches no engine state.
+pub fn handle_request_traced(
+    engine: &RwLock<Engine>,
+    request: &Value,
+    trace: &rlb_obs::TraceScope,
+) -> (Value, bool) {
+    let started = std::time::Instant::now();
     let op = match request.get("op").and_then(Value::as_str) {
         Some(op) => op.to_owned(),
         None => {
@@ -139,17 +157,44 @@ pub fn handle_request(engine: &mut Engine, request: &Value) -> (Value, bool) {
     };
     let _span = rlb_obs::span!("serve.request", "{op}");
     let (mut response, shutdown) = match op.as_str() {
-        "ingest" => (handle_ingest(engine, request), false),
-        "link" => (handle_link(engine, request), false),
-        "assess" => (
-            match engine.assess() {
-                Ok(a) => ok_response(vec![("assessment".into(), a.to_json())]),
-                Err(e) => err_response(e),
+        "ingest" => (
+            match engine.write() {
+                Ok(mut engine) => handle_ingest(&mut engine, request),
+                Err(_) => err_response(POISONED),
             },
             false,
         ),
-        "stats" => (handle_stats(engine), false),
-        "metrics" => (handle_metrics(engine), false),
+        "link" => (
+            match engine.read() {
+                Ok(engine) => handle_link(&engine, request),
+                Err(_) => err_response(POISONED),
+            },
+            false,
+        ),
+        "assess" => (
+            match engine.read() {
+                Ok(engine) => match engine.assess() {
+                    Ok(a) => ok_response(vec![("assessment".into(), a.to_json())]),
+                    Err(e) => err_response(e),
+                },
+                Err(_) => err_response(POISONED),
+            },
+            false,
+        ),
+        "stats" => (
+            match engine.read() {
+                Ok(engine) => handle_stats(&engine),
+                Err(_) => err_response(POISONED),
+            },
+            false,
+        ),
+        "metrics" => (
+            match engine.read() {
+                Ok(engine) => handle_metrics(&engine),
+                Err(_) => err_response(POISONED),
+            },
+            false,
+        ),
         "shutdown" => (ok_response(vec![]), true),
         other => (err_response(format!("unknown op {other:?}")), false),
     };
@@ -167,6 +212,10 @@ pub fn handle_request(engine: &mut Engine, request: &Value) -> (Value, bool) {
     }
     (response, shutdown)
 }
+
+/// A writer panicked while holding the engine lock; readers degrade to a
+/// structured error per request instead of crashing the session.
+const POISONED: &str = "engine lock poisoned by an earlier panic";
 
 fn parse_records(v: &Value, field: &str) -> Result<Vec<Vec<String>>, String> {
     let Some(rows) = v.get(field) else {
@@ -259,7 +308,7 @@ fn handle_ingest(engine: &mut Engine, request: &Value) -> Value {
     }
 }
 
-fn handle_link(engine: &mut Engine, request: &Value) -> Value {
+fn handle_link(engine: &Engine, request: &Value) -> Value {
     let usize_field = |field: &str, default: usize| -> Result<usize, String> {
         match request.get(field) {
             None => Ok(default),
@@ -365,7 +414,7 @@ fn handle_stats(engine: &Engine) -> Value {
 /// previous `metrics` call under `"window"` (the first call's window is
 /// all-time). Per-op rolling p50/p99 are therefore
 /// `histograms["serve.<op>_us"].window.p50/p99`.
-fn handle_metrics(engine: &mut Engine) -> Value {
+fn handle_metrics(engine: &Engine) -> Value {
     let snap = rlb_obs::snapshot();
     let prev = engine
         .swap_metrics_baseline(snap.clone())
@@ -412,10 +461,10 @@ mod tests {
     use super::*;
 
     fn drive(script: &str) -> (Vec<Value>, ServeSummary) {
-        let mut engine = Engine::new("test");
+        let engine = RwLock::new(Engine::new("test"));
         let mut out = Vec::new();
         let summary = serve(
-            &mut engine,
+            &engine,
             std::io::BufReader::new(script.as_bytes()),
             &mut out,
             4096,
@@ -506,7 +555,7 @@ mod tests {
 
     #[test]
     fn assess_over_the_wire_matches_direct_call() {
-        let mut engine = Engine::new("twin");
+        let engine = RwLock::new(Engine::new("twin"));
         let ingest = Value::parse(concat!(
             r#"{"op":"ingest","left":[["acme widget pro"],["zen speaker ultra"],["kordia laptop"],["other thing"]],"#,
             r#""right":[["acme wdget pro"],["zen speakers"],["kordia laptops"],["unrelated junk"]],"#,
@@ -518,35 +567,32 @@ mod tests {
             r#"{"left":2,"right":3,"match":false,"split":"test"}]}"#
         ))
         .unwrap();
-        let (resp, _) = handle_request(&mut engine, &ingest);
+        let (resp, _) = handle_request(&engine, &ingest);
         assert!(ok(&resp), "{resp:?}");
-        let (resp, _) = handle_request(&mut engine, &Value::parse(r#"{"op":"assess"}"#).unwrap());
+        let (resp, _) = handle_request(&engine, &Value::parse(r#"{"op":"assess"}"#).unwrap());
         assert!(ok(&resp), "{resp:?}");
         let wire = resp.get("assessment").expect("assessment payload");
-        let direct = engine.assess().unwrap();
+        let direct = engine.read().unwrap().assess().unwrap();
         assert_eq!(*wire, direct.to_json(), "wire assessment == direct");
     }
 
     #[test]
     fn link_with_nprobe_reports_ann_mode_and_matches_exact_when_exhaustive() {
-        let mut engine = Engine::new("ann");
+        let engine = RwLock::new(Engine::new("ann"));
         let ingest = Value::parse(concat!(
             r#"{"op":"ingest","left":[["acme widget"],["zen speaker"]],"#,
             r#""right":[["acme wdget"],["zen speakers"],["junk"]]}"#
         ))
         .unwrap();
-        let (resp, _) = handle_request(&mut engine, &ingest);
+        let (resp, _) = handle_request(&engine, &ingest);
         assert!(ok(&resp), "{resp:?}");
-        let (exact, _) = handle_request(
-            &mut engine,
-            &Value::parse(r#"{"op":"link","k":2}"#).unwrap(),
-        );
+        let (exact, _) = handle_request(&engine, &Value::parse(r#"{"op":"link","k":2}"#).unwrap());
         assert_eq!(exact.get("mode").and_then(Value::as_str), Some("exact"));
         assert!(exact.get("nprobe").is_none());
         // A tiny index is untrained, so any nprobe is exhaustive: the ANN
         // response must carry the same pairs as the exact one.
         let (ann, _) = handle_request(
-            &mut engine,
+            &engine,
             &Value::parse(r#"{"op":"link","k":2,"nprobe":4}"#).unwrap(),
         );
         assert!(ok(&ann), "{ann:?}");
@@ -597,16 +643,16 @@ mod tests {
 
     #[test]
     fn metrics_op_reports_totals_deltas_and_rolling_windows() {
-        let mut engine = Engine::new("metrics");
+        let engine = RwLock::new(Engine::new("metrics"));
         let metrics = Value::parse(r#"{"op":"metrics"}"#).unwrap();
-        let (first, _) = handle_request(&mut engine, &metrics);
+        let (first, _) = handle_request(&engine, &metrics);
         assert!(ok(&first), "{first:?}");
         // Probe metrics no other test touches, so the window is exactly ours
         // even with concurrent tests hammering the global registry.
         rlb_obs::counter_add("test.metrics_probe", 2);
         rlb_obs::histogram_record("test.metrics_probe_us", 100);
         rlb_obs::histogram_record("test.metrics_probe_us", 300);
-        let (second, _) = handle_request(&mut engine, &metrics);
+        let (second, _) = handle_request(&engine, &metrics);
         let probe = second
             .get("counters")
             .and_then(|c| c.get("test.metrics_probe"))
@@ -632,7 +678,7 @@ mod tests {
             .is_some());
         // A third immediate call sees an empty probe window: zero delta,
         // null quantiles (never NaN, never fabricated zeros).
-        let (third, _) = handle_request(&mut engine, &metrics);
+        let (third, _) = handle_request(&engine, &metrics);
         let probe = third
             .get("counters")
             .and_then(|c| c.get("test.metrics_probe"))
